@@ -1,0 +1,132 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   * γ-scaled core jump w vs the raw v^Ṽ⁺ (Section 3.5 / 4.3) — without
+//     scaling, ‖p′‖ ≪ ‖p‖ and nearly every host's relative mass
+//     saturates, destroying the separation;
+//   * relative vs absolute mass as the detection signal (Section 4.6);
+//   * the PageRank threshold ρ (Section 3.6) — dropping it floods the
+//     candidate set with low-evidence hosts.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/detector.h"
+#include "core/spam_mass.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+struct DetectorScore {
+  uint64_t flagged = 0;
+  uint64_t tp = 0;
+  double Precision() const {
+    return flagged ? static_cast<double>(tp) / flagged : 0;
+  }
+};
+
+DetectorScore ScoreCandidates(const std::vector<core::SpamCandidate>& cands,
+                              const core::LabelStore& labels) {
+  DetectorScore s;
+  s.flagged = cands.size();
+  for (const auto& c : cands) s.tp += labels.IsSpam(c.node);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv, /*default_scale=*/0.25);
+  auto r = bench::MustRunPipeline(options);
+
+  // --- Ablation 1: jump scaling. -------------------------------------------
+  std::printf("== Ablation: gamma-scaled jump w vs raw v^core ==\n\n");
+  core::SpamMassOptions unscaled_options = options.mass;
+  unscaled_options.gamma = r.gamma_used;
+  unscaled_options.scale_core_jump = false;
+  auto unscaled =
+      core::EstimateSpamMass(r.web.graph, r.good_core, unscaled_options);
+  CHECK_OK(unscaled.status());
+
+  auto count_saturated = [](const core::MassEstimates& est) {
+    uint64_t saturated = 0;
+    for (double m : est.relative_mass) saturated += m > 0.99;
+    return saturated;
+  };
+  double p_norm = 0, scaled_norm = 0, raw_norm = 0;
+  for (size_t i = 0; i < r.estimates.pagerank.size(); ++i) {
+    p_norm += r.estimates.pagerank[i];
+    scaled_norm += r.estimates.core_pagerank[i];
+    raw_norm += unscaled.value().core_pagerank[i];
+  }
+  util::TextTable jump_table;
+  jump_table.SetHeader({"variant", "||p'|| / ||p||", "hosts with m~ > 0.99"});
+  jump_table.AddRow({"scaled w (gamma)",
+                     util::FormatDouble(scaled_norm / p_norm, 3),
+                     util::FormatWithCommas(count_saturated(r.estimates))});
+  jump_table.AddRow({"raw v^core",
+                     util::FormatDouble(raw_norm / p_norm, 4),
+                     util::FormatWithCommas(
+                         count_saturated(unscaled.value()))});
+  std::printf("%s\n", jump_table.ToString().c_str());
+  std::printf(
+      "paper (Section 4.3): with the raw jump the absolute mass estimates\n"
+      "were 'virtually identical to the PageRank scores' — i.e. m~ ~ 1 for\n"
+      "almost everything, as the saturation count shows.\n\n");
+
+  // --- Ablation 2: relative vs absolute mass. -------------------------------
+  std::printf("== Ablation: relative vs absolute mass as the signal ==\n\n");
+  // Top-k by each signal among the PageRank-filtered set.
+  const size_t k = std::min<size_t>(200, r.filtered.size());
+  std::vector<graph::NodeId> by_rel = r.filtered;
+  std::sort(by_rel.begin(), by_rel.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return r.estimates.relative_mass[a] >
+                     r.estimates.relative_mass[b];
+            });
+  std::vector<graph::NodeId> by_abs = r.filtered;
+  std::sort(by_abs.begin(), by_abs.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return r.estimates.absolute_mass[a] >
+                     r.estimates.absolute_mass[b];
+            });
+  uint64_t rel_spam = 0, abs_spam = 0;
+  for (size_t i = 0; i < k; ++i) {
+    rel_spam += r.web.labels.IsSpam(by_rel[i]);
+    abs_spam += r.web.labels.IsSpam(by_abs[i]);
+  }
+  util::TextTable signal_table;
+  signal_table.SetHeader({"signal", "spam in top-" + std::to_string(k)});
+  signal_table.AddRow({"relative mass m~",
+                       util::FormatDouble(100.0 * rel_spam / k, 1) + "%"});
+  signal_table.AddRow({"absolute mass M~",
+                       util::FormatDouble(100.0 * abs_spam / k, 1) + "%"});
+  std::printf("%s\n", signal_table.ToString().c_str());
+  std::printf(
+      "paper (Section 4.6): sorting by absolute mass intermixes reputable\n"
+      "high-PageRank hosts with spam; relative mass separates them.\n\n");
+
+  // --- Ablation 3: the PageRank threshold ρ. --------------------------------
+  std::printf("== Ablation: PageRank threshold rho ==\n\n");
+  util::TextTable rho_table;
+  rho_table.SetHeader({"rho", "candidates", "precision"});
+  for (double rho : {0.0, 2.0, 10.0, 50.0}) {
+    core::DetectorConfig config;
+    config.scaled_pagerank_threshold = rho;
+    config.relative_mass_threshold = 0.98;
+    auto candidates = core::DetectSpamCandidates(r.estimates, config);
+    DetectorScore s = ScoreCandidates(candidates, r.web.labels);
+    rho_table.AddRow({util::FormatDouble(rho, 0),
+                      util::FormatWithCommas(s.flagged),
+                      util::FormatDouble(s.Precision(), 3)});
+  }
+  std::printf("%s\n", rho_table.ToString().c_str());
+  std::printf(
+      "dropping rho floods the candidate set with hosts whose tiny\n"
+      "PageRank makes the mass ratio noisy and who are not 'beneficiaries\n"
+      "of significant boosting' anyway (the three reasons of Section 3.6).\n");
+  return 0;
+}

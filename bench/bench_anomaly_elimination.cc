@@ -1,0 +1,94 @@
+// E10: reproduces the Section 4.4.2 anomaly-elimination experiment. The
+// paper added 12 identifiable Alibaba hub hosts to the 504,150-host core
+// and recomputed: the Alibaba sample hosts' relative mass collapsed
+// (0.9989 -> 0.5298, 0.9923 -> 0.3488, others below 0.3) while everything
+// else barely moved (mean absolute change 0.0298 among positive-mass
+// hosts). We do the same with the synthetic "cn-mall" community's hubs.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/good_core.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+
+  uint32_t mall = r.web.RegionIndex("cn-mall");
+  CHECK_LT(mall, r.web.config.regions.size());
+  std::vector<graph::NodeId> hubs;
+  for (graph::NodeId x = 0; x < r.web.graph.num_nodes(); ++x) {
+    if (r.web.region_of_node[x] == mall && r.web.is_hub[x]) hubs.push_back(x);
+  }
+  std::printf("== Section 4.4.2: eliminating a coverage anomaly ==\n\n");
+  std::printf("adding %zu identifiable 'cn-mall' hub hosts to the core\n"
+              "(paper: 12 alibaba.com hub hosts such as china.alibaba.com)\n\n",
+              hubs.size());
+
+  core::MassEstimates fixed;
+  auto fixed_sample = eval::ReestimateWithCore(
+      r, core::ExpandCore(r.good_core, hubs), options, &fixed);
+  CHECK_OK(fixed_sample.status());
+
+  // Mean relative mass of the community's high-PageRank hosts, before and
+  // after, plus the collateral movement of everyone else.
+  double before_sum = 0, after_sum = 0;
+  uint64_t mall_count = 0;
+  double drift_sum = 0;
+  uint64_t drift_count = 0;
+  for (graph::NodeId x : r.filtered) {
+    if (r.web.region_of_node[x] == mall) {
+      before_sum += r.estimates.relative_mass[x];
+      after_sum += fixed.relative_mass[x];
+      ++mall_count;
+    } else if (r.estimates.relative_mass[x] > 0) {
+      drift_sum += std::abs(fixed.relative_mass[x] -
+                            r.estimates.relative_mass[x]);
+      ++drift_count;
+    }
+  }
+  util::TextTable table;
+  table.SetHeader({"metric", "before", "after", "paper"});
+  table.AddRow({"mean m~ of community hosts in T",
+                util::FormatDouble(mall_count ? before_sum / mall_count : 0, 3),
+                util::FormatDouble(mall_count ? after_sum / mall_count : 0, 3),
+                "0.99 -> 0.3-0.5"});
+  table.AddRow({"mean |delta m~| of other positive-mass hosts", "-",
+                util::FormatDouble(drift_count ? drift_sum / drift_count : 0,
+                                   4),
+                "0.0298"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The most-boosted community hosts individually (the paper lists the two
+  // group-20 Alibaba hosts explicitly).
+  std::vector<graph::NodeId> mall_hosts;
+  for (graph::NodeId x : r.filtered) {
+    if (r.web.region_of_node[x] == mall) mall_hosts.push_back(x);
+  }
+  std::sort(mall_hosts.begin(), mall_hosts.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return r.estimates.relative_mass[a] >
+                     r.estimates.relative_mass[b];
+            });
+  util::TextTable host_table;
+  host_table.SetHeader({"host", "m~ before", "m~ after"});
+  for (size_t i = 0; i < mall_hosts.size() && i < 8; ++i) {
+    graph::NodeId x = mall_hosts[i];
+    host_table.AddRow({r.web.graph.HostName(x),
+                       util::FormatDouble(r.estimates.relative_mass[x], 4),
+                       util::FormatDouble(fixed.relative_mass[x], 4)});
+  }
+  std::printf("top community hosts by pre-fix relative mass:\n%s\n",
+              host_table.ToString().c_str());
+  std::printf(
+      "shape check: a handful of core additions collapses the whole\n"
+      "community's relative mass while leaving the rest of the web nearly\n"
+      "untouched — core anomalies are cheap to fix incrementally.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// E11 (quality half): compares mass-based detection against the baselines
+// the paper discusses — the two naive labeling schemes of Section 3.1
+// (which need oracle labels of every in-neighbor), TrustRank (Section 5:
+// demotion, not detection), and a Fetterly-style degree-outlier detector
+// (Section 5: catches regular farms, misses organic-looking spam) — all on
+// the same synthetic web, scored on the high-PageRank population T.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "core/degree_outlier.h"
+#include "core/detector.h"
+#include "core/naive_schemes.h"
+#include "core/trustrank.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+struct Score {
+  uint64_t tp = 0, fp = 0, fn = 0;
+  double Precision() const {
+    return tp + fp ? static_cast<double>(tp) / (tp + fp) : 0;
+  }
+  double Recall() const {
+    return tp + fn ? static_cast<double>(tp) / (tp + fn) : 0;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r > 0 ? 2 * p * r / (p + r) : 0;
+  }
+};
+
+Score Evaluate(const std::vector<graph::NodeId>& population,
+               const std::vector<bool>& flagged,
+               const core::LabelStore& labels) {
+  Score s;
+  for (graph::NodeId x : population) {
+    bool spam = labels.IsSpam(x);
+    if (flagged[x] && spam) ++s.tp;
+    if (flagged[x] && !spam) ++s.fp;
+    if (!flagged[x] && spam) ++s.fn;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv, /*default_scale=*/0.25);
+  auto r = bench::MustRunPipeline(options);
+  const graph::WebGraph& web = r.web.graph;
+  const auto& population = r.filtered;
+
+  util::TextTable table;
+  table.SetHeader({"method", "flagged in T", "precision", "recall", "F1",
+                   "oracle needed"});
+  auto add = [&](const char* name, const std::vector<bool>& flagged,
+                 const char* oracle) {
+    Score s = Evaluate(population, flagged, r.web.labels);
+    table.AddRow({name, std::to_string(s.tp + s.fp),
+                  util::FormatDouble(s.Precision(), 3),
+                  util::FormatDouble(s.Recall(), 3),
+                  util::FormatDouble(s.F1(), 3), oracle});
+  };
+
+  // Spam mass at two thresholds.
+  for (double tau : {0.98, 0.85}) {
+    core::DetectorConfig config;
+    config.relative_mass_threshold = tau;
+    auto candidates = core::DetectSpamCandidates(r.estimates, config);
+    std::vector<bool> flagged(web.num_nodes(), false);
+    for (const auto& c : candidates) flagged[c.node] = true;
+    std::string name = "spam mass tau=" + util::FormatDouble(tau, 2);
+    add(name.c_str(), flagged, "good core only");
+  }
+
+  // Naive schemes with full oracle labels.
+  add("naive scheme 1 (majority)",
+      core::FirstLabelingSchemeAll(web, r.web.labels),
+      "all in-neighbor labels");
+  auto second =
+      core::SecondLabelingSchemeAll(web, r.web.labels, options.mass.solver);
+  CHECK_OK(second.status());
+  add("naive scheme 2 (contribution)", second.value(),
+      "all in-neighbor labels");
+
+  // TrustRank demotion retrofitted as detection: flag the lowest
+  // trust/PageRank quartile of T.
+  auto trust = core::ComputeTrustRank(web, r.good_core, options.mass.solver);
+  CHECK_OK(trust.status());
+  {
+    std::vector<graph::NodeId> by_ratio = population;
+    std::sort(by_ratio.begin(), by_ratio.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                return trust.value()[a] / r.estimates.pagerank[a] <
+                       trust.value()[b] / r.estimates.pagerank[b];
+              });
+    std::vector<bool> flagged(web.num_nodes(), false);
+    for (size_t i = 0; i < by_ratio.size() / 4; ++i) {
+      flagged[by_ratio[i]] = true;
+    }
+    add("trustrank lowest quartile", flagged, "good core only");
+  }
+
+  // Degree-outlier baseline.
+  {
+    core::DegreeOutlierConfig config;
+    config.min_degree = 3;
+    config.min_bucket_size = 30;
+    auto outliers = core::DetectDegreeOutliers(web, config);
+    add("degree outliers (Fetterly-style)", outliers.suspected, "none");
+  }
+
+  std::printf("== Baseline comparison on T (scaled PR >= 10) ==\n\n%s\n",
+              table.ToString().c_str());
+
+  // Threshold-free ranking quality for the two score-based signals.
+  std::vector<eval::ScoredExample> mass_examples, trust_examples;
+  for (graph::NodeId x : population) {
+    bool spam = r.web.labels.IsSpam(x);
+    mass_examples.push_back({r.estimates.relative_mass[x], spam});
+    // Lower trust/PageRank ratio = more suspicious; negate for scoring.
+    trust_examples.push_back(
+        {-trust.value()[x] / r.estimates.pagerank[x], spam});
+  }
+  std::printf("AUC over T: relative mass %.3f, negative trust ratio %.3f\n\n",
+              eval::ComputeAuc(mass_examples),
+              eval::ComputeAuc(trust_examples));
+  std::printf(
+      "expected shape (Section 5): spam mass is competitive without any\n"
+      "per-neighbor oracle (its false positives are the documented anomaly\n"
+      "and clique classes); the naive schemes only see direct in-links;\n"
+      "TrustRank separates trusted from untrusted but lumps unpopular good\n"
+      "hosts with spam; degree outliers catch only the regularly-shaped\n"
+      "farms.\n");
+  return 0;
+}

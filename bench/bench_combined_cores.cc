@@ -1,0 +1,107 @@
+// Section 3.4 extension experiment: combining the good-core estimate M̃
+// with a spam-core estimate M̂ = PR(v^Ṽ⁻). The spam core is harvested by
+// the detector itself (high-τ candidates), so no manual black-list is
+// needed. Reports ranking quality (AUC over T) and precision/recall of the
+// good-only, spam-only and combined estimators.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bootstrap.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+/// AUC of a mass-estimate ranking restricted to the ρ-filtered set.
+double AucOverT(const core::MassEstimates& estimates,
+                const std::vector<graph::NodeId>& filtered,
+                const core::LabelStore& labels) {
+  std::vector<eval::ScoredExample> examples;
+  examples.reserve(filtered.size());
+  for (graph::NodeId x : filtered) {
+    examples.push_back({estimates.relative_mass[x], labels.IsSpam(x)});
+  }
+  return eval::ComputeAuc(examples);
+}
+
+struct PrecisionRecall {
+  double precision = 0;
+  double recall = 0;
+};
+
+PrecisionRecall DetectorQuality(const core::MassEstimates& estimates,
+                                const std::vector<graph::NodeId>& filtered,
+                                const core::LabelStore& labels, double tau) {
+  core::DetectorConfig config;
+  config.relative_mass_threshold = tau;
+  auto candidates = core::DetectSpamCandidates(estimates, config);
+  uint64_t tp = 0;
+  for (const auto& c : candidates) tp += labels.IsSpam(c.node);
+  uint64_t total_spam = 0;
+  for (graph::NodeId x : filtered) total_spam += labels.IsSpam(x);
+  PrecisionRecall pr;
+  pr.precision = candidates.empty()
+                     ? 0
+                     : static_cast<double>(tp) / candidates.size();
+  pr.recall = total_spam ? static_cast<double>(tp) / total_spam : 0;
+  return pr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv, /*default_scale=*/0.25);
+  auto r = bench::MustRunPipeline(options);
+
+  core::BootstrapOptions bootstrap;
+  bootstrap.mass = options.mass;
+  bootstrap.mass.gamma = r.gamma_used;
+  bootstrap.seed_detector.relative_mass_threshold = 0.99;
+  bootstrap.seed_detector.scaled_pagerank_threshold = options.scaled_rho;
+  auto result =
+      core::BootstrapSpamCore(r.web.graph, r.good_core, bootstrap);
+  CHECK_OK(result.status());
+  const core::BootstrapResult& b = result.value();
+
+  uint64_t seed_true_spam = 0;
+  for (graph::NodeId x : b.spam_core) {
+    seed_true_spam += r.web.labels.IsSpam(x);
+  }
+  std::printf(
+      "== Section 3.4: combining good-core and harvested spam-core ==\n\n"
+      "harvested spam core: %zu hosts, %.1f%% true spam (tau = 0.99 seed)\n\n",
+      b.spam_core.size(),
+      b.spam_core.empty() ? 0.0 : 100.0 * seed_true_spam / b.spam_core.size());
+
+  util::TextTable table;
+  table.SetHeader({"estimator", "AUC over T", "prec@0.9", "recall@0.9",
+                   "prec@0.5", "recall@0.5"});
+  struct Variant {
+    const char* name;
+    const core::MassEstimates* estimates;
+  };
+  for (const Variant& v :
+       {Variant{"good core only (M~)", &b.from_good_core},
+        Variant{"spam core only (M^)", &b.from_spam_core},
+        Variant{"combined (average)", &b.combined}}) {
+    auto q90 = DetectorQuality(*v.estimates, r.filtered, r.web.labels, 0.9);
+    auto q50 = DetectorQuality(*v.estimates, r.filtered, r.web.labels, 0.5);
+    table.AddRow({v.name,
+                  util::FormatDouble(
+                      AucOverT(*v.estimates, r.filtered, r.web.labels), 3),
+                  util::FormatDouble(q90.precision, 3),
+                  util::FormatDouble(q90.recall, 3),
+                  util::FormatDouble(q50.precision, 3),
+                  util::FormatDouble(q50.recall, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "shape: the spam-core-only estimator is precise on re-finding the\n"
+      "seeded structures but blind to unseeded farms (low recall); the\n"
+      "combination keeps the good-core estimator's coverage while damping\n"
+      "its anomaly-driven false positives (Section 3.4's suggestion).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared plumbing for the experiment bench binaries: command-line scale /
+// seed handling and the standard pipeline invocation. Each bench binary
+// reproduces one table or figure of the paper; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured records.
+
+#ifndef SPAMMASS_BENCH_BENCH_COMMON_H_
+#define SPAMMASS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace spammass::bench {
+
+/// Parses "[scale] [seed]" from argv. The default scale keeps every bench
+/// under roughly a minute on a laptop core while preserving the paper's
+/// distributional regime.
+inline eval::PipelineOptions OptionsFromArgs(int argc, char** argv,
+                                             double default_scale = 0.5) {
+  eval::PipelineOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : default_scale;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  return options;
+}
+
+/// Runs the standard pipeline, aborting the bench on failure (benches are
+/// experiment scripts; there is nothing sensible to continue with).
+inline eval::PipelineResult MustRunPipeline(
+    const eval::PipelineOptions& options) {
+  util::WallTimer timer;
+  std::printf("# pipeline: scale %.2f, seed %llu\n", options.scale,
+              static_cast<unsigned long long>(options.seed));
+  auto result = eval::RunPipeline(options);
+  CHECK_OK(result.status());
+  std::printf("# %u hosts, %llu edges, |core| = %zu, gamma = %.3f, "
+              "|T| = %zu, sample = %zu (%.1fs)\n\n",
+              result.value().web.graph.num_nodes(),
+              static_cast<unsigned long long>(
+                  result.value().web.graph.num_edges()),
+              result.value().good_core.size(), result.value().gamma_used,
+              result.value().filtered.size(),
+              result.value().sample.hosts.size(), timer.Seconds());
+  return std::move(result.value());
+}
+
+}  // namespace spammass::bench
+
+#endif  // SPAMMASS_BENCH_BENCH_COMMON_H_

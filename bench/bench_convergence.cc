@@ -1,0 +1,92 @@
+// Convergence study of the solver suite (supporting the Section 2.2 claim
+// that the linear-system formulation admits faster solvers than power
+// iteration): per-iteration L1 residuals for Jacobi, Gauss-Seidel, SOR and
+// power iteration on the same synthetic web, plus sweeps-to-tolerance.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pagerank/solver.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+pagerank::PageRankResult Run(const graph::WebGraph& graph,
+                             pagerank::Method method, double omega = 1.1) {
+  pagerank::SolverOptions opt;
+  opt.method = method;
+  opt.sor_omega = omega;
+  opt.tolerance = 1e-12;
+  opt.max_iterations = 300;
+  opt.track_residuals = true;
+  auto r = pagerank::ComputeUniformPageRank(graph, opt);
+  CHECK_OK(r.status());
+  return std::move(r.value());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(scale, seed));
+  CHECK_OK(web.status());
+  const graph::WebGraph& g = web.value().graph;
+  std::printf("# graph: %u hosts, %llu edges\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  struct Variant {
+    const char* name;
+    pagerank::Method method;
+    double omega;
+  };
+  const Variant variants[] = {
+      {"jacobi", pagerank::Method::kJacobi, 1.0},
+      {"gauss-seidel", pagerank::Method::kGaussSeidel, 1.0},
+      {"sor w=1.1", pagerank::Method::kSor, 1.1},
+      {"sor w=0.8", pagerank::Method::kSor, 0.8},
+      {"power iteration", pagerank::Method::kPowerIteration, 1.0},
+  };
+
+  std::vector<pagerank::PageRankResult> results;
+  util::TextTable summary;
+  summary.SetHeader({"method", "sweeps to 1e-12", "final residual"});
+  for (const Variant& v : variants) {
+    results.push_back(Run(g, v.method, v.omega));
+    summary.AddRow({v.name, std::to_string(results.back().iterations),
+                    util::FormatDouble(std::log10(results.back().residual),
+                                       1) + " (log10)"});
+  }
+  std::printf("== sweeps to tolerance ==\n\n%s\n", summary.ToString().c_str());
+
+  std::printf("== residual decay (log10 of L1 residual per sweep) ==\n\n");
+  util::TextTable decay;
+  std::vector<std::string> header = {"sweep"};
+  for (const Variant& v : variants) header.push_back(v.name);
+  decay.SetHeader(header);
+  for (int sweep : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    std::vector<std::string> row = {std::to_string(sweep)};
+    for (const auto& result : results) {
+      if (static_cast<size_t>(sweep) <= result.residual_history.size()) {
+        row.push_back(util::FormatDouble(
+            std::log10(result.residual_history[sweep - 1]), 2));
+      } else {
+        row.push_back("-");
+      }
+    }
+    decay.AddRow(row);
+  }
+  std::printf("%s\n", decay.ToString().c_str());
+  std::printf(
+      "expected shape: Gauss-Seidel needs roughly half the sweeps of\n"
+      "Jacobi; power iteration tracks Jacobi's rate (both are damped by\n"
+      "c per step) but pays extra normalization work; mild over-relaxation\n"
+      "is between Gauss-Seidel and Jacobi on web-like graphs.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E6: reproduces Figure 3 — the composition (good / spam / anomalous) of
+// the 20 relative-mass sample groups, after discarding unknown and
+// non-existent hosts. In the paper, spam prevalence grows monotonically
+// with relative mass, reaching 80-100% in the top groups, and the gray
+// "anomalous" hosts (Alibaba / Brazilian blogs / Polish web) cluster in
+// groups 15-20.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "eval/grouping.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+
+  std::printf("== Figure 3: sample composition by relative-mass group ==\n\n");
+  auto groups = eval::SplitIntoGroups(r.sample, 20);
+  util::TextTable table;
+  table.SetHeader({"group", "mass range", "evaluated", "good", "anomalous",
+                   "spam", "spam %", "bar"});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& grp = groups[g];
+    std::string bar;
+    uint32_t n = grp.EvaluatedSize();
+    if (n > 0) {
+      int spam_ticks = static_cast<int>(20.0 * grp.spam / n + 0.5);
+      int anom_ticks = static_cast<int>(20.0 * grp.anomalous / n + 0.5);
+      bar = std::string(spam_ticks, '#') + std::string(anom_ticks, '+') +
+            std::string(20 - spam_ticks - anom_ticks > 0
+                            ? 20 - spam_ticks - anom_ticks
+                            : 0,
+                        '.');
+    }
+    table.AddRow({std::to_string(g + 1),
+                  util::FormatDouble(grp.smallest_mass, 2) + " .. " +
+                      util::FormatDouble(grp.largest_mass, 2),
+                  std::to_string(n), std::to_string(grp.good),
+                  std::to_string(grp.anomalous), std::to_string(grp.spam),
+                  util::FormatDouble(100 * grp.SpamFraction(), 0) + "%",
+                  bar});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "legend: '#' spam, '+' anomalous good (core-coverage anomalies:\n"
+      "isolated communities and under-covered regions), '.' plain good.\n"
+      "paper shape: spam prevalence rises from ~5%% in the negative-mass\n"
+      "groups to 80-100%% in groups 18-20; anomalous hosts concentrate in\n"
+      "the top groups and explain most non-spam there.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E7: reproduces Figure 4 — precision of mass-based detection as a
+// function of the relative-mass threshold τ, with the anomalous hosts
+// counted as false positives ("included") and disregarded ("excluded"),
+// plus the total number of hosts in T above each threshold (the counts
+// along the top of the paper's figure). Paper shape: ~100% precision at
+// τ = 0.98 excluding anomalies, 94% at τ = 0.91 with ~100k hosts, never
+// below the base spam rate at τ = 0.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/grouping.h"
+#include "eval/precision.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+
+  std::printf("== Figure 4: detection precision vs relative-mass threshold ==\n\n");
+  auto groups = eval::SplitIntoGroups(r.sample, 20);
+  auto thresholds = eval::ThresholdsFromGroups(groups);
+  auto curve = eval::ComputePrecisionCurve(r.sample, thresholds,
+                                           &r.estimates, options.scaled_rho);
+  util::TextTable table;
+  table.SetHeader({"tau", "hosts in T above", "sample spam", "sample good",
+                   "sample anomalous", "prec (anom. incl.)",
+                   "prec (anom. excl.)"});
+  for (const auto& point : curve) {
+    table.AddRow({util::FormatDouble(point.threshold, 2),
+                  util::FormatWithCommas(point.hosts_above),
+                  std::to_string(point.sample_spam),
+                  std::to_string(point.sample_good),
+                  std::to_string(point.sample_anomalous),
+                  util::FormatDouble(point.precision_including_anomalous, 3),
+                  util::FormatDouble(point.precision_excluding_anomalous,
+                                     3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper reference points: prec(0.98) ~ 1.0 excluding anomalies,\n"
+      "prec(0.91) ~ 0.94 with ~100,000 qualifying hosts, and the curve\n"
+      "never drops below the ~48%% base rate of spam among positive-mass\n"
+      "hosts. The gap between the two curves is entirely attributable to\n"
+      "core-coverage anomalies (Section 4.4.2 shows how to fix them).\n");
+  return 0;
+}

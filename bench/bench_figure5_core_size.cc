@@ -1,0 +1,71 @@
+// E8: reproduces Figure 5 — detection precision for good cores of varying
+// size and coverage: the full core, uniform 10% / 1% / 0.1% subsamples,
+// and a single-region ("Italian educational hosts only") core. Paper
+// shape: performance degrades gradually with uniform shrinking (10% is
+// nearly as good as 100%), but the narrow regional core is consistently
+// the worst — breadth of coverage beats size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/good_core.h"
+#include "eval/grouping.h"
+#include "eval/precision.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+  util::Rng rng(options.seed + 17);
+
+  auto groups = eval::SplitIntoGroups(r.sample, 20);
+  auto thresholds = eval::ThresholdsFromGroups(groups);
+
+  struct Variant {
+    std::string name;
+    std::vector<graph::NodeId> core;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"100% core", r.good_core});
+  variants.push_back({"10% core", core::SubsampleCore(r.good_core, 0.1, &rng)});
+  variants.push_back({"1% core", core::SubsampleCore(r.good_core, 0.01, &rng)});
+  variants.push_back(
+      {"0.1% core", core::SubsampleCore(r.good_core, 0.001, &rng)});
+  uint32_t it_region = r.web.RegionIndex("it");
+  variants.push_back({".it core", core::FilterCoreByRegion(
+                                      r.good_core, r.web.region_of_node,
+                                      it_region)});
+
+  std::printf("== Figure 5: precision for various cores ==\n\n");
+  util::TextTable table;
+  std::vector<std::string> header = {"core", "|core|"};
+  for (double tau : thresholds) {
+    header.push_back("t=" + util::FormatDouble(tau, 2));
+  }
+  table.SetHeader(header);
+  for (const auto& variant : variants) {
+    if (variant.core.empty()) {
+      std::printf("skipping empty core variant '%s'\n", variant.name.c_str());
+      continue;
+    }
+    auto sample = eval::ReestimateWithCore(r, variant.core, options, nullptr);
+    CHECK_OK(sample.status());
+    auto curve = eval::ComputePrecisionCurve(sample.value(), thresholds);
+    std::vector<std::string> row = {variant.name,
+                                    std::to_string(variant.core.size())};
+    for (const auto& point : curve) {
+      row.push_back(
+          util::FormatDouble(point.precision_including_anomalous, 3));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper shape: 100%% ~ 10%% >> 1%% > 0.1%%, and the regional .it core\n"
+      "is worse than a uniform core 19x smaller — the core's breadth of\n"
+      "coverage matters more than its sheer size (Section 4.5). Precision\n"
+      "here is the anomalies-included variant, as in the paper's Figure 5.\n");
+  return 0;
+}

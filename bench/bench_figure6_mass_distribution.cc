@@ -1,0 +1,95 @@
+// E9: reproduces Figure 6 — the distribution of estimated (scaled)
+// absolute spam mass, split into its negative and positive branches on
+// log-log axes, plus the power-law fit of the positive tail. Paper:
+// positive mass follows a power law with exponent −2.31; the negative
+// branch superimposes a "natural" curve and the biased core-member curve;
+// the overall range on the Yahoo! graph was −268,099 to +132,332.
+// Also reproduces the Section 4.6 finding that absolute mass is unusable
+// for detection: the top-|M̃| list mixes popular good hosts with spam.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bench_common.h"
+#include "eval/mass_distribution.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+void PrintBranch(const char* title,
+                 const std::vector<util::HistogramBin>& bins) {
+  std::printf("%s\n", title);
+  util::TextTable table;
+  table.SetHeader({"mass bin", "hosts", "fraction", "log-log bar"});
+  for (const auto& bin : bins) {
+    if (bin.count == 0) continue;
+    int ticks = bin.fraction > 0
+                    ? std::max(1, static_cast<int>(40 + 8 * std::log10(
+                                                            bin.fraction)))
+                    : 0;
+    table.AddRow({util::FormatDouble(bin.lower, 1) + " .. " +
+                      util::FormatDouble(bin.upper, 1),
+                  std::to_string(bin.count),
+                  util::FormatDouble(bin.fraction, 6),
+                  std::string(std::max(ticks, 0), '*')});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+
+  std::printf("== Figure 6: absolute mass distribution ==\n\n");
+  auto dist = eval::ComputeMassDistribution(r.estimates, 2.0, 0.5);
+  std::printf("scaled mass range: %.0f .. %.0f (paper: -268,099 .. 132,332)\n",
+              dist.min_scaled_mass, dist.max_scaled_mass);
+  std::printf("hosts with negative mass: %s, positive: %s\n\n",
+              util::FormatWithCommas(dist.num_negative).c_str(),
+              util::FormatWithCommas(dist.num_positive).c_str());
+  PrintBranch("negative branch (|mass|, log bins):", dist.negative);
+  PrintBranch("positive branch (log bins):", dist.positive);
+  std::printf(
+      "positive-tail power-law fit: exponent %.2f over %zu hosts "
+      "(xmin = %.1f, KS = %.3f)\npaper: exponent -2.31.\n\n",
+      -dist.positive_fit.alpha, dist.positive_fit.tail_size,
+      dist.positive_fit.xmin, dist.positive_fit.ks_distance);
+
+  // Section 4.6: absolute mass alone is not a spam signal — rank by M̃ and
+  // inspect the top of the list.
+  std::vector<graph::NodeId> order(r.web.graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return r.estimates.absolute_mass[a] >
+                     r.estimates.absolute_mass[b];
+            });
+  uint64_t good_in_top = 0;
+  const size_t top_k = std::min<size_t>(50, order.size());
+  util::TextTable table;
+  table.SetHeader({"rank by |M~|", "host", "ground truth"});
+  for (size_t i = 0; i < top_k; ++i) {
+    if (r.web.labels.IsGood(order[i])) ++good_in_top;
+    if (i < 10) {
+      table.AddRow({std::to_string(i + 1), r.web.graph.HostName(order[i]),
+                    core::NodeLabelToString(r.web.labels.Get(order[i]))});
+    }
+  }
+  std::printf("top hosts by estimated absolute mass:\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "%llu of the top %zu hosts by absolute mass are good (popular hosts\n"
+      "with huge PageRank, like the paper's www.macromedia.com at rank 3):\n"
+      "good and spam intermix with no usable separation point — Section\n"
+      "4.6's conclusion that detection must use *relative* mass.\n",
+      static_cast<unsigned long long>(good_in_top), top_k);
+  return 0;
+}

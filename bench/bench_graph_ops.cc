@@ -1,0 +1,94 @@
+// Micro-benchmarks of the graph substrate: CSR construction, transpose,
+// BFS, statistics, and synthetic-web generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/graph_algorithms.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+graph::WebGraph RandomGraph(uint32_t n, double mean_degree, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder b(n);
+  uint64_t edges = static_cast<uint64_t>(n * mean_degree);
+  for (uint64_t e = 0; e < edges; ++e) {
+    auto u = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    auto v = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    graph::WebGraph g = RandomGraph(n, 8.0, 11);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_Transpose(benchmark::State& state) {
+  graph::WebGraph g = RandomGraph(50000, 8.0, 13);
+  for (auto _ : state) {
+    graph::WebGraph t = g.Transposed();
+    benchmark::DoNotOptimize(t.num_edges());
+  }
+}
+BENCHMARK(BM_Transpose)->Unit(benchmark::kMillisecond);
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  graph::WebGraph g = RandomGraph(50000, 8.0, 17);
+  std::vector<graph::NodeId> sources;
+  for (graph::NodeId s = 0; s < 100; ++s) sources.push_back(s * 97);
+  for (auto _ : state) {
+    auto reach = graph::ReachableFrom(g, sources);
+    benchmark::DoNotOptimize(reach);
+  }
+}
+BENCHMARK(BM_MultiSourceBfs)->Unit(benchmark::kMillisecond);
+
+void BM_GraphStats(benchmark::State& state) {
+  graph::WebGraph g = RandomGraph(100000, 8.0, 19);
+  for (auto _ : state) {
+    auto stats = graph::ComputeGraphStats(g);
+    benchmark::DoNotOptimize(stats.isolated);
+  }
+}
+BENCHMARK(BM_GraphStats)->Unit(benchmark::kMillisecond);
+
+void BM_WeaklyConnectedComponents(benchmark::State& state) {
+  graph::WebGraph g = RandomGraph(50000, 4.0, 23);
+  for (auto _ : state) {
+    uint32_t num = 0;
+    auto comp = graph::WeaklyConnectedComponents(g, &num);
+    benchmark::DoNotOptimize(comp);
+  }
+}
+BENCHMARK(BM_WeaklyConnectedComponents)->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticWebGeneration(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(scale, 29));
+    CHECK_OK(web.status());
+    benchmark::DoNotOptimize(web.value().graph.num_edges());
+  }
+}
+BENCHMARK(BM_SyntheticWebGeneration)
+    ->Arg(2)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spammass
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E12: reproduces the three observations of Section 4.4.3 about the
+// composition of the positive-mass population:
+//   1. isolated cliques — good communities (gaming / web-design rings)
+//      weakly connected to the core show up with positive mass;
+//   2. expired domains — spam whose inlinks come from good hosts gets
+//      small or negative mass and escapes detection (false negatives);
+//   3. good-core members receive very large negative mass from the biased
+//      scaled jump vector.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+  const auto& est = r.estimates;
+  const double scale = static_cast<double>(est.pagerank.size()) /
+                       (1.0 - est.damping);
+
+  std::printf("== Section 4.4.3 observation 1: isolated cliques ==\n\n");
+  util::TextTable clique_table;
+  clique_table.SetHeader(
+      {"clique center", "members", "scaled PR", "relative mass"});
+  uint64_t high_mass = 0;
+  for (size_t q = 0; q < r.web.isolated_cliques.size(); ++q) {
+    graph::NodeId center = r.web.isolated_cliques[q][0];
+    if (est.relative_mass[center] > 0.9) ++high_mass;
+    if (q < 6) {
+      clique_table.AddRow(
+          {r.web.graph.HostName(center),
+           std::to_string(r.web.isolated_cliques[q].size()),
+           util::FormatDouble(est.pagerank[center] * scale, 1),
+           util::FormatDouble(est.relative_mass[center], 3)});
+    }
+  }
+  std::printf("%s\n", clique_table.ToString().c_str());
+  std::printf(
+      "%llu of %zu clique centers have relative mass > 0.9: good hosts in\n"
+      "communities the core cannot reach are inherent false positives\n"
+      "(paper: ~10%% of positive-mass sample hosts were such cliques).\n\n",
+      static_cast<unsigned long long>(high_mass),
+      r.web.isolated_cliques.size());
+
+  std::printf("== Observation 2: expired-domain spam ==\n\n");
+  util::TextTable expired_table;
+  expired_table.SetHeader(
+      {"host", "good inlinks", "scaled PR", "relative mass"});
+  double max_mass = -1e18;
+  for (size_t i = 0; i < r.web.expired_domain_targets.size(); ++i) {
+    graph::NodeId t = r.web.expired_domain_targets[i];
+    max_mass = std::max(max_mass, est.relative_mass[t]);
+    if (i < 6) {
+      expired_table.AddRow({r.web.graph.HostName(t),
+                            std::to_string(r.web.graph.InDegree(t)),
+                            util::FormatDouble(est.pagerank[t] * scale, 1),
+                            util::FormatDouble(est.relative_mass[t], 3)});
+    }
+  }
+  std::printf("%s\n", expired_table.ToString().c_str());
+  std::printf(
+      "max relative mass over %zu expired-domain spam hosts: %.3f — all\n"
+      "escape the tau = 0.98 detector because good hosts contribute their\n"
+      "PageRank; the paper explicitly does not expect to catch these.\n\n",
+      r.web.expired_domain_targets.size(), max_mass);
+
+  std::printf("== Observation 3: good-core members ==\n\n");
+  std::vector<graph::NodeId> by_mass = r.good_core;
+  std::sort(by_mass.begin(), by_mass.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return est.absolute_mass[a] < est.absolute_mass[b];
+            });
+  util::TextTable core_table;
+  core_table.SetHeader({"core member", "scaled abs mass", "relative mass"});
+  for (size_t i = 0; i < by_mass.size() && i < 6; ++i) {
+    graph::NodeId x = by_mass[i];
+    core_table.AddRow({r.web.graph.HostName(x),
+                       util::FormatDouble(est.absolute_mass[x] * scale, 1),
+                       util::FormatDouble(est.relative_mass[x], 2)});
+  }
+  std::printf("%s\n", core_table.ToString().c_str());
+  uint64_t negative = 0;
+  for (graph::NodeId x : r.good_core) negative += est.absolute_mass[x] < 0;
+  std::printf(
+      "%llu of %zu core members have negative estimated mass (paper: the\n"
+      "most negative sample groups consisted of educational/governmental\n"
+      "core hosts, a direct artifact of the scaled jump vector w).\n",
+      static_cast<unsigned long long>(negative), r.good_core.size());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E11 (performance half): google-benchmark timings of the PageRank solver
+// suite on synthetic webs — the Section 2.2 claim that linear-system
+// solvers (Jacobi / Gauss-Seidel) are "regularly faster than the
+// algorithms available for solving eigensystems (power iterations)", plus
+// the cost of the full mass-estimation step (two PageRank solves).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/spam_mass.h"
+#include "pagerank/solver.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "util/logging.h"
+
+namespace spammass {
+namespace {
+
+const synth::SyntheticWeb& SharedWeb() {
+  static synth::SyntheticWeb* web = [] {
+    auto r = synth::GenerateWeb(synth::TinyScenario(3));
+    CHECK_OK(r.status());
+    return new synth::SyntheticWeb(std::move(r.value()));
+  }();
+  return *web;
+}
+
+pagerank::SolverOptions Options(pagerank::Method method) {
+  pagerank::SolverOptions opt;
+  opt.method = method;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 500;
+  return opt;
+}
+
+void BM_PageRankJacobi(benchmark::State& state) {
+  const auto& web = SharedWeb();
+  int iterations = 0;
+  for (auto _ : state) {
+    auto r = pagerank::ComputeUniformPageRank(
+        web.graph, Options(pagerank::Method::kJacobi));
+    CHECK_OK(r.status());
+    iterations = r.value().iterations;
+    benchmark::DoNotOptimize(r.value().scores);
+  }
+  state.counters["sweeps"] = iterations;
+  state.counters["edges"] = static_cast<double>(web.graph.num_edges());
+}
+BENCHMARK(BM_PageRankJacobi)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankGaussSeidel(benchmark::State& state) {
+  const auto& web = SharedWeb();
+  int iterations = 0;
+  for (auto _ : state) {
+    auto r = pagerank::ComputeUniformPageRank(
+        web.graph, Options(pagerank::Method::kGaussSeidel));
+    CHECK_OK(r.status());
+    iterations = r.value().iterations;
+    benchmark::DoNotOptimize(r.value().scores);
+  }
+  state.counters["sweeps"] = iterations;
+}
+BENCHMARK(BM_PageRankGaussSeidel)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankPowerIteration(benchmark::State& state) {
+  const auto& web = SharedWeb();
+  int iterations = 0;
+  for (auto _ : state) {
+    auto r = pagerank::ComputeUniformPageRank(
+        web.graph, Options(pagerank::Method::kPowerIteration));
+    CHECK_OK(r.status());
+    iterations = r.value().iterations;
+    benchmark::DoNotOptimize(r.value().scores);
+  }
+  state.counters["sweeps"] = iterations;
+}
+BENCHMARK(BM_PageRankPowerIteration)->Unit(benchmark::kMillisecond);
+
+void BM_MassEstimation(benchmark::State& state) {
+  const auto& web = SharedWeb();
+  auto good_core = web.AssembledGoodCore();
+  core::SpamMassOptions options;
+  options.solver = Options(pagerank::Method::kGaussSeidel);
+  for (auto _ : state) {
+    auto r = core::EstimateSpamMass(web.graph, good_core, options);
+    CHECK_OK(r.status());
+    benchmark::DoNotOptimize(r.value().relative_mass);
+  }
+}
+BENCHMARK(BM_MassEstimation)->Unit(benchmark::kMillisecond);
+
+void BM_SolverToleranceSweep(benchmark::State& state) {
+  const auto& web = SharedWeb();
+  pagerank::SolverOptions opt = Options(pagerank::Method::kGaussSeidel);
+  opt.tolerance = std::pow(10.0, -state.range(0));
+  for (auto _ : state) {
+    auto r = pagerank::ComputeUniformPageRank(web.graph, opt);
+    CHECK_OK(r.status());
+    benchmark::DoNotOptimize(r.value().scores);
+  }
+}
+BENCHMARK(BM_SolverToleranceSweep)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spammass
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// E5: reproduces Table 2 — the judged evaluation sample sorted by
+// estimated relative mass and split into 20 near-equal groups, reporting
+// each group's smallest/largest mass and size. The paper's sample of 892
+// hosts spans relative masses from −67.90 to 1.00 with group sizes 40-48.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/grouping.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  auto options = bench::OptionsFromArgs(argc, argv);
+  auto r = bench::MustRunPipeline(options);
+
+  std::printf("== Table 2: relative mass thresholds for sample groups ==\n\n");
+  auto groups = eval::SplitIntoGroups(r.sample, 20);
+  util::TextTable table;
+  table.SetHeader({"group", "smallest m~", "largest m~", "size"});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    table.AddRow({std::to_string(g + 1),
+                  util::FormatDouble(groups[g].smallest_mass, 2),
+                  util::FormatDouble(groups[g].largest_mass, 2),
+                  std::to_string(groups[g].size)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  double lo = groups.front().smallest_mass;
+  double hi = groups.back().largest_mass;
+  std::printf(
+      "measured mass range: %.2f .. %.2f  (paper: -67.90 .. 1.00)\n"
+      "shape checks: the range is strongly asymmetric (deep negative tail\n"
+      "from core members and their neighborhoods, positive tail capped at\n"
+      "1), and group sizes are near-equal by construction.\n",
+      lo, hi);
+  return 0;
+}

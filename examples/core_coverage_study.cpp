@@ -1,0 +1,111 @@
+// Good-core size and coverage study (Sections 4.4.2 and 4.5): shrink the
+// core uniformly, restrict it to one region, and apply the paper's
+// anomaly fix (adding a community's hub hosts to the core) — watching how
+// each choice moves detection precision and the anomalous hosts' mass.
+//
+//   $ ./core_coverage_study [scale] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/good_core.h"
+#include "eval/experiment.h"
+#include "eval/precision.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+double PrecisionAt(const eval::EvaluationSample& sample, double tau) {
+  auto curve = eval::ComputePrecisionCurve(sample, {tau});
+  return curve[0].precision_including_anomalous;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::PipelineOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  auto result = eval::RunPipeline(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const eval::PipelineResult& r = result.value();
+  util::Rng rng(options.seed + 1);
+
+  std::printf("full core: %zu hosts; sample: %zu judged hosts\n\n",
+              r.good_core.size(), r.sample.hosts.size());
+
+  // --- Core size sweep (Figure 5's 100% / 10% / 1% / 0.1% cores). ---------
+  util::TextTable table;
+  table.SetHeader({"core", "hosts", "prec@0.98", "prec@0.5", "prec@0"});
+  struct Variant {
+    std::string name;
+    std::vector<graph::NodeId> core;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"100%", r.good_core});
+  variants.push_back({"10%", core::SubsampleCore(r.good_core, 0.1, &rng)});
+  variants.push_back({"1%", core::SubsampleCore(r.good_core, 0.01, &rng)});
+  variants.push_back({"0.1%", core::SubsampleCore(r.good_core, 0.001, &rng)});
+  uint32_t it_region = r.web.RegionIndex("it");
+  variants.push_back({"it-only", core::FilterCoreByRegion(
+                                     r.good_core, r.web.region_of_node,
+                                     it_region)});
+  for (const auto& variant : variants) {
+    if (variant.core.empty()) continue;
+    auto sample =
+        eval::ReestimateWithCore(r, variant.core, options, nullptr);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "core '%s' failed: %s\n", variant.name.c_str(),
+                   sample.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({variant.name, std::to_string(variant.core.size()),
+                  util::FormatDouble(PrecisionAt(sample.value(), 0.98), 3),
+                  util::FormatDouble(PrecisionAt(sample.value(), 0.5), 3),
+                  util::FormatDouble(PrecisionAt(sample.value(), 0.0), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shrinking the core degrades precision gradually; the single-region\n"
+      "core does worse than a uniform core many times smaller — breadth of\n"
+      "coverage matters more than size (Section 4.5).\n\n");
+
+  // --- Anomaly fix (Section 4.4.2): add the mall community's hub hosts. ---
+  uint32_t mall = r.web.RegionIndex("cn-mall");
+  std::vector<graph::NodeId> hubs;
+  for (graph::NodeId x = 0; x < r.web.graph.num_nodes(); ++x) {
+    if (r.web.region_of_node[x] == mall && r.web.is_hub[x]) hubs.push_back(x);
+  }
+  core::MassEstimates fixed_estimates;
+  auto fixed_sample = eval::ReestimateWithCore(
+      r, core::ExpandCore(r.good_core, hubs), options, &fixed_estimates);
+  if (!fixed_sample.ok()) return 1;
+
+  double before_mean = 0, after_mean = 0;
+  uint64_t mall_hosts = 0;
+  for (graph::NodeId x : r.filtered) {
+    if (r.web.region_of_node[x] == mall) {
+      before_mean += r.estimates.relative_mass[x];
+      after_mean += fixed_estimates.relative_mass[x];
+      ++mall_hosts;
+    }
+  }
+  if (mall_hosts > 0) {
+    before_mean /= mall_hosts;
+    after_mean /= mall_hosts;
+  }
+  std::printf(
+      "anomaly fix: adding the %zu identifiable 'cn-mall' hub hosts to the\n"
+      "core moves the community's mean relative mass (over high-PageRank\n"
+      "hosts) from %.3f to %.3f — the paper saw 0.99 -> ~0.35 for Alibaba\n"
+      "after adding 12 hub hosts (Section 4.4.2).\n",
+      hubs.size(), before_mean, after_mean);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Incremental deployment walkthrough — the operational story of Sections
+// 4.4.2 and 4.5: a search engine can "start with relatively small cores and
+// incrementally expand them to achieve better and better performance".
+// This example plays four stages on one synthetic web:
+//
+//   stage 1: bootstrap with a tiny good core (1% of the lists)
+//   stage 2: grow to the full assembled core
+//   stage 3: fix a discovered community anomaly by adding its hub hosts
+//   stage 4: harvest a spam core from the detector and combine (Sec. 3.4)
+//
+// and reports detection quality (precision/recall at τ = 0.9, AUC over T)
+// after each stage.
+//
+//   $ ./incremental_deployment [scale] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bootstrap.h"
+#include "core/detector.h"
+#include "core/good_core.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+struct StageQuality {
+  double precision = 0;
+  double recall = 0;
+  double auc = 0;
+  uint64_t flagged = 0;
+};
+
+StageQuality Measure(const core::MassEstimates& estimates,
+                     const std::vector<graph::NodeId>& population,
+                     const core::LabelStore& labels, double tau = 0.9) {
+  StageQuality q;
+  core::DetectorConfig config;
+  config.relative_mass_threshold = tau;
+  auto candidates = core::DetectSpamCandidates(estimates, config);
+  uint64_t tp = 0, total_spam = 0;
+  for (const auto& c : candidates) tp += labels.IsSpam(c.node);
+  for (graph::NodeId x : population) total_spam += labels.IsSpam(x);
+  q.flagged = candidates.size();
+  q.precision =
+      candidates.empty() ? 0 : static_cast<double>(tp) / candidates.size();
+  q.recall = total_spam ? static_cast<double>(tp) / total_spam : 0;
+  std::vector<eval::ScoredExample> examples;
+  for (graph::NodeId x : population) {
+    examples.push_back({estimates.relative_mass[x], labels.IsSpam(x)});
+  }
+  q.auc = eval::ComputeAuc(examples);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::PipelineOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  auto pipeline = eval::RunPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  const eval::PipelineResult& r = pipeline.value();
+  util::Rng rng(options.seed + 99);
+
+  core::SpamMassOptions mass = options.mass;
+  mass.gamma = r.gamma_used;
+
+  util::TextTable table;
+  table.SetHeader({"stage", "|core|", "flagged", "precision@0.9",
+                   "recall@0.9", "AUC over T"});
+  auto report = [&](const char* stage, size_t core_size,
+                    const core::MassEstimates& estimates,
+                    double tau = 0.9) {
+    StageQuality q = Measure(estimates, r.filtered, r.web.labels, tau);
+    table.AddRow({stage, std::to_string(core_size),
+                  std::to_string(q.flagged),
+                  util::FormatDouble(q.precision, 3),
+                  util::FormatDouble(q.recall, 3),
+                  util::FormatDouble(q.auc, 3)});
+  };
+
+  // Stage 1: a 1% core — what a young deployment might have.
+  auto tiny_core = core::SubsampleCore(r.good_core, 0.01, &rng);
+  auto stage1 = core::EstimateSpamMass(r.web.graph, tiny_core, mass);
+  if (!stage1.ok()) return 1;
+  report("1: tiny core (1%)", tiny_core.size(), stage1.value());
+
+  // Stage 2: the full assembled core (directory + gov + edu lists).
+  report("2: full core", r.good_core.size(), r.estimates);
+
+  // Stage 3: the operator investigates high-mass good hosts, finds the
+  // isolated commerce community, and white-lists its hub hosts
+  // (Section 4.4.2's procedure).
+  uint32_t mall = r.web.RegionIndex("cn-mall");
+  std::vector<graph::NodeId> hubs;
+  for (graph::NodeId x = 0; x < r.web.graph.num_nodes(); ++x) {
+    if (r.web.region_of_node[x] == mall && r.web.is_hub[x]) hubs.push_back(x);
+  }
+  auto fixed_core = core::ExpandCore(r.good_core, hubs);
+  auto stage3 = core::EstimateSpamMass(r.web.graph, fixed_core, mass);
+  if (!stage3.ok()) return 1;
+  report("3: + anomaly hubs", fixed_core.size(), stage3.value());
+
+  // Stage 4: harvest a high-confidence spam core and combine (Section 3.4).
+  core::BootstrapOptions bootstrap;
+  bootstrap.mass = mass;
+  bootstrap.seed_detector.relative_mass_threshold = 0.99;
+  auto stage4 = core::BootstrapSpamCore(r.web.graph, fixed_core, bootstrap);
+  if (!stage4.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 stage4.status().ToString().c_str());
+    return 1;
+  }
+  // Averaging with a (necessarily sparse) spam core halves the mass scale
+  // of spam the black-list missed, so the operating threshold halves too.
+  report("4: + spam-core combine",
+         fixed_core.size() + stage4.value().spam_core.size(),
+         stage4.value().combined, /*tau=*/0.45);
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading the table top to bottom is the paper's deployment story:\n"
+      "every increment — more core, anomaly fixes, a harvested black-list —\n"
+      "buys better separation without retraining anything; the estimator is\n"
+      "always just two PageRank runs (Section 4.5's conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a tiny host graph, estimate spam mass from a good core,
+// and run the mass-based detector (Algorithm 2).
+//
+//   $ ./quickstart
+//
+// The graph is the paper's Figure 2 example, so the numbers printed here
+// match Table 1 of the paper exactly.
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "core/spam_mass.h"
+#include "pagerank/solver.h"
+#include "synth/paper_graphs.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+int main() {
+  // 1. A web graph. MakeFigure2Graph wires the 12-node example of the
+  //    paper; in a real deployment you would load an edge list with
+  //    graph::ReadEdgeListText or build one with graph::GraphBuilder.
+  synth::Figure2Graph fig = synth::MakeFigure2Graph();
+  const graph::WebGraph& web = fig.graph;
+  std::printf("graph: %u hosts, %llu links\n\n", web.num_nodes(),
+              static_cast<unsigned long long>(web.num_edges()));
+
+  // 2. A good core: nodes known to be reputable. The paper assembles one
+  //    from a trusted directory plus governmental and educational hosts;
+  //    here we use the example's core {g0, g1, g3}.
+  const std::vector<graph::NodeId>& good_core = fig.good_core;
+
+  // 3. Estimate spam mass: two PageRank computations (regular and
+  //    core-based), then M̃ = p − p′ and m̃ = 1 − p′/p.
+  core::SpamMassOptions options;
+  options.solver.tolerance = 1e-14;
+  options.solver.max_iterations = 2000;
+  options.scale_core_jump = false;  // the small example needs no γ scaling
+  auto estimates = core::EstimateSpamMass(web, good_core, options);
+  if (!estimates.ok()) {
+    std::fprintf(stderr, "mass estimation failed: %s\n",
+                 estimates.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Inspect the per-host features (Table 1 of the paper).
+  auto scaled_p = pagerank::ScaledScores(estimates.value().pagerank, 0.85);
+  auto scaled_p0 =
+      pagerank::ScaledScores(estimates.value().core_pagerank, 0.85);
+  auto scaled_mass =
+      pagerank::ScaledScores(estimates.value().absolute_mass, 0.85);
+  util::TextTable table;
+  table.SetHeader({"host", "PageRank", "core PR", "est. mass", "rel. mass"});
+  for (graph::NodeId x = 0; x < web.num_nodes(); ++x) {
+    table.AddRow({web.HostName(x), util::FormatDouble(scaled_p[x], 3),
+                  util::FormatDouble(scaled_p0[x], 3),
+                  util::FormatDouble(scaled_mass[x], 3),
+                  util::FormatDouble(estimates.value().relative_mass[x], 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // 5. Detect spam candidates: hosts with scaled PageRank >= ρ and
+  //    relative mass >= τ.
+  core::DetectorConfig config;
+  config.scaled_pagerank_threshold = 1.5;
+  config.relative_mass_threshold = 0.5;
+  auto candidates = core::DetectSpamCandidates(estimates.value(), config);
+  std::printf("spam candidates (rho=%.1f, tau=%.2f):\n",
+              config.scaled_pagerank_threshold,
+              config.relative_mass_threshold);
+  for (const auto& c : candidates) {
+    std::printf("  %-18s  scaled PR %-6s  relative mass %s\n",
+                web.HostName(c.node).c_str(),
+                util::FormatDouble(c.scaled_pagerank, 2).c_str(),
+                util::FormatDouble(c.relative_mass, 2).c_str());
+  }
+  std::printf(
+      "\nNote: x and s0 are true spam; g2 is the paper's documented false\n"
+      "positive caused by core incompleteness (g2 is good but absent from\n"
+      "the core, Section 3.6).\n");
+  return 0;
+}

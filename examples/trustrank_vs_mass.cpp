@@ -1,0 +1,129 @@
+// TrustRank vs. spam mass (Section 5): TrustRank *demotes* spam by ranking
+// trusted pages first but never labels anything; spam mass *detects* spam
+// explicitly. This example runs both on the same synthetic web, plus the
+// two naive schemes of Section 3.1, and compares their verdicts against
+// ground truth on the high-PageRank population.
+//
+//   $ ./trustrank_vs_mass [scale] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/detector.h"
+#include "core/naive_schemes.h"
+#include "core/trustrank.h"
+#include "eval/experiment.h"
+#include "util/table.h"
+
+using namespace spammass;
+
+namespace {
+
+struct Verdicts {
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t false_negative = 0;
+
+  double Precision() const {
+    uint64_t flagged = true_positive + false_positive;
+    return flagged ? static_cast<double>(true_positive) / flagged : 0;
+  }
+  double Recall() const {
+    uint64_t spam = true_positive + false_negative;
+    return spam ? static_cast<double>(true_positive) / spam : 0;
+  }
+};
+
+Verdicts Score(const std::vector<graph::NodeId>& population,
+               const std::vector<bool>& flagged,
+               const core::LabelStore& labels) {
+  Verdicts v;
+  for (graph::NodeId x : population) {
+    bool spam = labels.IsSpam(x);
+    if (flagged[x] && spam) ++v.true_positive;
+    if (flagged[x] && !spam) ++v.false_positive;
+    if (!flagged[x] && spam) ++v.false_negative;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::PipelineOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  auto result = eval::RunPipeline(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const eval::PipelineResult& r = result.value();
+  const graph::WebGraph& web = r.web.graph;
+  const std::vector<graph::NodeId>& population = r.filtered;
+  std::printf("population: %zu hosts with scaled PageRank >= 10\n\n",
+              population.size());
+
+  // --- Spam mass detection (Algorithm 2). ---------------------------------
+  core::DetectorConfig config;
+  auto candidates = core::DetectSpamCandidates(r.estimates, config);
+  std::vector<bool> mass_flagged(web.num_nodes(), false);
+  for (const auto& c : candidates) mass_flagged[c.node] = true;
+
+  // --- TrustRank demotion. --------------------------------------------------
+  // Trust flows from the good core; hosts whose trust is small relative to
+  // their PageRank would be demoted. To force a *detection* out of
+  // TrustRank we flag the population's lowest-trust-to-PageRank quartile —
+  // the kind of retrofit the paper argues is not TrustRank's purpose.
+  auto trust = core::ComputeTrustRank(web, r.good_core, options.mass.solver);
+  if (!trust.ok()) {
+    std::fprintf(stderr, "trustrank failed: %s\n",
+                 trust.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> trust_ratio(web.num_nodes(), 0);
+  for (graph::NodeId x : population) {
+    trust_ratio[x] = trust.value()[x] / r.estimates.pagerank[x];
+  }
+  std::vector<graph::NodeId> by_ratio = population;
+  std::sort(by_ratio.begin(), by_ratio.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return trust_ratio[a] < trust_ratio[b];
+            });
+  std::vector<bool> trust_flagged(web.num_nodes(), false);
+  for (size_t i = 0; i < by_ratio.size() / 4; ++i) {
+    trust_flagged[by_ratio[i]] = true;
+  }
+
+  // --- Naive schemes (Section 3.1), with oracle neighbor labels. -----------
+  auto first = core::FirstLabelingSchemeAll(web, r.web.labels);
+  auto second =
+      core::SecondLabelingSchemeAll(web, r.web.labels, options.mass.solver);
+  if (!second.ok()) return 1;
+
+  util::TextTable table;
+  table.SetHeader({"method", "precision", "recall", "notes"});
+  auto add = [&](const char* name, const Verdicts& v, const char* notes) {
+    table.AddRow({name, util::FormatDouble(v.Precision(), 3),
+                  util::FormatDouble(v.Recall(), 3), notes});
+  };
+  add("spam mass (tau=0.98)", Score(population, mass_flagged, r.web.labels),
+      "detection; no oracle labels needed");
+  add("trustrank lowest-quartile", Score(population, trust_flagged, r.web.labels),
+      "demotion retrofitted as detection");
+  add("naive scheme 1", Score(population, first, r.web.labels),
+      "needs oracle labels of all in-neighbors");
+  add("naive scheme 2", Score(population, second.value(), r.web.labels),
+      "needs oracle labels of all in-neighbors");
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "Spam mass achieves high precision without any per-neighbor oracle;\n"
+      "TrustRank's low-trust bucket mixes spam with merely-unpopular good\n"
+      "hosts; the naive schemes inspect only direct in-neighbors and miss\n"
+      "indirectly boosted targets (Figures 1-2 of the paper).\n");
+  return 0;
+}

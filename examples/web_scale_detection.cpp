@@ -1,0 +1,89 @@
+// Full detection pipeline on a synthetic web-scale crawl: generate a
+// Yahoo-2004-like host graph, assemble the good core, estimate spam mass,
+// and report the top detected spam hosts (Sections 3.6 and 4 end to end).
+//
+//   $ ./web_scale_detection [scale] [seed]
+//
+// scale defaults to 0.25 (~45k hosts); scale 1.0 reproduces the full
+// benchmark scenario (~170k hosts).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/detector.h"
+#include "eval/experiment.h"
+#include "graph/graph_stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace spammass;
+
+int main(int argc, char** argv) {
+  eval::PipelineOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  util::WallTimer timer;
+  std::printf("generating synthetic web (scale %.2f, seed %llu)...\n",
+              options.scale, static_cast<unsigned long long>(options.seed));
+  auto result = eval::RunPipeline(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const eval::PipelineResult& r = result.value();
+  auto stats = graph::ComputeGraphStats(r.web.graph);
+  std::printf(
+      "  %s hosts, %s links; %.1f%% without outlinks, %.1f%% without\n"
+      "  inlinks, %.1f%% isolated (paper: 66.4%% / 35%% / 25.8%%)\n",
+      util::FormatWithCommas(stats.num_nodes).c_str(),
+      util::FormatWithCommas(stats.num_edges).c_str(),
+      100 * stats.FractionNoOutlinks(), 100 * stats.FractionNoInlinks(),
+      100 * stats.FractionIsolated());
+  std::printf("  good core: %s hosts; gamma estimated from a judged sample: %.3f\n",
+              util::FormatWithCommas(r.good_core.size()).c_str(),
+              r.gamma_used);
+  std::printf("  pipeline wall time: %.1fs\n\n", timer.Seconds());
+
+  core::DetectorConfig config;  // τ = 0.98, ρ = 10 (the paper's settings)
+  auto candidates = core::DetectSpamCandidates(r.estimates, config);
+
+  uint64_t true_spam = 0;
+  for (const auto& c : candidates) {
+    if (r.web.labels.IsSpam(c.node)) ++true_spam;
+  }
+  std::printf(
+      "detector (tau=%.2f, rho=%.0f): %s candidates, %s are true spam "
+      "(precision %.1f%%)\n\n",
+      config.relative_mass_threshold, config.scaled_pagerank_threshold,
+      util::FormatWithCommas(candidates.size()).c_str(),
+      util::FormatWithCommas(true_spam).c_str(),
+      candidates.empty() ? 0.0 : 100.0 * true_spam / candidates.size());
+
+  util::TextTable table;
+  table.SetHeader(
+      {"rank", "host", "scaled PR", "rel. mass", "ground truth"});
+  for (size_t i = 0; i < candidates.size() && i < 20; ++i) {
+    const auto& c = candidates[i];
+    table.AddRow({std::to_string(i + 1), r.web.graph.HostName(c.node),
+                  util::FormatDouble(c.scaled_pagerank, 1),
+                  util::FormatDouble(c.relative_mass, 4),
+                  core::NodeLabelToString(r.web.labels.Get(c.node))});
+  }
+  std::printf("top candidates:\n%s\n", table.ToString().c_str());
+
+  // The documented blind spot: expired-domain spam keeps a low mass.
+  double expired_max = -1e9;
+  for (graph::NodeId t : r.web.expired_domain_targets) {
+    expired_max = std::max(expired_max, r.estimates.relative_mass[t]);
+  }
+  std::printf(
+      "expired-domain spam hosts: %zu, max relative mass %.3f — all below\n"
+      "tau, exactly the false-negative class of Section 4.4.3 (their\n"
+      "PageRank is donated by good hosts, so mass estimation cannot see\n"
+      "them).\n",
+      r.web.expired_domain_targets.size(), expired_max);
+  return 0;
+}

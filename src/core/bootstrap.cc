@@ -1,0 +1,57 @@
+#include "core/bootstrap.h"
+
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using graph::WebGraph;
+using util::Result;
+using util::Status;
+
+Result<BootstrapResult> BootstrapSpamCore(
+    const WebGraph& graph, const std::vector<NodeId>& good_core,
+    const BootstrapOptions& options) {
+  if (options.rounds < 1) {
+    return Status::InvalidArgument("at least one bootstrap round required");
+  }
+  if (options.combine_weight < 0 || options.combine_weight > 1) {
+    return Status::InvalidArgument("combine_weight must lie in [0, 1]");
+  }
+
+  auto from_good = EstimateSpamMass(graph, good_core, options.mass);
+  if (!from_good.ok()) return from_good.status();
+
+  BootstrapResult result;
+  result.from_good_core = std::move(from_good.value());
+
+  const MassEstimates* detection_basis = &result.from_good_core;
+  for (int round = 0; round < options.rounds; ++round) {
+    auto candidates =
+        DetectSpamCandidates(*detection_basis, options.seed_detector);
+    if (candidates.empty()) {
+      if (round == 0) {
+        return Status::FailedPrecondition(
+            "no spam candidates cleared the seed thresholds");
+      }
+      break;  // Keep the previous round's combination.
+    }
+    std::vector<NodeId> spam_core;
+    spam_core.reserve(candidates.size());
+    for (const auto& c : candidates) spam_core.push_back(c.node);
+
+    auto from_spam =
+        EstimateSpamMassFromSpamCore(graph, spam_core, options.mass);
+    if (!from_spam.ok()) return from_spam.status();
+
+    result.spam_core = std::move(spam_core);
+    result.from_spam_core = std::move(from_spam.value());
+    result.combined = CombineEstimates(result.from_good_core,
+                                       result.from_spam_core,
+                                       options.combine_weight);
+    detection_basis = &result.combined;
+  }
+  return result;
+}
+
+}  // namespace spammass::core

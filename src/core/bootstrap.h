@@ -1,0 +1,58 @@
+// Spam-core bootstrapping. Section 3.4 notes that when a spam core Ṽ⁻ is
+// available alongside the good core, the mass estimates can be combined,
+// e.g. by averaging M̃ (from Ṽ⁺) with M̂ = PR(v^Ṽ⁻). A search engine rarely
+// starts with a black-list — but the detector itself produces one: run
+// Algorithm 2, take the high-confidence candidates as Ṽ⁻, re-estimate, and
+// combine. This module implements that loop (a natural extension the paper
+// leaves open), optionally iterating it.
+
+#ifndef SPAMMASS_CORE_BOOTSTRAP_H_
+#define SPAMMASS_CORE_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "core/detector.h"
+#include "core/spam_mass.h"
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass::core {
+
+/// Configuration for the bootstrap loop.
+struct BootstrapOptions {
+  /// Mass estimation settings (solver, γ, scaling).
+  SpamMassOptions mass;
+  /// Thresholds used to harvest the spam core from the detector. Keep τ
+  /// high: false positives planted into Ṽ⁻ are poison.
+  DetectorConfig seed_detector;
+  /// Weight of the good-core estimate in the combination (Section 3.4
+  /// suggests the plain average, 0.5).
+  double combine_weight = 0.5;
+  /// Number of detect → re-estimate rounds (1 = single bootstrap).
+  int rounds = 1;
+};
+
+/// Result of bootstrapping.
+struct BootstrapResult {
+  /// Estimates from the good core alone (round 0 input).
+  MassEstimates from_good_core;
+  /// Estimates from the harvested spam core (final round).
+  MassEstimates from_spam_core;
+  /// Combined estimates (final round).
+  MassEstimates combined;
+  /// The harvested spam core Ṽ⁻ of the final round.
+  std::vector<graph::NodeId> spam_core;
+};
+
+/// Runs the bootstrap: estimate from `good_core`, detect spam candidates,
+/// use them as Ṽ⁻, combine per Section 3.4, and optionally repeat the
+/// detect/combine step on the combined estimates. Fails if no candidates
+/// clear the seed thresholds in the first round.
+util::Result<BootstrapResult> BootstrapSpamCore(
+    const graph::WebGraph& graph,
+    const std::vector<graph::NodeId>& good_core,
+    const BootstrapOptions& options);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_BOOTSTRAP_H_

@@ -1,0 +1,91 @@
+#include "core/degree_outlier.h"
+
+#include <cmath>
+
+#include "graph/graph_stats.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using graph::WebGraph;
+
+namespace {
+
+/// Least-squares line fit of log(count) against log(degree) over non-empty
+/// buckets with degree >= min_degree. Returns {intercept a, slope b} so that
+/// expected(d) = exp(a) * d^b; ok == false with fewer than 3 points.
+struct LogLogFit {
+  double a = 0;
+  double b = 0;
+  bool ok = false;
+};
+
+LogLogFit FitLogLog(const std::vector<uint64_t>& counts, uint32_t min_degree) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (uint32_t d = min_degree; d < counts.size(); ++d) {
+    if (counts[d] == 0) continue;
+    double x = std::log(static_cast<double>(d));
+    double y = std::log(static_cast<double>(counts[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  LogLogFit fit;
+  if (n < 3) return fit;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.b = (n * sxy - sx * sy) / denom;
+  fit.a = (sy - fit.b * sx) / n;
+  fit.ok = true;
+  return fit;
+}
+
+void FlagSpikes(const WebGraph& graph, const std::vector<uint64_t>& counts,
+                bool indegree, const DegreeOutlierConfig& config,
+                DegreeOutlierResult* result) {
+  LogLogFit fit = FitLogLog(counts, config.min_degree);
+  if (!fit.ok) return;
+  std::vector<bool> spiked_degree(counts.size(), false);
+  for (uint32_t d = config.min_degree; d < counts.size(); ++d) {
+    if (counts[d] < config.min_bucket_size) continue;
+    double expected = std::exp(fit.a + fit.b * std::log(static_cast<double>(d)));
+    if (static_cast<double>(counts[d]) >
+        config.overpopulation_factor * expected) {
+      DegreeSpike spike;
+      spike.indegree = indegree;
+      spike.degree = d;
+      spike.observed = counts[d];
+      spike.expected = expected;
+      result->spikes.push_back(spike);
+      spiked_degree[d] = true;
+    }
+  }
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    uint32_t d = indegree ? graph.InDegree(x) : graph.OutDegree(x);
+    if (d < spiked_degree.size() && spiked_degree[d]) {
+      result->suspected[x] = true;
+    }
+  }
+}
+
+}  // namespace
+
+DegreeOutlierResult DetectDegreeOutliers(const WebGraph& graph,
+                                         const DegreeOutlierConfig& config) {
+  DegreeOutlierResult result;
+  result.suspected.assign(graph.num_nodes(), false);
+  if (config.use_indegree) {
+    FlagSpikes(graph, graph::InDegreeDistribution(graph), /*indegree=*/true,
+               config, &result);
+  }
+  if (config.use_outdegree) {
+    FlagSpikes(graph, graph::OutDegreeDistribution(graph), /*indegree=*/false,
+               config, &result);
+  }
+  return result;
+}
+
+}  // namespace spammass::core

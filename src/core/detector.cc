@@ -1,0 +1,55 @@
+#include "core/detector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+
+std::vector<SpamCandidate> DetectSpamCandidates(const MassEstimates& estimates,
+                                                const DetectorConfig& config) {
+  const size_t n = estimates.pagerank.size();
+  CHECK_EQ(n, estimates.relative_mass.size());
+  const double scale =
+      static_cast<double>(n) / (1.0 - estimates.damping);
+  std::vector<SpamCandidate> out;
+  for (size_t x = 0; x < n; ++x) {
+    double scaled_p = estimates.pagerank[x] * scale;
+    if (scaled_p < config.scaled_pagerank_threshold) continue;
+    if (estimates.relative_mass[x] < config.relative_mass_threshold) continue;
+    SpamCandidate cand;
+    cand.node = static_cast<NodeId>(x);
+    cand.scaled_pagerank = scaled_p;
+    cand.relative_mass = estimates.relative_mass[x];
+    cand.scaled_absolute_mass = estimates.absolute_mass[x] * scale;
+    out.push_back(cand);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpamCandidate& a, const SpamCandidate& b) {
+              if (a.relative_mass != b.relative_mass) {
+                return a.relative_mass > b.relative_mass;
+              }
+              if (a.scaled_pagerank != b.scaled_pagerank) {
+                return a.scaled_pagerank > b.scaled_pagerank;
+              }
+              return a.node < b.node;
+            });
+  return out;
+}
+
+std::vector<NodeId> PageRankFilteredNodes(const MassEstimates& estimates,
+                                          double scaled_threshold) {
+  const size_t n = estimates.pagerank.size();
+  const double scale = static_cast<double>(n) / (1.0 - estimates.damping);
+  std::vector<NodeId> out;
+  for (size_t x = 0; x < n; ++x) {
+    if (estimates.pagerank[x] * scale >= scaled_threshold) {
+      out.push_back(static_cast<NodeId>(x));
+    }
+  }
+  return out;
+}
+
+}  // namespace spammass::core

@@ -1,0 +1,50 @@
+// Mass-based spam detection — Algorithm 2 of the paper (Section 3.6).
+// Nodes with scaled PageRank at least ρ and estimated relative mass at
+// least τ are labeled spam candidates.
+
+#ifndef SPAMMASS_CORE_DETECTOR_H_
+#define SPAMMASS_CORE_DETECTOR_H_
+
+#include <vector>
+
+#include "core/spam_mass.h"
+#include "graph/web_graph.h"
+
+namespace spammass::core {
+
+/// Thresholds for Algorithm 2.
+struct DetectorConfig {
+  /// Relative mass threshold τ; candidates need m̃_x ≥ τ. The paper reports
+  /// ~100% precision at τ = 0.98 on the Yahoo! graph.
+  double relative_mass_threshold = 0.98;
+  /// PageRank threshold ρ, in *scaled* units (n/(1−c) scaling, under which
+  /// a node without inlinks scores 1). The paper uses ρ = 10: nodes below
+  /// it cannot have profited from significant boosting.
+  double scaled_pagerank_threshold = 10.0;
+};
+
+/// One detected spam candidate.
+struct SpamCandidate {
+  graph::NodeId node = graph::kInvalidNode;
+  /// Scaled PageRank p̂_x = p_x · n/(1−c).
+  double scaled_pagerank = 0;
+  /// Estimated relative mass m̃_x.
+  double relative_mass = 0;
+  /// Estimated absolute mass M̃_x, scaled like the PageRank.
+  double scaled_absolute_mass = 0;
+};
+
+/// Runs Algorithm 2 on precomputed mass estimates. Candidates are returned
+/// sorted by relative mass (descending), ties broken by scaled PageRank
+/// (descending) so the most confidently spammy nodes come first.
+std::vector<SpamCandidate> DetectSpamCandidates(const MassEstimates& estimates,
+                                                const DetectorConfig& config);
+
+/// The filtered set T = {x : p̂_x ≥ ρ} that Algorithm 2 restricts attention
+/// to (Section 4.4 builds its evaluation sample from this set).
+std::vector<graph::NodeId> PageRankFilteredNodes(const MassEstimates& estimates,
+                                                 double scaled_threshold);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_DETECTOR_H_

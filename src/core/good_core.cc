@@ -1,0 +1,61 @@
+#include "core/good_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+
+std::vector<NodeId> CoreFromMask(const std::vector<bool>& mask) {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> UnionCores(const std::vector<std::vector<NodeId>>& cores) {
+  std::vector<NodeId> out;
+  for (const auto& core : cores) {
+    out.insert(out.end(), core.begin(), core.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> SubsampleCore(const std::vector<NodeId>& core,
+                                  double fraction, util::Rng* rng) {
+  CHECK_GT(fraction, 0.0);
+  CHECK_LE(fraction, 1.0);
+  if (fraction == 1.0 || core.empty()) return core;
+  uint64_t k = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(core.size())));
+  k = std::min<uint64_t>(std::max<uint64_t>(k, 1), core.size());
+  std::vector<uint64_t> idx = util::SampleWithoutReplacement(core.size(), k, rng);
+  std::vector<NodeId> out;
+  out.reserve(idx.size());
+  for (uint64_t i : idx) out.push_back(core[i]);
+  return out;
+}
+
+std::vector<NodeId> FilterCoreByRegion(
+    const std::vector<NodeId>& core,
+    const std::vector<uint32_t>& region_of_node, uint32_t region) {
+  std::vector<NodeId> out;
+  for (NodeId x : core) {
+    CHECK_LT(static_cast<size_t>(x), region_of_node.size());
+    if (region_of_node[x] == region) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<NodeId> ExpandCore(const std::vector<NodeId>& core,
+                               const std::vector<NodeId>& additions) {
+  return UnionCores({core, additions});
+}
+
+}  // namespace spammass::core

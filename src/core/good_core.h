@@ -1,0 +1,43 @@
+// Good-core assembly utilities (Sections 3.4, 4.2, 4.5). The paper builds
+// Ṽ⁺ from a trusted web directory, US governmental hosts and educational
+// hosts worldwide, then studies uniform subsamples (10%, 1%, 0.1%) and a
+// narrow single-country core (.it) to understand how size and breadth of
+// coverage affect detection. These helpers assemble, merge, subsample and
+// regionally filter cores.
+
+#ifndef SPAMMASS_CORE_GOOD_CORE_H_
+#define SPAMMASS_CORE_GOOD_CORE_H_
+
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "util/random.h"
+
+namespace spammass::core {
+
+/// Converts a membership bitmap into a sorted node list.
+std::vector<graph::NodeId> CoreFromMask(const std::vector<bool>& mask);
+
+/// Union of several cores, deduplicated and sorted.
+std::vector<graph::NodeId> UnionCores(
+    const std::vector<std::vector<graph::NodeId>>& cores);
+
+/// Uniform random subsample retaining ceil(fraction · |core|) members
+/// (fraction ∈ (0, 1]); the paper's 10%/1%/0.1% cores (Section 4.5).
+std::vector<graph::NodeId> SubsampleCore(const std::vector<graph::NodeId>& core,
+                                         double fraction, util::Rng* rng);
+
+/// Keeps only core members whose region id matches `region` — the paper's
+/// ".it educational hosts only" narrow-coverage core (Section 4.5).
+std::vector<graph::NodeId> FilterCoreByRegion(
+    const std::vector<graph::NodeId>& core,
+    const std::vector<uint32_t>& region_of_node, uint32_t region);
+
+/// Adds `additions` to a core (dedup + sort) — the Section 4.4.2 anomaly
+/// fix, where 12 Alibaba hub hosts are appended to the core.
+std::vector<graph::NodeId> ExpandCore(const std::vector<graph::NodeId>& core,
+                                      const std::vector<graph::NodeId>& additions);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_GOOD_CORE_H_

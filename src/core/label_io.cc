@@ -1,0 +1,103 @@
+#include "core/label_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using util::Result;
+using util::Status;
+
+util::Status WriteLabels(const LabelStore& labels, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  for (NodeId x = 0; x < labels.num_nodes(); ++x) {
+    f << x << '\t' << NodeLabelToString(labels.Get(x)) << '\n';
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<LabelStore> ReadLabels(const std::string& path,
+                                    uint32_t num_nodes) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open: " + path);
+  LabelStore labels(num_nodes);
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    std::string_view sv = util::Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = util::SplitWhitespace(sv);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected '<id> <label>'");
+    }
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(fields[0].c_str(), &end, 10);
+    if (*end != '\0' || id >= num_nodes) {
+      return Status::OutOfRange(path + ":" + std::to_string(lineno) +
+                                ": bad node id '" + fields[0] + "'");
+    }
+    NodeLabel label;
+    if (fields[1] == "good") {
+      label = NodeLabel::kGood;
+    } else if (fields[1] == "spam") {
+      label = NodeLabel::kSpam;
+    } else if (fields[1] == "unknown") {
+      label = NodeLabel::kUnknown;
+    } else if (fields[1] == "non-existent") {
+      label = NodeLabel::kNonExistent;
+    } else {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": unknown label '" + fields[1] + "'");
+    }
+    labels.Set(static_cast<NodeId>(id), label);
+  }
+  return labels;
+}
+
+util::Status WriteNodeList(const std::vector<NodeId>& nodes,
+                           const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  for (NodeId x : nodes) f << x << '\n';
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<std::vector<NodeId>> ReadNodeList(const std::string& path,
+                                               uint32_t num_nodes) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open: " + path);
+  std::vector<NodeId> nodes;
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    std::string_view sv = util::Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::string token(sv);
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad node id '" + token + "'");
+    }
+    if (id >= num_nodes) {
+      return Status::OutOfRange(path + ":" + std::to_string(lineno) +
+                                ": node id out of range");
+    }
+    nodes.push_back(static_cast<NodeId>(id));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace spammass::core

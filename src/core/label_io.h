@@ -1,0 +1,35 @@
+// Label-set persistence: "<node-id>\t<label>" lines ("good", "spam",
+// "unknown", "non-existent"). Used by the CLI to ship ground truth and
+// white-lists alongside edge-list graphs.
+
+#ifndef SPAMMASS_CORE_LABEL_IO_H_
+#define SPAMMASS_CORE_LABEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/labels.h"
+#include "util/status.h"
+
+namespace spammass::core {
+
+/// Writes every node's label.
+util::Status WriteLabels(const LabelStore& labels, const std::string& path);
+
+/// Reads labels for a graph of `num_nodes` nodes. Unlisted nodes stay
+/// kGood; malformed lines, unknown label names and out-of-range ids fail.
+util::Result<LabelStore> ReadLabels(const std::string& path,
+                                    uint32_t num_nodes);
+
+/// Writes a node-id list (one per line) — a core file.
+util::Status WriteNodeList(const std::vector<graph::NodeId>& nodes,
+                           const std::string& path);
+
+/// Reads a node-id list; ids must be < num_nodes. Duplicates collapse,
+/// output is sorted.
+util::Result<std::vector<graph::NodeId>> ReadNodeList(const std::string& path,
+                                                      uint32_t num_nodes);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_LABEL_IO_H_

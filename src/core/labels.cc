@@ -1,0 +1,40 @@
+#include "core/labels.h"
+
+namespace spammass::core {
+
+const char* NodeLabelToString(NodeLabel label) {
+  switch (label) {
+    case NodeLabel::kGood:
+      return "good";
+    case NodeLabel::kSpam:
+      return "spam";
+    case NodeLabel::kUnknown:
+      return "unknown";
+    case NodeLabel::kNonExistent:
+      return "non-existent";
+  }
+  return "?";
+}
+
+std::vector<graph::NodeId> LabelStore::NodesWithLabel(NodeLabel label) const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId x = 0; x < num_nodes(); ++x) {
+    if (labels_[x] == label) out.push_back(x);
+  }
+  return out;
+}
+
+uint64_t LabelStore::CountLabel(NodeLabel label) const {
+  uint64_t count = 0;
+  for (NodeLabel l : labels_) {
+    if (l == label) ++count;
+  }
+  return count;
+}
+
+double LabelStore::GoodFraction() const {
+  if (labels_.empty()) return 0;
+  return static_cast<double>(CountLabel(NodeLabel::kGood)) / labels_.size();
+}
+
+}  // namespace spammass::core

@@ -1,0 +1,67 @@
+// Node labels. The theory of Section 3 assumes a conceptual partition of
+// the web into reputable nodes V⁺ and spam nodes V⁻; the evaluation of
+// Section 4 additionally runs into hosts that judges could not classify
+// ("unknown") or could not even fetch ("non-existent"). LabelStore carries
+// all four states and is used both as synthetic ground truth and as the
+// result of (simulated) manual judging.
+
+#ifndef SPAMMASS_CORE_LABELS_H_
+#define SPAMMASS_CORE_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::core {
+
+/// Classification of one node.
+enum class NodeLabel : uint8_t {
+  kGood = 0,
+  kSpam = 1,
+  kUnknown = 2,
+  kNonExistent = 3,
+};
+
+const char* NodeLabelToString(NodeLabel label);
+
+/// Dense label assignment for every node of a graph.
+class LabelStore {
+ public:
+  LabelStore() = default;
+  /// All nodes start kGood.
+  explicit LabelStore(uint32_t num_nodes)
+      : labels_(num_nodes, NodeLabel::kGood) {}
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(labels_.size()); }
+
+  NodeLabel Get(graph::NodeId x) const { return labels_[x]; }
+  void Set(graph::NodeId x, NodeLabel label) { labels_[x] = label; }
+
+  bool IsGood(graph::NodeId x) const { return labels_[x] == NodeLabel::kGood; }
+  bool IsSpam(graph::NodeId x) const { return labels_[x] == NodeLabel::kSpam; }
+
+  /// All nodes with the given label, ascending.
+  std::vector<graph::NodeId> NodesWithLabel(NodeLabel label) const;
+
+  /// Members of V⁺ (good) and V⁻ (spam).
+  std::vector<graph::NodeId> GoodNodes() const {
+    return NodesWithLabel(NodeLabel::kGood);
+  }
+  std::vector<graph::NodeId> SpamNodes() const {
+    return NodesWithLabel(NodeLabel::kSpam);
+  }
+
+  uint64_t CountLabel(NodeLabel label) const;
+
+  /// Fraction of nodes labeled good — the γ of Section 3.5 when the store is
+  /// ground truth (or a judged uniform sample of the web).
+  double GoodFraction() const;
+
+ private:
+  std::vector<NodeLabel> labels_;
+};
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_LABELS_H_

@@ -1,0 +1,91 @@
+#include "core/naive_schemes.h"
+
+#include "pagerank/contribution.h"
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using graph::WebGraph;
+using util::Result;
+using util::Status;
+
+bool FirstLabelingScheme(const WebGraph& graph, const LabelStore& labels,
+                         NodeId x) {
+  CHECK_LT(x, graph.num_nodes());
+  uint32_t spam = 0, total = 0;
+  for (NodeId y : graph.InNeighbors(x)) {
+    NodeLabel l = labels.Get(y);
+    if (l == NodeLabel::kUnknown || l == NodeLabel::kNonExistent) continue;
+    ++total;
+    if (l == NodeLabel::kSpam) ++spam;
+  }
+  return total > 0 && 2 * spam > total;
+}
+
+Result<bool> SecondLabelingScheme(const WebGraph& graph,
+                                  const LabelStore& labels, NodeId x,
+                                  const pagerank::SolverOptions& solver,
+                                  LinkContributionMode mode) {
+  if (x >= graph.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  double spam_contribution = 0, good_contribution = 0;
+  if (mode == LinkContributionMode::kExact) {
+    for (NodeId y : graph.InNeighbors(x)) {
+      auto contrib = pagerank::LinkContribution(graph, y, x, solver);
+      if (!contrib.ok()) return contrib.status();
+      if (labels.IsSpam(y)) {
+        spam_contribution += contrib.value();
+      } else if (labels.IsGood(y)) {
+        good_contribution += contrib.value();
+      }
+    }
+  } else {
+    auto pr = pagerank::ComputeUniformPageRank(graph, solver);
+    if (!pr.ok()) return pr.status();
+    const std::vector<double>& p = pr.value().scores;
+    for (NodeId y : graph.InNeighbors(x)) {
+      double contrib = solver.damping * p[y] / graph.OutDegree(y);
+      if (labels.IsSpam(y)) {
+        spam_contribution += contrib;
+      } else if (labels.IsGood(y)) {
+        good_contribution += contrib;
+      }
+    }
+  }
+  return spam_contribution > good_contribution;
+}
+
+std::vector<bool> FirstLabelingSchemeAll(const WebGraph& graph,
+                                         const LabelStore& labels) {
+  std::vector<bool> out(graph.num_nodes(), false);
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    out[x] = FirstLabelingScheme(graph, labels, x);
+  }
+  return out;
+}
+
+Result<std::vector<bool>> SecondLabelingSchemeAll(
+    const WebGraph& graph, const LabelStore& labels,
+    const pagerank::SolverOptions& solver) {
+  auto pr = pagerank::ComputeUniformPageRank(graph, solver);
+  if (!pr.ok()) return pr.status();
+  const std::vector<double>& p = pr.value().scores;
+  std::vector<bool> out(graph.num_nodes(), false);
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    double spam_contribution = 0, good_contribution = 0;
+    for (NodeId y : graph.InNeighbors(x)) {
+      double contrib = solver.damping * p[y] / graph.OutDegree(y);
+      if (labels.IsSpam(y)) {
+        spam_contribution += contrib;
+      } else if (labels.IsGood(y)) {
+        good_contribution += contrib;
+      }
+    }
+    out[x] = spam_contribution > good_contribution;
+  }
+  return out;
+}
+
+}  // namespace spammass::core

@@ -1,0 +1,59 @@
+// The two naive labeling schemes of Section 3.1, implemented as baselines.
+// Both assume oracle knowledge of the in-neighbors' labels and fail in
+// documented ways (Figures 1 and 2), which the tests reproduce:
+//   * Scheme 1 labels x spam iff the majority of its inlinks come from spam
+//     in-neighbors — it ignores how much PageRank each link carries.
+//   * Scheme 2 weighs each inlink by its PageRank contribution (the change
+//     in p_x if the link were removed) — it still ignores nodes that
+//     influence x only indirectly.
+
+#ifndef SPAMMASS_CORE_NAIVE_SCHEMES_H_
+#define SPAMMASS_CORE_NAIVE_SCHEMES_H_
+
+#include <vector>
+
+#include "core/labels.h"
+#include "graph/web_graph.h"
+#include "pagerank/solver.h"
+#include "util/status.h"
+
+namespace spammass::core {
+
+/// Scheme 1 on a single node: true (spam) iff strictly more than half of
+/// x's inlinks originate from spam-labeled in-neighbors. Nodes without
+/// inlinks are labeled good.
+bool FirstLabelingScheme(const graph::WebGraph& graph, const LabelStore& labels,
+                         graph::NodeId x);
+
+/// How link contributions are evaluated by scheme 2.
+enum class LinkContributionMode {
+  /// Exact per the paper: remove the link, recompute PageRank, take the
+  /// difference. O(PageRank) per inlink; small graphs only.
+  kExact,
+  /// First-order approximation c·p_from/out(from): the direct mass the link
+  /// hands to its target in one step. Cheap enough for web scale.
+  kFirstOrder,
+};
+
+/// Scheme 2 on a single node: true (spam) iff the summed contribution of
+/// inlinks from spam in-neighbors exceeds that from good in-neighbors.
+/// Unknown/non-existent in-neighbors are ignored.
+util::Result<bool> SecondLabelingScheme(const graph::WebGraph& graph,
+                                        const LabelStore& labels,
+                                        graph::NodeId x,
+                                        const pagerank::SolverOptions& solver,
+                                        LinkContributionMode mode);
+
+/// Applies scheme 1 to every node; out[x] = true means labeled spam.
+std::vector<bool> FirstLabelingSchemeAll(const graph::WebGraph& graph,
+                                         const LabelStore& labels);
+
+/// Applies scheme 2 (first-order mode) to every node, reusing one PageRank
+/// computation.
+util::Result<std::vector<bool>> SecondLabelingSchemeAll(
+    const graph::WebGraph& graph, const LabelStore& labels,
+    const pagerank::SolverOptions& solver);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_NAIVE_SCHEMES_H_

@@ -1,0 +1,155 @@
+#include "core/spam_mass.h"
+
+#include <cmath>
+
+#include "pagerank/contribution.h"
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::JumpVector;
+using pagerank::PageRankResult;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Derives absolute/relative mass from p and a good-contribution estimate.
+void FillFromGoodContribution(const std::vector<double>& p,
+                              const std::vector<double>& good_contribution,
+                              MassEstimates* out) {
+  const size_t n = p.size();
+  out->absolute_mass.resize(n);
+  out->relative_mass.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->absolute_mass[i] = p[i] - good_contribution[i];
+    // p_i >= (1−c)/n > 0 under a strictly positive uniform jump, but guard
+    // against pathological jump vectors anyway.
+    out->relative_mass[i] = p[i] > 0 ? 1.0 - good_contribution[i] / p[i] : 0.0;
+  }
+}
+
+}  // namespace
+
+Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
+                                       const std::vector<NodeId>& good_core,
+                                       const SpamMassOptions& options) {
+  if (good_core.empty()) {
+    return Status::InvalidArgument("good core must not be empty");
+  }
+  for (NodeId x : good_core) {
+    if (x >= graph.num_nodes()) {
+      return Status::InvalidArgument("good-core node id out of range");
+    }
+  }
+  if (!(options.gamma > 0.0) || options.gamma > 1.0) {
+    return Status::InvalidArgument("gamma must lie in (0, 1]");
+  }
+
+  auto p = pagerank::ComputeUniformPageRank(graph, options.solver);
+  if (!p.ok()) return p.status();
+
+  JumpVector w =
+      options.scale_core_jump
+          ? JumpVector::ScaledCore(graph.num_nodes(), good_core, options.gamma)
+          : JumpVector::Core(graph.num_nodes(), good_core);
+  auto p_prime = pagerank::ComputePageRank(graph, w, options.solver);
+  if (!p_prime.ok()) return p_prime.status();
+
+  MassEstimates est;
+  est.damping = options.solver.damping;
+  est.pagerank = std::move(p.value().scores);
+  est.core_pagerank = std::move(p_prime.value().scores);
+  FillFromGoodContribution(est.pagerank, est.core_pagerank, &est);
+  return est;
+}
+
+Result<MassEstimates> EstimateSpamMassFromSpamCore(
+    const WebGraph& graph, const std::vector<NodeId>& spam_core,
+    const SpamMassOptions& options) {
+  if (spam_core.empty()) {
+    return Status::InvalidArgument("spam core must not be empty");
+  }
+  for (NodeId x : spam_core) {
+    if (x >= graph.num_nodes()) {
+      return Status::InvalidArgument("spam-core node id out of range");
+    }
+  }
+  auto p = pagerank::ComputeUniformPageRank(graph, options.solver);
+  if (!p.ok()) return p.status();
+  // M̂ = PR(v^Ṽ⁻): the spam contribution is estimated directly.
+  auto m_hat =
+      pagerank::ComputeSetContribution(graph, spam_core, options.solver);
+  if (!m_hat.ok()) return m_hat.status();
+
+  MassEstimates est;
+  est.damping = options.solver.damping;
+  est.pagerank = std::move(p.value().scores);
+  est.absolute_mass = std::move(m_hat.value().scores);
+  const size_t n = est.pagerank.size();
+  est.core_pagerank.resize(n);
+  est.relative_mass.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    est.core_pagerank[i] = est.pagerank[i] - est.absolute_mass[i];
+    est.relative_mass[i] = est.pagerank[i] > 0
+                               ? est.absolute_mass[i] / est.pagerank[i]
+                               : 0.0;
+  }
+  return est;
+}
+
+MassEstimates CombineEstimates(const MassEstimates& from_good_core,
+                               const MassEstimates& from_spam_core,
+                               double weight) {
+  CHECK_GE(weight, 0.0);
+  CHECK_LE(weight, 1.0);
+  CHECK_EQ(from_good_core.pagerank.size(), from_spam_core.pagerank.size());
+  MassEstimates est;
+  est.damping = from_good_core.damping;
+  est.pagerank = from_good_core.pagerank;
+  const size_t n = est.pagerank.size();
+  est.absolute_mass.resize(n);
+  est.core_pagerank.resize(n);
+  est.relative_mass.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    est.absolute_mass[i] = weight * from_good_core.absolute_mass[i] +
+                           (1.0 - weight) * from_spam_core.absolute_mass[i];
+    est.core_pagerank[i] = est.pagerank[i] - est.absolute_mass[i];
+    est.relative_mass[i] = est.pagerank[i] > 0
+                               ? est.absolute_mass[i] / est.pagerank[i]
+                               : 0.0;
+  }
+  return est;
+}
+
+Result<MassEstimates> ComputeActualSpamMass(
+    const WebGraph& graph, const LabelStore& labels,
+    const pagerank::SolverOptions& solver) {
+  if (labels.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument("label store does not match the graph");
+  }
+  auto p = pagerank::ComputeUniformPageRank(graph, solver);
+  if (!p.ok()) return p.status();
+  auto q_spam =
+      pagerank::ComputeSetContribution(graph, labels.SpamNodes(), solver);
+  if (!q_spam.ok()) return q_spam.status();
+
+  MassEstimates actual;
+  actual.damping = solver.damping;
+  actual.pagerank = std::move(p.value().scores);
+  actual.absolute_mass = std::move(q_spam.value().scores);
+  const size_t n = actual.pagerank.size();
+  actual.core_pagerank.resize(n);
+  actual.relative_mass.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    actual.core_pagerank[i] = actual.pagerank[i] - actual.absolute_mass[i];
+    actual.relative_mass[i] = actual.pagerank[i] > 0
+                                  ? actual.absolute_mass[i] / actual.pagerank[i]
+                                  : 0.0;
+  }
+  return actual;
+}
+
+}  // namespace spammass::core

@@ -1,0 +1,92 @@
+#include "core/trustrank.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pagerank/jump_vector.h"
+#include "util/logging.h"
+
+namespace spammass::core {
+
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::JumpVector;
+using util::Result;
+using util::Status;
+
+Result<std::vector<NodeId>> SelectSeedsByInversePageRank(
+    const WebGraph& graph, uint32_t k,
+    const pagerank::SolverOptions& solver) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  WebGraph reversed = graph.Transposed();
+  auto pr = pagerank::ComputeUniformPageRank(reversed, solver);
+  if (!pr.ok()) return pr.status();
+  const std::vector<double>& scores = pr.value().scores;
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  uint32_t take = std::min<uint32_t>(k, graph.num_nodes());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+Result<std::vector<double>> ComputeTrustRank(
+    const WebGraph& graph, const std::vector<NodeId>& seeds,
+    const pagerank::SolverOptions& solver) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("TrustRank needs a non-empty seed set");
+  }
+  for (NodeId s : seeds) {
+    if (s >= graph.num_nodes()) {
+      return Status::InvalidArgument("seed node id out of range");
+    }
+  }
+  // Uniform jump over the seeds with total mass 1.
+  JumpVector v = JumpVector::ScaledCore(graph.num_nodes(), seeds, 1.0);
+  auto pr = pagerank::ComputePageRank(graph, v, solver);
+  if (!pr.ok()) return pr.status();
+  return std::move(pr.value().scores);
+}
+
+Result<TrustRankResult> RunTrustRank(const WebGraph& graph,
+                                     const LabelStore& labels,
+                                     const TrustRankOptions& options) {
+  if (labels.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument("label store does not match the graph");
+  }
+  auto candidates = SelectSeedsByInversePageRank(
+      graph, options.seed_candidates, options.solver);
+  if (!candidates.ok()) return candidates.status();
+
+  TrustRankResult result;
+  for (NodeId s : candidates.value()) {
+    if (!options.filter_seeds_by_oracle || labels.IsGood(s)) {
+      result.seeds.push_back(s);
+    }
+  }
+  if (result.seeds.empty()) {
+    return Status::FailedPrecondition(
+        "oracle rejected every seed candidate; enlarge seed_candidates");
+  }
+  auto trust = ComputeTrustRank(graph, result.seeds, options.solver);
+  if (!trust.ok()) return trust.status();
+  result.trust = std::move(trust.value());
+  return result;
+}
+
+std::vector<NodeId> RankByTrust(const std::vector<double>& trust) {
+  std::vector<NodeId> order(trust.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&trust](NodeId a, NodeId b) {
+    return trust[a] > trust[b];
+  });
+  return order;
+}
+
+}  // namespace spammass::core

@@ -1,0 +1,64 @@
+// TrustRank (Gyöngyi, Garcia-Molina, Pedersen, VLDB 2004) — the paper's
+// predecessor and the natural baseline (Section 5 discusses how spam mass
+// complements it). TrustRank propagates trust from a small, high-quality
+// seed of good pages via a biased PageRank; pages with low trust relative
+// to their PageRank are *demoted*, but — unlike spam mass — spam is never
+// explicitly *detected*.
+
+#ifndef SPAMMASS_CORE_TRUSTRANK_H_
+#define SPAMMASS_CORE_TRUSTRANK_H_
+
+#include <vector>
+
+#include "core/labels.h"
+#include "graph/web_graph.h"
+#include "pagerank/solver.h"
+#include "util/status.h"
+
+namespace spammass::core {
+
+/// TrustRank configuration.
+struct TrustRankOptions {
+  pagerank::SolverOptions solver;
+  /// Size of the seed set selected by inverse PageRank.
+  uint32_t seed_candidates = 50;
+  /// Seeds whose oracle label is not good are discarded (the TrustRank
+  /// paper has a human oracle inspect the candidate seeds).
+  bool filter_seeds_by_oracle = true;
+};
+
+/// Result of a TrustRank computation.
+struct TrustRankResult {
+  /// Seeds that survived oracle filtering (the jump targets).
+  std::vector<graph::NodeId> seeds;
+  /// Trust scores t = PR(v_seed) with ‖v_seed‖ = 1 over the seeds.
+  std::vector<double> trust;
+};
+
+/// Selects seed candidates by inverse PageRank — PageRank on the transposed
+/// graph — so that seeds are pages from which many pages are quickly
+/// reachable. Returns the top `k` nodes (k clamped to n).
+util::Result<std::vector<graph::NodeId>> SelectSeedsByInversePageRank(
+    const graph::WebGraph& graph, uint32_t k,
+    const pagerank::SolverOptions& solver);
+
+/// Computes TrustRank with the given explicit seed set: a biased PageRank
+/// whose random jump is uniform over the seeds with total mass 1.
+util::Result<std::vector<double>> ComputeTrustRank(
+    const graph::WebGraph& graph, const std::vector<graph::NodeId>& seeds,
+    const pagerank::SolverOptions& solver);
+
+/// Full pipeline: inverse-PageRank seed selection, oracle filtering against
+/// `labels`, then trust propagation.
+util::Result<TrustRankResult> RunTrustRank(const graph::WebGraph& graph,
+                                           const LabelStore& labels,
+                                           const TrustRankOptions& options);
+
+/// Demotion-style ranking signal: orders nodes by trust (descending).
+/// Spam-mass detection can be compared against "everything below trust
+/// percentile q is demoted".
+std::vector<graph::NodeId> RankByTrust(const std::vector<double>& trust);
+
+}  // namespace spammass::core
+
+#endif  // SPAMMASS_CORE_TRUSTRANK_H_

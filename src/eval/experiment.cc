@@ -1,0 +1,68 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "core/detector.h"
+#include "util/logging.h"
+
+namespace spammass::eval {
+
+using util::Result;
+using util::Rng;
+using util::Status;
+
+Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
+  PipelineResult result;
+
+  auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(options.scale,
+                                                         options.seed));
+  if (!web.ok()) return web.status();
+  result.web = std::move(web.value());
+
+  result.good_core = result.web.AssembledGoodCore();
+  if (result.good_core.empty()) {
+    return Status::FailedPrecondition("scenario produced an empty good core");
+  }
+
+  // Independent RNG streams for judging vs. generation.
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  core::SpamMassOptions mass_options = options.mass;
+  if (options.estimate_gamma_from_sample) {
+    mass_options.gamma = EstimateGoodFraction(
+        result.web.labels, options.gamma_sample_size, &rng);
+    // Clamp away from 0/1 — a degenerate judged sample must not produce an
+    // invalid jump scaling.
+    mass_options.gamma = std::min(std::max(mass_options.gamma, 0.05), 1.0);
+  }
+  result.gamma_used = mass_options.gamma;
+
+  auto estimates =
+      core::EstimateSpamMass(result.web.graph, result.good_core, mass_options);
+  if (!estimates.ok()) return estimates.status();
+  result.estimates = std::move(estimates.value());
+
+  result.filtered =
+      core::PageRankFilteredNodes(result.estimates, options.scaled_rho);
+  result.sample = DrawEvaluationSample(
+      result.web, result.estimates, result.filtered, options.sample_size,
+      options.unknown_fraction, options.nonexistent_fraction, &rng);
+  return result;
+}
+
+Result<EvaluationSample> ReestimateWithCore(
+    const PipelineResult& base, const std::vector<graph::NodeId>& core,
+    const PipelineOptions& options, core::MassEstimates* estimates_out) {
+  core::SpamMassOptions mass_options = options.mass;
+  mass_options.gamma = base.gamma_used;
+  auto estimates =
+      core::EstimateSpamMass(base.web.graph, core, mass_options);
+  if (!estimates.ok()) return estimates.status();
+  EvaluationSample sample = WithEstimates(base.sample, estimates.value());
+  if (estimates_out != nullptr) {
+    *estimates_out = std::move(estimates.value());
+  }
+  return sample;
+}
+
+}  // namespace spammass::eval

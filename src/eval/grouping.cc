@@ -1,0 +1,65 @@
+#include "eval/grouping.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace spammass::eval {
+
+using core::NodeLabel;
+
+std::vector<SampleGroup> SplitIntoGroups(const EvaluationSample& sample,
+                                         uint32_t num_groups) {
+  CHECK_GE(num_groups, 1u);
+  CHECK(!sample.hosts.empty());
+  std::vector<JudgedHost> sorted = sample.hosts;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JudgedHost& a, const JudgedHost& b) {
+              return a.relative_mass < b.relative_mass;
+            });
+  num_groups = std::min<uint32_t>(num_groups,
+                                  static_cast<uint32_t>(sorted.size()));
+  const uint64_t total = sorted.size();
+  const uint64_t base = total / num_groups;
+  const uint64_t remainder = total % num_groups;
+
+  std::vector<SampleGroup> groups;
+  uint64_t pos = 0;
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    uint64_t count = base + (g < remainder ? 1 : 0);
+    SampleGroup group;
+    group.size = static_cast<uint32_t>(count);
+    group.smallest_mass = sorted[pos].relative_mass;
+    group.largest_mass = sorted[pos + count - 1].relative_mass;
+    for (uint64_t i = pos; i < pos + count; ++i) {
+      const JudgedHost& h = sorted[i];
+      if (h.Excluded()) {
+        group.excluded++;
+      } else if (h.judged == NodeLabel::kSpam) {
+        group.spam++;
+      } else if (h.anomalous) {
+        group.anomalous++;
+      } else {
+        group.good++;
+      }
+    }
+    groups.push_back(group);
+    pos += count;
+  }
+  return groups;
+}
+
+std::vector<double> ThresholdsFromGroups(
+    const std::vector<SampleGroup>& groups) {
+  std::vector<double> thresholds;
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    if (it->smallest_mass >= 0 &&
+        (thresholds.empty() || it->smallest_mass < thresholds.back())) {
+      thresholds.push_back(it->smallest_mass);
+    }
+  }
+  if (thresholds.empty() || thresholds.back() > 0) thresholds.push_back(0.0);
+  return thresholds;
+}
+
+}  // namespace spammass::eval

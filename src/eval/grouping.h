@@ -1,0 +1,54 @@
+// Relative-mass sample grouping (Table 2 / Figure 3). The paper sorts the
+// judged sample by estimated relative mass and splits it into 20 groups of
+// roughly equal size, then reports each group's mass range (Table 2) and
+// good/spam/anomalous composition (Figure 3).
+
+#ifndef SPAMMASS_EVAL_GROUPING_H_
+#define SPAMMASS_EVAL_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/sampling.h"
+
+namespace spammass::eval {
+
+/// One sample group (ascending mass order: group 1 holds the most negative
+/// estimates, group `num_groups` the ones closest to 1).
+struct SampleGroup {
+  /// Smallest and largest relative mass estimate in the group (Table 2's
+  /// two threshold rows).
+  double smallest_mass = 0;
+  double largest_mass = 0;
+  /// All sample hosts assigned to the group.
+  uint32_t size = 0;
+  /// Composition after discarding unknown / non-existent hosts (Figure 3).
+  uint32_t good = 0;       // good, not anomaly-attributed
+  uint32_t spam = 0;
+  uint32_t anomalous = 0;  // good hosts attributed to core anomalies
+  uint32_t excluded = 0;   // unknown + non-existent
+
+  uint32_t EvaluatedSize() const { return good + spam + anomalous; }
+  /// Fraction of spam among evaluated hosts (the percentage printed on the
+  /// bars of Figure 3).
+  double SpamFraction() const {
+    uint32_t n = EvaluatedSize();
+    return n ? static_cast<double>(spam) / n : 0.0;
+  }
+};
+
+/// Sorts the sample ascending by relative mass and splits into
+/// `num_groups` groups of near-equal size (remainders spread over the
+/// leading groups). Requires a non-empty sample and num_groups >= 1.
+std::vector<SampleGroup> SplitIntoGroups(const EvaluationSample& sample,
+                                         uint32_t num_groups);
+
+/// Threshold grid for the precision curve: the smallest relative mass of
+/// each group with non-negative lower bound, descending (the paper derives
+/// its Figure 4 thresholds "from the sample group boundaries"), with 0
+/// appended as the final threshold.
+std::vector<double> ThresholdsFromGroups(const std::vector<SampleGroup>& groups);
+
+}  // namespace spammass::eval
+
+#endif  // SPAMMASS_EVAL_GROUPING_H_

@@ -1,0 +1,42 @@
+#include "eval/mass_distribution.h"
+
+#include <algorithm>
+
+namespace spammass::eval {
+
+MassDistribution ComputeMassDistribution(const core::MassEstimates& estimates,
+                                         double bin_ratio,
+                                         double min_abs_mass) {
+  MassDistribution dist;
+  const size_t n = estimates.absolute_mass.size();
+  const double scale = static_cast<double>(n) / (1.0 - estimates.damping);
+
+  util::LogHistogram negative(min_abs_mass, bin_ratio);
+  util::LogHistogram positive(min_abs_mass, bin_ratio);
+  std::vector<double> positive_masses;
+  dist.min_scaled_mass = n ? estimates.absolute_mass[0] * scale : 0;
+  dist.max_scaled_mass = dist.min_scaled_mass;
+  for (size_t i = 0; i < n; ++i) {
+    double m = estimates.absolute_mass[i] * scale;
+    dist.min_scaled_mass = std::min(dist.min_scaled_mass, m);
+    dist.max_scaled_mass = std::max(dist.max_scaled_mass, m);
+    if (m < 0) {
+      negative.Add(-m);
+      dist.num_negative++;
+    } else if (m > 0) {
+      positive.Add(m);
+      positive_masses.push_back(m);
+      dist.num_positive++;
+    }
+  }
+  dist.negative = negative.bins();
+  dist.positive = positive.bins();
+  // The paper fits the positive branch; scan cutoffs for the best KS fit
+  // (the head below a few mass units is not power-law distributed).
+  if (positive_masses.size() >= 10) {
+    dist.positive_fit = util::FitPowerLawAutoXmin(positive_masses);
+  }
+  return dist;
+}
+
+}  // namespace spammass::eval

@@ -1,0 +1,125 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace spammass::eval {
+
+namespace {
+
+/// Sorts descending by score and tallies totals.
+struct Prepared {
+  std::vector<ScoredExample> sorted;
+  uint64_t positives = 0;
+  uint64_t negatives = 0;
+};
+
+Prepared Prepare(const std::vector<ScoredExample>& examples) {
+  Prepared p;
+  p.sorted = examples;
+  std::sort(p.sorted.begin(), p.sorted.end(),
+            [](const ScoredExample& a, const ScoredExample& b) {
+              return a.score > b.score;
+            });
+  for (const auto& e : p.sorted) {
+    if (e.positive) {
+      ++p.positives;
+    } else {
+      ++p.negatives;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<RocPoint> ComputeRoc(const std::vector<ScoredExample>& examples) {
+  Prepared p = Prepare(examples);
+  std::vector<RocPoint> curve;
+  if (p.sorted.empty()) return curve;
+  uint64_t tp = 0, fp = 0;
+  for (size_t i = 0; i < p.sorted.size(); ++i) {
+    if (p.sorted[i].positive) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only at the last example of a tie group, so every
+    // threshold classifies all equal scores identically.
+    if (i + 1 < p.sorted.size() &&
+        p.sorted[i + 1].score == p.sorted[i].score) {
+      continue;
+    }
+    RocPoint point;
+    point.threshold = p.sorted[i].score;
+    point.true_positive_rate =
+        p.positives ? static_cast<double>(tp) / p.positives : 0;
+    point.false_positive_rate =
+        p.negatives ? static_cast<double>(fp) / p.negatives : 0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double ComputeAuc(const std::vector<ScoredExample>& examples) {
+  auto curve = ComputeRoc(examples);
+  if (curve.empty()) return 0.5;
+  double auc = 0;
+  double prev_fpr = 0, prev_tpr = 0;
+  for (const RocPoint& point : curve) {
+    auc += (point.false_positive_rate - prev_fpr) *
+           (point.true_positive_rate + prev_tpr) / 2.0;
+    prev_fpr = point.false_positive_rate;
+    prev_tpr = point.true_positive_rate;
+  }
+  // Close the curve to (1, 1).
+  auc += (1.0 - prev_fpr) * (1.0 + prev_tpr) / 2.0;
+  return auc;
+}
+
+std::vector<PrPoint> ComputePrCurve(const std::vector<ScoredExample>& examples) {
+  Prepared p = Prepare(examples);
+  std::vector<PrPoint> curve;
+  uint64_t tp = 0, flagged = 0;
+  for (size_t i = 0; i < p.sorted.size(); ++i) {
+    ++flagged;
+    if (p.sorted[i].positive) ++tp;
+    if (i + 1 < p.sorted.size() &&
+        p.sorted[i + 1].score == p.sorted[i].score) {
+      continue;
+    }
+    PrPoint point;
+    point.threshold = p.sorted[i].score;
+    point.flagged = flagged;
+    point.precision = static_cast<double>(tp) / flagged;
+    point.recall =
+        p.positives ? static_cast<double>(tp) / p.positives : 0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+PrPoint ThresholdForPrecision(const std::vector<ScoredExample>& examples,
+                              double target_precision) {
+  auto curve = ComputePrCurve(examples);
+  PrPoint best;
+  bool found = false;
+  for (const PrPoint& point : curve) {
+    if (point.precision >= target_precision) {
+      // Curve is ordered by descending threshold = ascending recall, so
+      // the last qualifying point has the largest recall.
+      best = point;
+      found = true;
+    }
+  }
+  if (!found) {
+    for (const PrPoint& point : curve) {
+      if (!found || point.precision > best.precision) {
+        best = point;
+        found = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace spammass::eval

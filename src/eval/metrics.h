@@ -1,0 +1,58 @@
+// Ranking-quality metrics for detector comparison: ROC / AUC,
+// precision-recall curves, and threshold selection. The paper evaluates by
+// precision at chosen thresholds (Figures 4-5); these utilities generalize
+// that to full operating-characteristic curves so detectors with different
+// score scales (relative mass, trust ratio, degree-spike flags) can be
+// compared fairly.
+
+#ifndef SPAMMASS_EVAL_METRICS_H_
+#define SPAMMASS_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spammass::eval {
+
+/// A scored, ground-truth-labeled example (score: higher = more spammy).
+struct ScoredExample {
+  double score = 0;
+  bool positive = false;  // ground truth: is spam
+};
+
+/// One ROC operating point: classify score >= threshold as positive.
+struct RocPoint {
+  double threshold = 0;
+  double true_positive_rate = 0;   // recall
+  double false_positive_rate = 0;
+};
+
+/// Full ROC curve over all distinct thresholds, sorted by descending
+/// threshold (so FPR/TPR ascend along the vector). Requires at least one
+/// positive and one negative example for meaningful rates.
+std::vector<RocPoint> ComputeRoc(const std::vector<ScoredExample>& examples);
+
+/// Area under the ROC curve by trapezoidal integration. Equals the
+/// probability that a random spam example outscores a random good one
+/// (ties counted half). Returns 0.5 for degenerate inputs.
+double ComputeAuc(const std::vector<ScoredExample>& examples);
+
+/// One precision-recall operating point.
+struct PrPoint {
+  double threshold = 0;
+  double precision = 0;
+  double recall = 0;
+  uint64_t flagged = 0;
+};
+
+/// Precision-recall curve over all distinct thresholds, descending.
+std::vector<PrPoint> ComputePrCurve(const std::vector<ScoredExample>& examples);
+
+/// Picks the smallest threshold (= largest recall) whose precision is at
+/// least `target_precision`; returns the corresponding point. Falls back
+/// to the highest-precision point when the target is unattainable.
+PrPoint ThresholdForPrecision(const std::vector<ScoredExample>& examples,
+                              double target_precision);
+
+}  // namespace spammass::eval
+
+#endif  // SPAMMASS_EVAL_METRICS_H_

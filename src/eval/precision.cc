@@ -1,0 +1,51 @@
+#include "eval/precision.h"
+
+#include "util/logging.h"
+
+namespace spammass::eval {
+
+using core::NodeLabel;
+
+std::vector<PrecisionPoint> ComputePrecisionCurve(
+    const EvaluationSample& sample, const std::vector<double>& thresholds,
+    const core::MassEstimates* estimates, std::optional<double> scaled_rho) {
+  std::vector<PrecisionPoint> curve;
+  curve.reserve(thresholds.size());
+  for (double tau : thresholds) {
+    PrecisionPoint point;
+    point.threshold = tau;
+    for (const JudgedHost& h : sample.hosts) {
+      if (h.Excluded() || h.relative_mass < tau) continue;
+      if (h.judged == NodeLabel::kSpam) {
+        point.sample_spam++;
+      } else if (h.anomalous) {
+        point.sample_anomalous++;
+      } else {
+        point.sample_good++;
+      }
+    }
+    uint32_t with = point.sample_spam + point.sample_good +
+                    point.sample_anomalous;
+    uint32_t without = point.sample_spam + point.sample_good;
+    point.precision_including_anomalous =
+        with ? static_cast<double>(point.sample_spam) / with : 0.0;
+    point.precision_excluding_anomalous =
+        without ? static_cast<double>(point.sample_spam) / without : 0.0;
+
+    if (estimates != nullptr && scaled_rho.has_value()) {
+      const size_t n = estimates->pagerank.size();
+      const double scale =
+          static_cast<double>(n) / (1.0 - estimates->damping);
+      for (size_t x = 0; x < n; ++x) {
+        if (estimates->pagerank[x] * scale >= *scaled_rho &&
+            estimates->relative_mass[x] >= tau) {
+          point.hosts_above++;
+        }
+      }
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace spammass::eval

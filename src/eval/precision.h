@@ -1,0 +1,46 @@
+// Precision of the detection algorithm (Figures 4 and 5):
+//     prec(τ) = |{spam sample hosts with m̃ ≥ τ}| /
+//               |{sample hosts with m̃ ≥ τ}|,
+// evaluated over the judged sample (unknown / non-existent hosts excluded).
+// The paper reports two variants: anomalous good hosts counted as false
+// positives ("included") and dropped from the sample ("excluded").
+
+#ifndef SPAMMASS_EVAL_PRECISION_H_
+#define SPAMMASS_EVAL_PRECISION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/spam_mass.h"
+#include "eval/sampling.h"
+
+namespace spammass::eval {
+
+/// One point of the precision curve.
+struct PrecisionPoint {
+  double threshold = 0;  // τ
+  /// Number of hosts in the full filtered set T with m̃ ≥ τ (the counts
+  /// printed along the top of Figure 4). Only filled when full estimates
+  /// are supplied.
+  uint64_t hosts_above = 0;
+  /// Judged sample tallies at or above the threshold.
+  uint32_t sample_spam = 0;
+  uint32_t sample_good = 0;
+  uint32_t sample_anomalous = 0;
+  /// prec(τ) with anomalous hosts as false positives.
+  double precision_including_anomalous = 0;
+  /// prec(τ) with anomalous hosts dropped.
+  double precision_excluding_anomalous = 0;
+};
+
+/// Computes the curve over the given thresholds. When `estimates` and
+/// `scaled_rho` are provided, hosts_above counts nodes with p̂ ≥ ρ and
+/// m̃ ≥ τ in the whole graph.
+std::vector<PrecisionPoint> ComputePrecisionCurve(
+    const EvaluationSample& sample, const std::vector<double>& thresholds,
+    const core::MassEstimates* estimates = nullptr,
+    std::optional<double> scaled_rho = std::nullopt);
+
+}  // namespace spammass::eval
+
+#endif  // SPAMMASS_EVAL_PRECISION_H_

@@ -1,0 +1,88 @@
+#include "eval/sampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace spammass::eval {
+
+using core::MassEstimates;
+using core::NodeLabel;
+using graph::NodeId;
+using util::Rng;
+
+uint64_t EvaluationSample::CountJudged(NodeLabel label) const {
+  uint64_t count = 0;
+  for (const JudgedHost& h : hosts) {
+    if (h.judged == label) ++count;
+  }
+  return count;
+}
+
+EvaluationSample DrawEvaluationSample(const synth::SyntheticWeb& web,
+                                      const MassEstimates& estimates,
+                                      const std::vector<NodeId>& candidates,
+                                      uint64_t sample_size,
+                                      double unknown_fraction,
+                                      double nonexistent_fraction,
+                                      Rng* rng) {
+  CHECK_EQ(estimates.pagerank.size(),
+           static_cast<size_t>(web.graph.num_nodes()));
+  EvaluationSample sample;
+  if (candidates.empty()) return sample;
+  sample_size = std::min<uint64_t>(sample_size, candidates.size());
+  std::vector<uint64_t> idx =
+      util::SampleWithoutReplacement(candidates.size(), sample_size, rng);
+  const double scale = static_cast<double>(estimates.pagerank.size()) /
+                       (1.0 - estimates.damping);
+  for (uint64_t i : idx) {
+    NodeId x = candidates[i];
+    JudgedHost h;
+    h.node = x;
+    h.relative_mass = estimates.relative_mass[x];
+    h.scaled_pagerank = estimates.pagerank[x] * scale;
+    // Simulated judging: the verdict is ground truth except for the
+    // configured unknown / non-existent slices (mirroring the 6.1% East
+    // Asian hosts and 5% dead hosts of Section 4.4.1).
+    double u = rng->Uniform01();
+    if (u < nonexistent_fraction) {
+      h.judged = NodeLabel::kNonExistent;
+    } else if (u < nonexistent_fraction + unknown_fraction) {
+      h.judged = NodeLabel::kUnknown;
+    } else {
+      h.judged = web.labels.Get(x);
+    }
+    h.anomalous = web.IsAnomalousGoodNode(x);
+    sample.hosts.push_back(h);
+  }
+  return sample;
+}
+
+EvaluationSample WithEstimates(const EvaluationSample& sample,
+                               const MassEstimates& estimates) {
+  EvaluationSample out = sample;
+  const double scale = static_cast<double>(estimates.pagerank.size()) /
+                       (1.0 - estimates.damping);
+  for (JudgedHost& h : out.hosts) {
+    CHECK_LT(static_cast<size_t>(h.node), estimates.relative_mass.size());
+    h.relative_mass = estimates.relative_mass[h.node];
+    h.scaled_pagerank = estimates.pagerank[h.node] * scale;
+  }
+  return out;
+}
+
+double EstimateGoodFraction(const core::LabelStore& labels,
+                            uint64_t sample_size, Rng* rng) {
+  CHECK_GT(labels.num_nodes(), 0u);
+  sample_size = std::min<uint64_t>(sample_size, labels.num_nodes());
+  CHECK_GT(sample_size, 0u);
+  std::vector<uint64_t> idx =
+      util::SampleWithoutReplacement(labels.num_nodes(), sample_size, rng);
+  uint64_t good = 0;
+  for (uint64_t i : idx) {
+    if (labels.IsGood(static_cast<NodeId>(i))) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(sample_size);
+}
+
+}  // namespace spammass::eval

@@ -1,0 +1,74 @@
+// Evaluation sampling (Section 4.4.1). The paper draws a uniform random
+// sample T′ of 892 hosts from T = {x : p̂_x ≥ ρ} and judges each manually:
+// 63.2% good, 25.7% spam, 6.1% unknown (East Asian hosts), 5% non-existent.
+// On synthetic data the ground truth is known, so judging is simulated:
+// labels come from the generator, and configurable fractions of the sample
+// are marked unknown / non-existent to reproduce the paper's accounting
+// (both classes are excluded from the analysis).
+
+#ifndef SPAMMASS_EVAL_SAMPLING_H_
+#define SPAMMASS_EVAL_SAMPLING_H_
+
+#include <vector>
+
+#include "core/labels.h"
+#include "core/spam_mass.h"
+#include "graph/web_graph.h"
+#include "synth/generator.h"
+#include "util/random.h"
+
+namespace spammass::eval {
+
+/// One judged sample host.
+struct JudgedHost {
+  graph::NodeId node = graph::kInvalidNode;
+  /// Simulated judge verdict (ground truth, or unknown/non-existent).
+  core::NodeLabel judged = core::NodeLabel::kGood;
+  /// Estimated relative mass m̃ under the evaluation core.
+  double relative_mass = 0;
+  /// Scaled PageRank p̂.
+  double scaled_pagerank = 0;
+  /// True for good hosts whose region is a known core-coverage anomaly
+  /// (the gray bars of Figure 3).
+  bool anomalous = false;
+
+  bool Excluded() const {
+    return judged == core::NodeLabel::kUnknown ||
+           judged == core::NodeLabel::kNonExistent;
+  }
+};
+
+/// A judged evaluation sample.
+struct EvaluationSample {
+  std::vector<JudgedHost> hosts;
+
+  uint64_t CountJudged(core::NodeLabel label) const;
+};
+
+/// Draws `sample_size` hosts uniformly from `candidates` (clamped to the
+/// candidate count), attaches mass estimates, simulates judging with the
+/// given unknown / non-existent fractions, and attributes anomalies via
+/// the generator's region metadata.
+EvaluationSample DrawEvaluationSample(const synth::SyntheticWeb& web,
+                                      const core::MassEstimates& estimates,
+                                      const std::vector<graph::NodeId>& candidates,
+                                      uint64_t sample_size,
+                                      double unknown_fraction,
+                                      double nonexistent_fraction,
+                                      util::Rng* rng);
+
+/// Re-derives each sample host's relative mass from another set of
+/// estimates (e.g. a smaller core), keeping hosts and verdicts fixed — the
+/// Figure 5 methodology ("we used the same evaluation sample T′").
+EvaluationSample WithEstimates(const EvaluationSample& sample,
+                               const core::MassEstimates& estimates);
+
+/// Estimates the good fraction γ of the whole web from a uniform random
+/// sample of `sample_size` nodes judged against ground truth (Section 3.5's
+/// "small uniform random sample of nodes, manually labeled").
+double EstimateGoodFraction(const core::LabelStore& labels,
+                            uint64_t sample_size, util::Rng* rng);
+
+}  // namespace spammass::eval
+
+#endif  // SPAMMASS_EVAL_SAMPLING_H_

@@ -1,0 +1,124 @@
+#include "graph/graph_algorithms.h"
+
+#include <deque>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace spammass::graph {
+
+namespace {
+
+std::vector<bool> Bfs(const WebGraph& graph, const std::vector<NodeId>& seeds,
+                      bool forward) {
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::deque<NodeId> queue;
+  for (NodeId s : seeds) {
+    CHECK_LT(s, graph.num_nodes());
+    if (!visited[s]) {
+      visited[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    auto nbrs = forward ? graph.OutNeighbors(u) : graph.InNeighbors(u);
+    for (NodeId v : nbrs) {
+      if (!visited[v]) {
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+std::vector<bool> ReachableFrom(const WebGraph& graph,
+                                const std::vector<NodeId>& sources) {
+  return Bfs(graph, sources, /*forward=*/true);
+}
+
+std::vector<bool> CanReach(const WebGraph& graph,
+                           const std::vector<NodeId>& targets) {
+  return Bfs(graph, targets, /*forward=*/false);
+}
+
+std::vector<uint32_t> BfsDistances(const WebGraph& graph,
+                                   const std::vector<NodeId>& sources) {
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachableDistance);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    CHECK_LT(s, graph.num_nodes());
+    if (dist[s] == kUnreachableDistance) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (dist[v] == kUnreachableDistance) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> WeaklyConnectedComponents(const WebGraph& graph,
+                                                uint32_t* num_components) {
+  UnionFind uf(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) uf.Union(u, v);
+  }
+  std::vector<uint32_t> component(graph.num_nodes(), 0);
+  std::vector<uint32_t> remap(graph.num_nodes(), kInvalidNode);
+  uint32_t next = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t root = uf.Find(u);
+    if (remap[root] == kInvalidNode) remap[root] = next++;
+    component[u] = remap[root];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return component;
+}
+
+}  // namespace spammass::graph

@@ -1,0 +1,40 @@
+// Graph traversal primitives used by core-coverage diagnostics: which part
+// of the web a good core can reach (and therefore endow with PageRank
+// contribution) is exactly its forward-reachable set, and the isolated
+// communities behind the Figure 3 anomalies show up as weakly connected
+// components disjoint from the core.
+
+#ifndef SPAMMASS_GRAPH_GRAPH_ALGORITHMS_H_
+#define SPAMMASS_GRAPH_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::graph {
+
+/// Multi-source BFS along out-edges; returns a bitmap of reachable nodes
+/// (sources included).
+std::vector<bool> ReachableFrom(const WebGraph& graph,
+                                const std::vector<NodeId>& sources);
+
+/// Multi-source BFS along in-edges: the set of nodes that can reach any
+/// source.
+std::vector<bool> CanReach(const WebGraph& graph,
+                           const std::vector<NodeId>& targets);
+
+/// BFS distance (number of links) from the source set; kUnreachable for
+/// unreached nodes.
+inline constexpr uint32_t kUnreachableDistance = 0xffffffffu;
+std::vector<uint32_t> BfsDistances(const WebGraph& graph,
+                                   const std::vector<NodeId>& sources);
+
+/// Weakly connected components: returns component id per node (dense, in
+/// [0, num_components)) and stores the count in *num_components if non-null.
+std::vector<uint32_t> WeaklyConnectedComponents(const WebGraph& graph,
+                                                uint32_t* num_components);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_GRAPH_ALGORITHMS_H_

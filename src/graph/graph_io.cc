@@ -1,0 +1,198 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace spammass::graph {
+
+using util::Result;
+using util::Status;
+
+util::Status WriteEdgeListText(const WebGraph& graph,
+                               const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  f << "# spammass edge list\n";
+  f << "# nodes: " << graph.num_nodes() << "\n";
+  f << "# edges: " << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      f << u << ' ' << v << '\n';
+    }
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<WebGraph> ReadEdgeListText(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open: " + path);
+  GraphBuilder builder;
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    std::string_view sv = util::Trim(line);
+    if (sv.empty()) continue;
+    if (sv[0] == '#') {
+      // Honor an optional "# nodes: N" header so isolated trailing nodes
+      // survive a round trip.
+      constexpr std::string_view kNodesPrefix = "# nodes:";
+      if (sv.substr(0, kNodesPrefix.size()) == kNodesPrefix) {
+        auto fields = util::SplitWhitespace(sv.substr(kNodesPrefix.size()));
+        if (!fields.empty()) {
+          builder.EnsureNodes(static_cast<NodeId>(
+              std::strtoull(fields[0].c_str(), nullptr, 10)));
+        }
+      }
+      continue;
+    }
+    auto fields = util::SplitWhitespace(sv);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'source target'");
+    }
+    char* end = nullptr;
+    unsigned long long u = std::strtoull(fields[0].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad source id '" + fields[0] + "'");
+    }
+    unsigned long long v = std::strtoull(fields[1].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad target id '" + fields[1] + "'");
+    }
+    if (u >= kInvalidNode || v >= kInvalidNode) {
+      return Status::OutOfRange(path + ":" + std::to_string(lineno) +
+                                ": node id exceeds 32-bit range");
+    }
+    NodeId max_id = static_cast<NodeId>(std::max(u, v));
+    builder.EnsureNodes(max_id + 1);
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.Build();
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'W', 'G'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& f, T* v) {
+  f.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+util::Status WriteBinary(const WebGraph& graph, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  f.write(kMagic, sizeof(kMagic));
+  WritePod(f, kVersion);
+  WritePod(f, static_cast<uint64_t>(graph.num_nodes()));
+  WritePod(f, graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    WritePod(f, static_cast<uint64_t>(graph.OutDegree(u)));
+    for (NodeId v : graph.OutNeighbors(u)) WritePod(f, v);
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<WebGraph> ReadBinary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open: " + path);
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a spammass binary graph");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(f, &version) || version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported version");
+  }
+  uint64_t num_nodes = 0, num_edges = 0;
+  if (!ReadPod(f, &num_nodes) || !ReadPod(f, &num_edges)) {
+    return Status::IoError(path + ": truncated header");
+  }
+  if (num_nodes >= kInvalidNode) {
+    return Status::OutOfRange(path + ": node count exceeds 32-bit range");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    uint64_t deg = 0;
+    if (!ReadPod(f, &deg)) return Status::IoError(path + ": truncated");
+    for (uint64_t i = 0; i < deg; ++i) {
+      NodeId v = 0;
+      if (!ReadPod(f, &v)) return Status::IoError(path + ": truncated");
+      if (v >= num_nodes) {
+        return Status::OutOfRange(path + ": edge target out of range");
+      }
+      edges.emplace_back(static_cast<NodeId>(u), v);
+    }
+  }
+  if (edges.size() != num_edges) {
+    return Status::InvalidArgument(path + ": edge count mismatch");
+  }
+  return WebGraph::FromSortedEdges(static_cast<NodeId>(num_nodes), edges);
+}
+
+util::Status WriteHostNames(const WebGraph& graph, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    f << u << '\t' << graph.HostName(u) << '\n';
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Status ReadHostNames(const std::string& path, WebGraph* graph) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open: " + path);
+  std::vector<std::string> names(graph->num_nodes());
+  std::vector<bool> seen(graph->num_nodes(), false);
+  std::string line;
+  uint64_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected '<id>\\t<host>'");
+    }
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(line.c_str(), &end, 10);
+    if (end != line.c_str() + tab || id >= graph->num_nodes()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad node id");
+    }
+    names[id] = line.substr(tab + 1);
+    seen[id] = true;
+  }
+  for (NodeId u = 0; u < graph->num_nodes(); ++u) {
+    if (!seen[u]) {
+      return Status::InvalidArgument(path + ": missing host name for node " +
+                                     std::to_string(u));
+    }
+  }
+  graph->set_host_names(std::move(names));
+  return Status::OK();
+}
+
+}  // namespace spammass::graph

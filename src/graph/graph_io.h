@@ -1,0 +1,41 @@
+// Graph (de)serialization. Two formats:
+//   * Text edge list — one "source target" pair per line, '#' comments,
+//     interoperable with common web-graph dumps (e.g. WebGraph/SNAP style).
+//   * Binary — little-endian CSR dump with a magic header, for fast reloads
+//     of large synthetic crawls.
+// Host names travel in a companion "<id>\t<host>" text map.
+
+#ifndef SPAMMASS_GRAPH_GRAPH_IO_H_
+#define SPAMMASS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass::graph {
+
+/// Writes "u v" lines (plus a size header comment).
+util::Status WriteEdgeListText(const WebGraph& graph, const std::string& path);
+
+/// Parses an edge list. Lines starting with '#' and blank lines are skipped;
+/// node count is max id + 1 unless a "# nodes: N" header raises it.
+/// Duplicate edges and self-loops in the file are normalized away.
+util::Result<WebGraph> ReadEdgeListText(const std::string& path);
+
+/// Writes the CSR arrays in a binary container (magic "SMWG", version 1).
+util::Status WriteBinary(const WebGraph& graph, const std::string& path);
+
+/// Reads a binary graph written by WriteBinary.
+util::Result<WebGraph> ReadBinary(const std::string& path);
+
+/// Writes "<id>\t<host_name>" lines for every node.
+util::Status WriteHostNames(const WebGraph& graph, const std::string& path);
+
+/// Reads a host-name map written by WriteHostNames and attaches it to
+/// `graph`. Every node must be covered.
+util::Status ReadHostNames(const std::string& path, WebGraph* graph);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_GRAPH_IO_H_

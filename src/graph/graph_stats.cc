@@ -1,0 +1,45 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+namespace spammass::graph {
+
+GraphStats ComputeGraphStats(const WebGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t in = graph.InDegree(u);
+    uint32_t out = graph.OutDegree(u);
+    if (in == 0) s.no_inlinks++;
+    if (out == 0) s.no_outlinks++;
+    if (in == 0 && out == 0) s.isolated++;
+    s.max_indegree = std::max(s.max_indegree, in);
+    s.max_outdegree = std::max(s.max_outdegree, out);
+  }
+  s.mean_indegree =
+      s.num_nodes ? static_cast<double>(s.num_edges) / s.num_nodes : 0;
+  return s;
+}
+
+std::vector<uint64_t> InDegreeDistribution(const WebGraph& graph) {
+  std::vector<uint64_t> counts;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t d = graph.InDegree(u);
+    if (d >= counts.size()) counts.resize(d + 1, 0);
+    counts[d]++;
+  }
+  return counts;
+}
+
+std::vector<uint64_t> OutDegreeDistribution(const WebGraph& graph) {
+  std::vector<uint64_t> counts;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t d = graph.OutDegree(u);
+    if (d >= counts.size()) counts.resize(d + 1, 0);
+    counts[d]++;
+  }
+  return counts;
+}
+
+}  // namespace spammass::graph

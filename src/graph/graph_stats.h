@@ -1,0 +1,49 @@
+// Structural statistics of a web graph. Section 4.1 of the paper
+// characterizes the Yahoo! host graph by the fractions of hosts without
+// inlinks (35%), without outlinks (66.4%) and completely isolated (25.8%);
+// ComputeGraphStats reproduces that table for any graph, and the degree
+// distributions feed the power-law checks of Sections 4.3 and 4.6.
+
+#ifndef SPAMMASS_GRAPH_GRAPH_STATS_H_
+#define SPAMMASS_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::graph {
+
+/// Aggregate structural statistics.
+struct GraphStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t no_inlinks = 0;    // indegree == 0
+  uint64_t no_outlinks = 0;   // outdegree == 0 (dangling)
+  uint64_t isolated = 0;      // both
+  uint32_t max_indegree = 0;
+  uint32_t max_outdegree = 0;
+  double mean_indegree = 0;   // == mean outdegree == edges / nodes
+  double FractionNoInlinks() const {
+    return num_nodes ? static_cast<double>(no_inlinks) / num_nodes : 0;
+  }
+  double FractionNoOutlinks() const {
+    return num_nodes ? static_cast<double>(no_outlinks) / num_nodes : 0;
+  }
+  double FractionIsolated() const {
+    return num_nodes ? static_cast<double>(isolated) / num_nodes : 0;
+  }
+};
+
+/// Single pass over the graph.
+GraphStats ComputeGraphStats(const WebGraph& graph);
+
+/// Returns counts[d] = number of nodes with indegree d (d up to the max).
+std::vector<uint64_t> InDegreeDistribution(const WebGraph& graph);
+
+/// Returns counts[d] = number of nodes with outdegree d.
+std::vector<uint64_t> OutDegreeDistribution(const WebGraph& graph);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,98 @@
+#include "graph/host_normalize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace spammass::graph {
+
+using util::Result;
+using util::Status;
+
+std::string NormalizeHostName(const std::string& host,
+                              const HostNormalizeOptions& options) {
+  std::string out = host;
+  if (options.case_fold) {
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+  }
+  if (options.strip_trailing_dot && !out.empty() && out.back() == '.') {
+    out.pop_back();
+  }
+  if (options.strip_port) {
+    size_t colon = out.rfind(':');
+    if (colon != std::string::npos) {
+      bool digits = colon + 1 < out.size();
+      for (size_t i = colon + 1; i < out.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(out[i]))) {
+          digits = false;
+          break;
+        }
+      }
+      if (digits) out.erase(colon);
+    }
+  }
+  auto strip_prefix = [&out](const std::string& prefix) {
+    // Only fold when a domain of at least two labels remains.
+    if (out.rfind(prefix, 0) == 0 &&
+        out.find('.', prefix.size()) != std::string::npos) {
+      out.erase(0, prefix.size());
+      return true;
+    }
+    return false;
+  };
+  if (options.fold_www) {
+    strip_prefix("www.");
+  }
+  if (options.fold_www_variants && out.rfind("www", 0) == 0) {
+    // "www<digits>." or "www-": find the separator after the www token.
+    size_t i = 3;
+    while (i < out.size() && std::isdigit(static_cast<unsigned char>(out[i]))) {
+      ++i;
+    }
+    if (i < out.size() && (out[i] == '.' || out[i] == '-')) {
+      std::string candidate = out.substr(i + 1);
+      if (candidate.find('.') != std::string::npos) out = candidate;
+    }
+  }
+  return out;
+}
+
+Result<AliasMergeResult> MergeHostAliases(
+    const WebGraph& graph, const HostNormalizeOptions& options) {
+  if (graph.host_names().empty() && graph.num_nodes() > 0) {
+    return Status::FailedPrecondition(
+        "alias merging needs host names on the graph");
+  }
+  AliasMergeResult result;
+  result.to_merged.assign(graph.num_nodes(), kInvalidNode);
+
+  std::unordered_map<std::string, NodeId> canonical;
+  GraphBuilder builder;
+  std::vector<uint64_t> group_sizes;
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    std::string name = NormalizeHostName(graph.HostName(x), options);
+    auto [it, inserted] = canonical.emplace(name, 0);
+    if (inserted) {
+      it->second = builder.AddNode(name);
+      group_sizes.push_back(0);
+    }
+    result.to_merged[x] = it->second;
+    group_sizes[it->second]++;
+  }
+  for (uint64_t size : group_sizes) {
+    if (size > 1) result.merged_groups++;
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      builder.AddEdge(result.to_merged[u], result.to_merged[v]);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace spammass::graph

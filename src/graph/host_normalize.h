@@ -1,0 +1,55 @@
+// Host-name normalization and alias grouping. Section 4.1 of the paper
+// notes that no alias detection was performed ("www-cs.stanford.edu and
+// cs.stanford.edu counted as two separate hosts"); production deployments
+// want the opposite. This module canonicalizes host names (case folding,
+// trailing-dot and port stripping, optional "www." folding) and merges
+// alias nodes of a graph into canonical representatives.
+
+#ifndef SPAMMASS_GRAPH_HOST_NORMALIZE_H_
+#define SPAMMASS_GRAPH_HOST_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass::graph {
+
+/// Normalization behavior.
+struct HostNormalizeOptions {
+  /// Lower-case the entire host name (DNS is case-insensitive).
+  bool case_fold = true;
+  /// Drop a single trailing '.' (absolute DNS form).
+  bool strip_trailing_dot = true;
+  /// Drop an explicit ":port" suffix.
+  bool strip_port = true;
+  /// Fold a leading "www." onto the bare domain ("www.x.com" -> "x.com").
+  bool fold_www = true;
+  /// Additionally fold "www<digits>." and "www-" prefixes (mirror hosts).
+  bool fold_www_variants = false;
+};
+
+/// Canonicalizes one host name.
+std::string NormalizeHostName(const std::string& host,
+                              const HostNormalizeOptions& options);
+
+/// Result of merging aliases.
+struct AliasMergeResult {
+  WebGraph graph;
+  /// to_merged[old_id] = node id in the merged graph.
+  std::vector<NodeId> to_merged;
+  /// Number of alias groups that had more than one member.
+  uint64_t merged_groups = 0;
+};
+
+/// Groups nodes whose normalized host names coincide and collapses each
+/// group into one node (keeping the first member's name, normalized).
+/// Edges are redirected and deduplicated; self-links created by merging
+/// disappear. Requires host names on the graph.
+util::Result<AliasMergeResult> MergeHostAliases(
+    const WebGraph& graph, const HostNormalizeOptions& options);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_HOST_NORMALIZE_H_

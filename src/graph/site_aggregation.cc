@@ -1,0 +1,81 @@
+#include "graph/site_aggregation.h"
+
+#include <array>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace spammass::graph {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Country-code second-level registries under which the third label is the
+/// registrable part ("example.co.uk"). A pragmatic subset of the public
+/// suffix list covering the registries common in host-level crawls.
+constexpr std::array<std::string_view, 22> kSecondLevelSuffixes = {
+    "co.uk",  "org.uk", "ac.uk",  "gov.uk", "com.br", "org.br", "net.br",
+    "com.cn", "org.cn", "net.cn", "com.au", "org.au", "co.jp",  "or.jp",
+    "ac.jp",  "co.kr",  "com.mx", "com.ar", "co.in",  "edu.pl", "com.pl",
+    "org.pl",
+};
+
+bool IsSecondLevelSuffix(std::string_view suffix) {
+  for (std::string_view candidate : kSecondLevelSuffixes) {
+    if (suffix == candidate) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RegisteredDomain(const std::string& host) {
+  // Collect label boundaries from the right.
+  size_t last_dot = host.rfind('.');
+  if (last_dot == std::string::npos) return host;
+  size_t second_dot = last_dot > 0 ? host.rfind('.', last_dot - 1)
+                                   : std::string::npos;
+  if (second_dot == std::string::npos) return host;  // already two labels
+  std::string_view two_label =
+      std::string_view(host).substr(second_dot + 1);
+  size_t third_dot = second_dot > 0 ? host.rfind('.', second_dot - 1)
+                                    : std::string::npos;
+  if (IsSecondLevelSuffix(two_label)) {
+    if (third_dot == std::string::npos) return host;  // e.g. "example.co.uk"
+    return host.substr(third_dot + 1);
+  }
+  return host.substr(second_dot + 1);
+}
+
+Result<SiteAggregationResult> AggregateToSites(const WebGraph& graph) {
+  if (graph.host_names().empty() && graph.num_nodes() > 0) {
+    return Status::FailedPrecondition(
+        "site aggregation needs host names on the graph");
+  }
+  SiteAggregationResult result;
+  result.to_site.assign(graph.num_nodes(), kInvalidNode);
+  std::unordered_map<std::string, NodeId> sites;
+  GraphBuilder builder;
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    std::string domain = RegisteredDomain(graph.HostName(x));
+    auto [it, inserted] = sites.emplace(domain, 0);
+    if (inserted) {
+      it->second = builder.AddNode(domain);
+      result.site_sizes.push_back(0);
+    }
+    result.to_site[x] = it->second;
+    result.site_sizes[it->second]++;
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      builder.AddEdge(result.to_site[u], result.to_site[v]);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace spammass::graph

@@ -1,0 +1,43 @@
+// Site-level aggregation. Section 2.1 of the paper deliberately abstracts
+// the granularity — "nodes may be pages, hosts, or sites" — and the
+// evaluation runs at host level. This module collapses a host graph to the
+// site level: hosts sharing a registered domain ("a.shop.example.com" and
+// "b.example.com" → "example.com") become one node, inter-site links are
+// deduplicated and intra-site links vanish, exactly how the host graph was
+// itself condensed from the page graph (Section 4.1). Spam mass then runs
+// unchanged on the site graph.
+
+#ifndef SPAMMASS_GRAPH_SITE_AGGREGATION_H_
+#define SPAMMASS_GRAPH_SITE_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass::graph {
+
+/// Extracts the registered domain of a host name: the last two labels, or
+/// the last three when the two-label suffix is a country-code second-level
+/// registry ("co.uk", "com.br", "edu.pl", ...). Host names without a dot
+/// are returned unchanged. Comparison is case-insensitive (input should be
+/// normalized first; see host_normalize.h).
+std::string RegisteredDomain(const std::string& host);
+
+/// Result of collapsing a host graph to sites.
+struct SiteAggregationResult {
+  WebGraph graph;
+  /// to_site[host_id] = site node id.
+  std::vector<NodeId> to_site;
+  /// Number of hosts per site node.
+  std::vector<uint32_t> site_sizes;
+};
+
+/// Builds the site graph. Site node names are the registered domains.
+/// Requires host names on the graph.
+util::Result<SiteAggregationResult> AggregateToSites(const WebGraph& graph);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_SITE_AGGREGATION_H_

@@ -1,0 +1,32 @@
+#include "graph/subgraph.h"
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace spammass::graph {
+
+Subgraph InducedSubgraph(const WebGraph& graph,
+                         const std::vector<bool>& keep) {
+  CHECK_EQ(keep.size(), static_cast<size_t>(graph.num_nodes()));
+  Subgraph out;
+  out.to_sub.assign(graph.num_nodes(), kInvalidNode);
+  const bool has_names = !graph.host_names().empty();
+  GraphBuilder builder;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (!keep[u]) continue;
+    NodeId nid = has_names ? builder.AddNode(graph.HostName(u))
+                           : builder.AddNode();
+    out.to_sub[u] = nid;
+    out.to_original.push_back(u);
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (keep[v]) builder.AddEdge(out.to_sub[u], out.to_sub[v]);
+    }
+  }
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace spammass::graph

@@ -1,0 +1,29 @@
+// Induced subgraph extraction, used to slice a synthetic crawl down to a
+// region or component for focused experiments.
+
+#ifndef SPAMMASS_GRAPH_SUBGRAPH_H_
+#define SPAMMASS_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::graph {
+
+/// Result of extracting an induced subgraph.
+struct Subgraph {
+  WebGraph graph;
+  /// to_original[new_id] = id in the parent graph.
+  std::vector<NodeId> to_original;
+  /// to_sub[original_id] = new id, or kInvalidNode when excluded.
+  std::vector<NodeId> to_sub;
+};
+
+/// Keeps exactly the nodes with keep[id] == true and the edges between them.
+/// Node order (and thus the id mapping) follows the original order. Host
+/// names are carried over when present.
+Subgraph InducedSubgraph(const WebGraph& graph, const std::vector<bool>& keep);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_SUBGRAPH_H_

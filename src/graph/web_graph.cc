@@ -1,0 +1,77 @@
+#include "graph/web_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace spammass::graph {
+
+WebGraph WebGraph::FromSortedEdges(
+    NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  WebGraph g;
+  g.num_nodes_ = num_nodes;
+  g.out_offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  g.targets_.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    CHECK_LT(u, num_nodes);
+    CHECK_LT(v, num_nodes);
+    CHECK_NE(u, v) << "self-links are disallowed (Section 2.1)";
+    if (i > 0) {
+      CHECK(edges[i - 1] < edges[i]) << "edges must be sorted and unique";
+    }
+    g.out_offsets_[u + 1]++;
+    g.targets_.push_back(v);
+  }
+  for (size_t i = 1; i < g.out_offsets_.size(); ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+  }
+  g.BuildTranspose();
+  return g;
+}
+
+void WebGraph::BuildTranspose() {
+  in_offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (NodeId v : targets_) in_offsets_[v + 1]++;
+  for (size_t i = 1; i < in_offsets_.size(); ++i) {
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  sources_.assign(targets_.size(), 0);
+  std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      sources_[cursor[v]++] = u;
+    }
+  }
+  // Out-neighbor lists are scanned in ascending source order, so each
+  // in-neighbor list comes out sorted already.
+}
+
+bool WebGraph::HasEdge(NodeId x, NodeId y) const {
+  auto nbrs = OutNeighbors(x);
+  return std::binary_search(nbrs.begin(), nbrs.end(), y);
+}
+
+WebGraph WebGraph::Transposed() const {
+  WebGraph g;
+  g.num_nodes_ = num_nodes_;
+  g.out_offsets_ = in_offsets_;
+  g.targets_ = sources_;
+  g.in_offsets_ = out_offsets_;
+  g.sources_ = targets_;
+  g.host_names_ = host_names_;
+  return g;
+}
+
+void WebGraph::set_host_names(std::vector<std::string> names) {
+  CHECK_EQ(names.size(), static_cast<size_t>(num_nodes_));
+  host_names_ = std::move(names);
+}
+
+std::string WebGraph::HostName(NodeId x) const {
+  CHECK_LT(x, num_nodes_);
+  if (host_names_.empty()) return "node" + std::to_string(x);
+  return host_names_[x];
+}
+
+}  // namespace spammass::graph

@@ -1,0 +1,106 @@
+// Immutable, compact web-graph representation (Section 2.1 of the paper):
+// unweighted directed links between nodes (pages, hosts, or sites), no
+// self-links, at most one link per ordered pair. Stored as CSR in both
+// directions so that PageRank iterations and contribution analyses can scan
+// either out-neighbors or in-neighbors sequentially.
+
+#ifndef SPAMMASS_GRAPH_WEB_GRAPH_H_
+#define SPAMMASS_GRAPH_WEB_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spammass::graph {
+
+/// Node identifier; dense in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Immutable directed graph in compressed-sparse-row form. Construct via
+/// GraphBuilder (which normalizes edges) or FromSortedEdges for trusted
+/// input. Both the forward (out-neighbor) and the transposed (in-neighbor)
+/// adjacency are materialized.
+class WebGraph {
+ public:
+  /// Empty graph.
+  WebGraph() = default;
+
+  WebGraph(const WebGraph&) = delete;
+  WebGraph& operator=(const WebGraph&) = delete;
+  WebGraph(WebGraph&&) = default;
+  WebGraph& operator=(WebGraph&&) = default;
+
+  /// Builds from edges sorted by (source, target) with no duplicates and no
+  /// self-loops; `num_nodes` must exceed every endpoint. Invariants are
+  /// CHECK-enforced (use GraphBuilder for untrusted edge streams).
+  static WebGraph FromSortedEdges(NodeId num_nodes,
+                                  const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return targets_.size(); }
+
+  /// Out-neighbors of x, sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId x) const {
+    return {targets_.data() + out_offsets_[x],
+            targets_.data() + out_offsets_[x + 1]};
+  }
+
+  /// In-neighbors of x, sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId x) const {
+    return {sources_.data() + in_offsets_[x],
+            sources_.data() + in_offsets_[x + 1]};
+  }
+
+  uint32_t OutDegree(NodeId x) const {
+    return static_cast<uint32_t>(out_offsets_[x + 1] - out_offsets_[x]);
+  }
+
+  uint32_t InDegree(NodeId x) const {
+    return static_cast<uint32_t>(in_offsets_[x + 1] - in_offsets_[x]);
+  }
+
+  /// True if the directed edge (x, y) exists; O(log outdeg(x)).
+  bool HasEdge(NodeId x, NodeId y) const;
+
+  /// A node with no outlinks ("dangling" in PageRank terms).
+  bool IsDangling(NodeId x) const { return OutDegree(x) == 0; }
+
+  /// Nodes with neither inlinks nor outlinks.
+  bool IsIsolated(NodeId x) const {
+    return OutDegree(x) == 0 && InDegree(x) == 0;
+  }
+
+  /// Returns the transposed graph (every edge reversed) as a new graph.
+  WebGraph Transposed() const;
+
+  /// Optional per-node host names (empty when unset). When set, the vector
+  /// has exactly num_nodes() entries.
+  const std::vector<std::string>& host_names() const { return host_names_; }
+  void set_host_names(std::vector<std::string> names);
+
+  /// Host name of x, or "node<i>" when names are unset.
+  std::string HostName(NodeId x) const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  // CSR forward: out_offsets_ has num_nodes_+1 entries; targets_ holds the
+  // concatenated sorted out-neighbor lists.
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<NodeId> targets_;
+  // CSR transposed.
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<NodeId> sources_;
+  std::vector<std::string> host_names_;
+
+  void BuildTranspose();
+};
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_WEB_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "pagerank/contribution.h"
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace spammass::pagerank {
+
+using graph::NodeId;
+using graph::WebGraph;
+using util::Result;
+using util::Status;
+
+Result<PageRankResult> ComputeSetContribution(
+    const WebGraph& graph, const std::vector<NodeId>& set,
+    const SolverOptions& options) {
+  if (set.empty()) {
+    // The contribution of the empty set is identically zero.
+    PageRankResult r;
+    r.scores.assign(graph.num_nodes(), 0.0);
+    r.converged = true;
+    return r;
+  }
+  return ComputePageRank(graph, JumpVector::Core(graph.num_nodes(), set),
+                         options);
+}
+
+Result<PageRankResult> ComputeNodeContribution(const WebGraph& graph,
+                                               NodeId x,
+                                               const SolverOptions& options) {
+  if (x >= graph.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  return ComputePageRank(
+      graph,
+      JumpVector::SingleNode(graph.num_nodes(), x, 1.0 / graph.num_nodes()),
+      options);
+}
+
+Result<double> LinkContribution(const WebGraph& graph, NodeId from, NodeId to,
+                                const SolverOptions& options) {
+  if (from >= graph.num_nodes() || to >= graph.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (!graph.HasEdge(from, to)) {
+    return Status::NotFound("no such link");
+  }
+  auto with = ComputeUniformPageRank(graph, options);
+  if (!with.ok()) return with.status();
+
+  // Rebuild the graph without the (from, to) link.
+  graph::GraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (u == from && v == to) continue;
+      builder.AddEdge(u, v);
+    }
+  }
+  WebGraph without_link = builder.Build();
+  auto without = ComputeUniformPageRank(without_link, options);
+  if (!without.ok()) return without.status();
+  return with.value().scores[to] - without.value().scores[to];
+}
+
+}  // namespace spammass::pagerank

@@ -1,0 +1,43 @@
+// PageRank contributions (Section 3.2). Theorem 2 shows that the vector qˣ
+// of contributions of node x to every node equals PR(vˣ), the linear
+// PageRank under the single-node jump vector; by linearity the contribution
+// of any node set U is PR(v^U). These wrappers compute both, and are the
+// machinery behind the actual (ground-truth) spam mass of Definition 1.
+
+#ifndef SPAMMASS_PAGERANK_CONTRIBUTION_H_
+#define SPAMMASS_PAGERANK_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "pagerank/solver.h"
+#include "util/status.h"
+
+namespace spammass::pagerank {
+
+/// Contribution vector q^U = PR(v^U) of the node set U, where the base jump
+/// distribution is the uniform 1/n (matching p = PR(v)): v^U has 1/n on
+/// members of U and 0 elsewhere.
+util::Result<PageRankResult> ComputeSetContribution(
+    const graph::WebGraph& graph, const std::vector<graph::NodeId>& set,
+    const SolverOptions& options);
+
+/// Contribution vector qˣ = PR(vˣ) of a single node x.
+util::Result<PageRankResult> ComputeNodeContribution(
+    const graph::WebGraph& graph, graph::NodeId x,
+    const SolverOptions& options);
+
+/// Link contribution used by the paper's second naive labeling scheme
+/// (Section 3.1): the amount of PageRank that the single link (x, y)
+/// contributes to y, i.e. the drop in p_y if the link were removed. Computed
+/// exactly as c · p_x^{G∖(x,y)} / out(x) where p^{G∖(x,y)} is PageRank on
+/// the graph without the link... — equivalently we recompute PageRank on the
+/// graph with the link removed and take the difference. O(PageRank) per
+/// link; intended for small analyses, not web scale.
+util::Result<double> LinkContribution(const graph::WebGraph& graph,
+                                      graph::NodeId from, graph::NodeId to,
+                                      const SolverOptions& options);
+
+}  // namespace spammass::pagerank
+
+#endif  // SPAMMASS_PAGERANK_CONTRIBUTION_H_

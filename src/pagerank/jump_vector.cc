@@ -1,0 +1,81 @@
+#include "pagerank/jump_vector.h"
+
+#include "util/logging.h"
+
+namespace spammass::pagerank {
+
+JumpVector JumpVector::FromDense(std::vector<double> values) {
+  for (double v : values) CHECK_GE(v, 0.0);
+  return JumpVector(std::move(values));
+}
+
+JumpVector JumpVector::Uniform(uint32_t n) {
+  CHECK_GT(n, 0u);
+  return JumpVector(std::vector<double>(n, 1.0 / n));
+}
+
+JumpVector JumpVector::Core(uint32_t n,
+                            const std::vector<graph::NodeId>& core) {
+  CHECK_GT(n, 0u);
+  std::vector<double> v(n, 0.0);
+  for (graph::NodeId x : core) {
+    CHECK_LT(x, n);
+    v[x] = 1.0 / n;
+  }
+  return JumpVector(std::move(v));
+}
+
+JumpVector JumpVector::ScaledCore(uint32_t n,
+                                  const std::vector<graph::NodeId>& core,
+                                  double gamma) {
+  CHECK_GT(n, 0u);
+  CHECK(!core.empty());
+  CHECK_GT(gamma, 0.0);
+  CHECK_LE(gamma, 1.0);
+  std::vector<double> v(n, 0.0);
+  double weight = gamma / static_cast<double>(core.size());
+  for (graph::NodeId x : core) {
+    CHECK_LT(x, n);
+    v[x] = weight;
+  }
+  return JumpVector(std::move(v));
+}
+
+JumpVector JumpVector::SingleNode(uint32_t n, graph::NodeId x, double weight) {
+  CHECK_GT(n, 0u);
+  CHECK_LT(x, n);
+  CHECK_GE(weight, 0.0);
+  std::vector<double> v(n, 0.0);
+  v[x] = weight;
+  return JumpVector(std::move(v));
+}
+
+double JumpVector::Norm() const {
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+uint64_t JumpVector::NumNonZero() const {
+  uint64_t nz = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++nz;
+  }
+  return nz;
+}
+
+JumpVector JumpVector::Plus(const JumpVector& other) const {
+  CHECK_EQ(n(), other.n());
+  std::vector<double> v(values_);
+  for (uint32_t i = 0; i < other.n(); ++i) v[i] += other.values_[i];
+  return JumpVector(std::move(v));
+}
+
+JumpVector JumpVector::Scaled(double factor) const {
+  CHECK_GE(factor, 0.0);
+  std::vector<double> v(values_);
+  for (double& x : v) x *= factor;
+  return JumpVector(std::move(v));
+}
+
+}  // namespace spammass::pagerank

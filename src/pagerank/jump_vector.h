@@ -1,0 +1,71 @@
+// Random-jump (teleportation) distributions. The paper's method hinges on
+// solving linear PageRank for different jump vectors v:
+//   * the uniform v = (1/n)ⁿ for the regular PageRank p,
+//   * the core-based v^Ṽ⁺ (1/n on good-core members, 0 elsewhere) and its
+//     γ-scaled variant w (Section 3.5) for the good-contribution p′,
+//   * single-node vectors vˣ for PageRank contributions (Theorem 2).
+// Vectors may be unnormalized: 0 < ‖v‖ ≤ 1 (Section 2.2).
+
+#ifndef SPAMMASS_PAGERANK_JUMP_VECTOR_H_
+#define SPAMMASS_PAGERANK_JUMP_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::pagerank {
+
+/// A non-negative jump distribution over the nodes of a graph.
+class JumpVector {
+ public:
+  /// Zero vector of dimension n (useless for PageRank itself; building
+  /// block for combinations).
+  explicit JumpVector(uint32_t n) : values_(n, 0.0) {}
+
+  /// Wraps a dense vector of non-negative weights.
+  static JumpVector FromDense(std::vector<double> values);
+
+  /// Uniform 1/n over all n nodes; ‖v‖ = 1.
+  static JumpVector Uniform(uint32_t n);
+
+  /// Core-based v^U: 1/n on each member of `core`, 0 elsewhere;
+  /// ‖v‖ = |core|/n. (Definition in Section 3.4.)
+  static JumpVector Core(uint32_t n, const std::vector<graph::NodeId>& core);
+
+  /// γ-scaled core vector w: γ/|core| on each member, 0 elsewhere; ‖w‖ = γ.
+  /// (Section 3.5; the paper uses γ = 0.85 on the Yahoo! graph.)
+  static JumpVector ScaledCore(uint32_t n,
+                               const std::vector<graph::NodeId>& core,
+                               double gamma);
+
+  /// Single-node vector vˣ with weight `weight` on x (defaults to 1/n).
+  static JumpVector SingleNode(uint32_t n, graph::NodeId x, double weight);
+
+  uint32_t n() const { return static_cast<uint32_t>(values_.size()); }
+  double operator[](uint32_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// L1 norm (the vector is non-negative).
+  double Norm() const;
+
+  /// Number of nonzero entries.
+  uint64_t NumNonZero() const;
+
+  /// Sum of two jump vectors of equal dimension — PageRank is linear in v
+  /// (Section 2.2), so PR(a + b) = PR(a) + PR(b).
+  JumpVector Plus(const JumpVector& other) const;
+
+  /// Scalar multiple.
+  JumpVector Scaled(double factor) const;
+
+ private:
+  explicit JumpVector(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  std::vector<double> values_;
+};
+
+}  // namespace spammass::pagerank
+
+#endif  // SPAMMASS_PAGERANK_JUMP_VECTOR_H_

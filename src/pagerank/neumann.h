@@ -1,0 +1,31 @@
+// Truncated Neumann-series evaluation of linear PageRank, used as an
+// independent test oracle for the iterative solvers and as a direct
+// implementation of the walk-sum semantics of Section 3.2:
+//   p = (1−c) Σ_k (c·Tᵀ)^k v,
+// where term k aggregates the contributions c^k·π(W)·(1−c)·v_x of all walks
+// W of length k. Truncating after L terms leaves an error of at most
+// c^L · ‖v‖₁ in L1.
+
+#ifndef SPAMMASS_PAGERANK_NEUMANN_H_
+#define SPAMMASS_PAGERANK_NEUMANN_H_
+
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "pagerank/jump_vector.h"
+
+namespace spammass::pagerank {
+
+/// Evaluates the first `num_terms` terms (k = 0 .. num_terms−1) of the
+/// Neumann series for PR(jump) with damping c.
+std::vector<double> NeumannSeries(const graph::WebGraph& graph,
+                                  const JumpVector& jump, double damping,
+                                  int num_terms);
+
+/// Upper bound on the L1 truncation error after `num_terms` terms.
+double NeumannTruncationBound(const JumpVector& jump, double damping,
+                              int num_terms);
+
+}  // namespace spammass::pagerank
+
+#endif  // SPAMMASS_PAGERANK_NEUMANN_H_

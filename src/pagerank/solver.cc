@@ -1,0 +1,261 @@
+#include "pagerank/solver.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace spammass::pagerank {
+
+using graph::NodeId;
+using graph::WebGraph;
+using util::Result;
+using util::Status;
+
+double L1Norm(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += std::abs(x);
+  return sum;
+}
+
+std::vector<double> ScaledScores(const std::vector<double>& scores,
+                                 double damping) {
+  CHECK_GT(damping, 0.0);
+  CHECK_LT(damping, 1.0);
+  double factor = static_cast<double>(scores.size()) / (1.0 - damping);
+  std::vector<double> out(scores);
+  for (double& x : out) x *= factor;
+  return out;
+}
+
+namespace {
+
+/// Sum of scores over dangling nodes.
+double DanglingSum(const WebGraph& graph, const std::vector<double>& p) {
+  double sum = 0;
+  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
+    if (graph.IsDangling(x)) sum += p[x];
+  }
+  return sum;
+}
+
+/// One Jacobi sweep over node range [begin, end): out = c·Tᵀ·p (+ the
+/// dangling redistribution term) + (1−c)·v. Returns the range's L1
+/// difference contribution.
+double JacobiSweepRange(const WebGraph& graph, const JumpVector& jump,
+                        double c, double dangling,
+                        const std::vector<double>& p,
+                        std::vector<double>* out, NodeId begin, NodeId end) {
+  double diff = 0;
+  for (NodeId y = begin; y < end; ++y) {
+    double in_sum = 0;
+    for (NodeId x : graph.InNeighbors(y)) {
+      in_sum += p[x] / graph.OutDegree(x);
+    }
+    double vy = jump[y];
+    double next = c * (in_sum + vy * dangling) + (1.0 - c) * vy;
+    diff += std::abs(next - p[y]);
+    (*out)[y] = next;
+  }
+  return diff;
+}
+
+/// Full-graph Jacobi sweep, optionally sharded over a thread pool.
+double JacobiSweep(const WebGraph& graph, const JumpVector& jump,
+                   const SolverOptions& opt, const std::vector<double>& p,
+                   std::vector<double>* out, util::ThreadPool* pool) {
+  const double c = opt.damping;
+  double dangling = 0;
+  if (opt.dangling == DanglingPolicy::kRedistributeToJump) {
+    dangling = DanglingSum(graph, p);
+  }
+  if (pool == nullptr) {
+    return JacobiSweepRange(graph, jump, c, dangling, p, out, 0,
+                            graph.num_nodes());
+  }
+  std::vector<double> partial(pool->num_threads() + 1, 0.0);
+  std::atomic<size_t> slot{0};
+  pool->ParallelFor(graph.num_nodes(), [&](uint64_t begin, uint64_t end) {
+    size_t my_slot = slot.fetch_add(1);
+    partial[my_slot] = JacobiSweepRange(graph, jump, c, dangling, p, out,
+                                        static_cast<NodeId>(begin),
+                                        static_cast<NodeId>(end));
+  });
+  double diff = 0;
+  for (double d : partial) diff += d;
+  return diff;
+}
+
+PageRankResult SolveJacobi(const WebGraph& graph, const JumpVector& jump,
+                           const SolverOptions& opt) {
+  PageRankResult result;
+  // Algorithm 1: p[0] <- v.
+  result.scores = jump.values();
+  std::vector<double> next(result.scores.size(), 0.0);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (opt.num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(opt.num_threads);
+  }
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    double diff =
+        JacobiSweep(graph, jump, opt, result.scores, &next, pool.get());
+    result.scores.swap(next);
+    result.iterations = i + 1;
+    result.residual = diff;
+    if (opt.track_residuals) result.residual_history.push_back(diff);
+    if (diff < opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+/// Gauss-Seidel / SOR sweeps (omega == 1 is plain Gauss-Seidel).
+PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
+                                const SolverOptions& opt, double omega) {
+  PageRankResult result;
+  result.scores = jump.values();
+  std::vector<double>& p = result.scores;
+  const double c = opt.damping;
+  const bool redistribute =
+      opt.dangling == DanglingPolicy::kRedistributeToJump;
+  double dangling = redistribute ? DanglingSum(graph, p) : 0.0;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    double diff = 0;
+    for (NodeId y = 0; y < graph.num_nodes(); ++y) {
+      double in_sum = 0;
+      for (NodeId x : graph.InNeighbors(y)) {
+        in_sum += p[x] / graph.OutDegree(x);
+      }
+      const double vy = jump[y];
+      double next;
+      if (redistribute) {
+        const bool y_dangling = graph.IsDangling(y);
+        // Exclude y's own (old) dangling contribution and solve the scalar
+        // equation p_y = c·(in_sum + v_y·(D_excl + p_y·[y dangling])) +
+        // (1−c)·v_y for p_y exactly.
+        double d_excl = dangling - (y_dangling ? p[y] : 0.0);
+        double numer = c * (in_sum + vy * d_excl) + (1.0 - c) * vy;
+        if (y_dangling) {
+          double denom = 1.0 - c * vy;
+          next = denom > 0 ? numer / denom : numer;
+          next = (1.0 - omega) * p[y] + omega * next;
+          dangling = d_excl + next;
+        } else {
+          next = (1.0 - omega) * p[y] + omega * numer;
+        }
+      } else {
+        next = (1.0 - omega) * p[y] +
+               omega * (c * in_sum + (1.0 - c) * vy);
+      }
+      diff += std::abs(next - p[y]);
+      p[y] = next;
+    }
+    result.iterations = i + 1;
+    result.residual = diff;
+    if (opt.track_residuals) result.residual_history.push_back(diff);
+    if (diff < opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+/// Power iteration on the stochasticized matrix T″ (Eq. 1). Requires a
+/// normalizable jump vector; the result is the stationary distribution
+/// (‖p‖₁ = 1) of the random walk with teleportation to v/‖v‖.
+PageRankResult SolvePowerIteration(const WebGraph& graph,
+                                   const JumpVector& jump,
+                                   const SolverOptions& opt) {
+  PageRankResult result;
+  const uint32_t n = graph.num_nodes();
+  const double c = opt.damping;
+  // Normalize the jump distribution.
+  std::vector<double> v = jump.values();
+  double vnorm = 0;
+  for (double x : v) vnorm += x;
+  for (double& x : v) x /= vnorm;
+
+  std::vector<double> p(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    double dangling = DanglingSum(graph, p);
+    // ‖p‖ stays 1, so the teleport term is (1−c)·v·1ᵀp = (1−c)·v.
+    double diff = 0;
+    for (NodeId y = 0; y < n; ++y) {
+      double in_sum = 0;
+      for (NodeId x : graph.InNeighbors(y)) {
+        in_sum += p[x] / graph.OutDegree(x);
+      }
+      next[y] = c * (in_sum + v[y] * dangling) + (1.0 - c) * v[y];
+    }
+    // Guard against numerical drift of the norm.
+    double norm = L1Norm(next);
+    for (double& x : next) x /= norm;
+    for (NodeId y = 0; y < n; ++y) diff += std::abs(next[y] - p[y]);
+    p.swap(next);
+    result.iterations = i + 1;
+    result.residual = diff;
+    if (opt.track_residuals) result.residual_history.push_back(diff);
+    if (diff < opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(p);
+  return result;
+}
+
+}  // namespace
+
+Result<PageRankResult> ComputePageRank(const WebGraph& graph,
+                                       const JumpVector& jump,
+                                       const SolverOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("PageRank on an empty graph");
+  }
+  if (jump.n() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "jump vector dimension does not match the graph");
+  }
+  if (!(options.damping > 0.0) || !(options.damping < 1.0)) {
+    return Status::InvalidArgument("damping factor must lie in (0, 1)");
+  }
+  if (options.tolerance < 0.0 || options.max_iterations <= 0) {
+    return Status::InvalidArgument("bad tolerance or iteration cap");
+  }
+  double norm = jump.Norm();
+  if (norm <= 0.0 || norm > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "jump vector norm must satisfy 0 < ||v|| <= 1");
+  }
+  switch (options.method) {
+    case Method::kJacobi:
+      return SolveJacobi(graph, jump, options);
+    case Method::kGaussSeidel:
+      return SolveGaussSeidel(graph, jump, options, /*omega=*/1.0);
+    case Method::kSor:
+      if (!(options.sor_omega > 0.0) || !(options.sor_omega < 2.0)) {
+        return Status::InvalidArgument("sor_omega must lie in (0, 2)");
+      }
+      return SolveGaussSeidel(graph, jump, options, options.sor_omega);
+    case Method::kPowerIteration:
+      return SolvePowerIteration(graph, jump, options);
+  }
+  return Status::Internal("unknown method");
+}
+
+Result<PageRankResult> ComputeUniformPageRank(const WebGraph& graph,
+                                              const SolverOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("PageRank on an empty graph");
+  }
+  return ComputePageRank(graph, JumpVector::Uniform(graph.num_nodes()),
+                         options);
+}
+
+}  // namespace spammass::pagerank

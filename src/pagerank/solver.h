@@ -1,0 +1,95 @@
+// Linear PageRank solvers (Section 2.2 of the paper).
+//
+// The paper adopts the linear-system formulation
+//     (I − cTᵀ) p = (1 − c) v                                   (Eq. 3)
+// with the substochastic transition matrix T (dangling rows are zero), and
+// solves it with the Jacobi method (Algorithm 1). This module implements:
+//   * kJacobi       — Algorithm 1 verbatim,
+//   * kGaussSeidel  — in-place sweeps; typically converges in fewer
+//                     iterations than Jacobi (the paper cites Gauss-Seidel
+//                     as a faster alternative),
+//   * kPowerIteration — the classic eigensystem formulation (Eq. 1) on the
+//                     fully stochasticized matrix T'', for comparison.
+// Dangling handling is selectable: kLeak matches Eq. 3 exactly (dangling
+// PageRank simply dissipates, only rescaling the solution), while
+// kRedistributeToJump adds the d·vᵀ patch of T′ so the solution is the true
+// random-walk stationary distribution.
+
+#ifndef SPAMMASS_PAGERANK_SOLVER_H_
+#define SPAMMASS_PAGERANK_SOLVER_H_
+
+#include <vector>
+
+#include "graph/web_graph.h"
+#include "pagerank/jump_vector.h"
+#include "util/status.h"
+
+namespace spammass::pagerank {
+
+/// Iterative method selection. kSor is successive over-relaxation on the
+/// Gauss-Seidel sweep (ω = 1 degenerates to plain Gauss-Seidel); for
+/// PageRank systems mild over-relaxation (ω ≈ 1.1) typically shaves a few
+/// sweeps, while under-relaxation damps oscillation on near-cyclic graphs.
+enum class Method { kJacobi, kGaussSeidel, kSor, kPowerIteration };
+
+/// What to do with the PageRank that reaches a node without outlinks.
+enum class DanglingPolicy {
+  /// Let it dissipate — the linear system (3) with substochastic T. This is
+  /// the paper's formulation; all paper examples (Table 1) use it.
+  kLeak,
+  /// Re-inject it through the jump distribution (the T′ = T + d·vᵀ patch).
+  kRedistributeToJump,
+};
+
+/// Solver configuration.
+struct SolverOptions {
+  /// Damping factor c; the paper uses 0.85 throughout.
+  double damping = 0.85;
+  /// Convergence: stop when ‖p⁽ⁱ⁾ − p⁽ⁱ⁻¹⁾‖₁ < tolerance.
+  double tolerance = 1e-12;
+  /// Hard iteration cap.
+  int max_iterations = 1000;
+  Method method = Method::kJacobi;
+  DanglingPolicy dangling = DanglingPolicy::kLeak;
+  /// Relaxation factor for kSor; must lie in (0, 2). Ignored otherwise.
+  double sor_omega = 1.1;
+  /// Worker threads for the Jacobi sweep (each output entry depends only
+  /// on the previous iterate, so rows shard cleanly). 1 = serial. Only
+  /// kJacobi parallelizes; the sequential-dependency methods ignore this.
+  uint32_t num_threads = 1;
+  /// When true, PageRankResult::residual_history records the L1 residual of
+  /// every iteration (for convergence studies).
+  bool track_residuals = false;
+};
+
+/// Solution plus convergence diagnostics.
+struct PageRankResult {
+  std::vector<double> scores;
+  int iterations = 0;
+  double residual = 0;
+  bool converged = false;
+  std::vector<double> residual_history;
+};
+
+/// Solves PageRank for the given jump vector. Fails with InvalidArgument on
+/// bad options (damping outside (0,1), empty graph, dimension mismatch, or
+/// power iteration with an unnormalizable zero jump vector).
+util::Result<PageRankResult> ComputePageRank(const graph::WebGraph& graph,
+                                             const JumpVector& jump,
+                                             const SolverOptions& options);
+
+/// Convenience: regular PageRank p = PR(v) with uniform v.
+util::Result<PageRankResult> ComputeUniformPageRank(
+    const graph::WebGraph& graph, const SolverOptions& options);
+
+/// Rescales scores by n/(1−c), the paper's presentation scaling under which
+/// a node with no inlinks has score exactly 1 (Section 3.4).
+std::vector<double> ScaledScores(const std::vector<double>& scores,
+                                 double damping);
+
+/// L1 norm of a score vector.
+double L1Norm(const std::vector<double>& v);
+
+}  // namespace spammass::pagerank
+
+#endif  // SPAMMASS_PAGERANK_SOLVER_H_

@@ -1,0 +1,62 @@
+#include "pagerank/walk_enumeration.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace spammass::pagerank {
+
+using graph::NodeId;
+using graph::WebGraph;
+
+namespace {
+
+void Dfs(const WebGraph& graph, NodeId current, NodeId target,
+         uint32_t remaining, uint64_t max_walks, Walk* walk,
+         std::vector<Walk>* out) {
+  if (walk->nodes.size() > 1 && current == target) {
+    CHECK_LT(out->size(), max_walks) << "walk budget exhausted";
+    out->push_back(*walk);
+    // Walks may pass through the target and return, so do not stop here.
+  }
+  if (remaining == 0) return;
+  uint32_t out_degree = graph.OutDegree(current);
+  if (out_degree == 0) return;
+  double step = 1.0 / out_degree;
+  for (NodeId next : graph.OutNeighbors(current)) {
+    walk->nodes.push_back(next);
+    walk->weight *= step;
+    Dfs(graph, next, target, remaining - 1, max_walks, walk, out);
+    walk->weight /= step;
+    walk->nodes.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Walk> EnumerateWalks(const WebGraph& graph, NodeId x, NodeId y,
+                                 uint32_t max_length, uint64_t max_walks) {
+  CHECK_LT(x, graph.num_nodes());
+  CHECK_LT(y, graph.num_nodes());
+  std::vector<Walk> out;
+  Walk walk;
+  walk.nodes.push_back(x);
+  Dfs(graph, x, y, max_length, max_walks, &walk, &out);
+  return out;
+}
+
+double WalkSumContribution(const WebGraph& graph, NodeId x, NodeId y,
+                           double damping, double vx, uint32_t max_length) {
+  double sum = 0;
+  for (const Walk& walk : EnumerateWalks(graph, x, y, max_length)) {
+    sum += std::pow(damping, walk.length()) * walk.weight;
+  }
+  sum *= (1.0 - damping) * vx;
+  if (x == y) {
+    // The virtual zero-length circuit Z_x of Section 3.2.
+    sum += (1.0 - damping) * vx;
+  }
+  return sum;
+}
+
+}  // namespace spammass::pagerank

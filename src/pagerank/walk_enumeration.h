@@ -1,0 +1,50 @@
+// Exact walk-sum evaluation of PageRank contributions on tiny graphs
+// (Section 3.2 of the paper defines q_y^x as a sum over all walks from x
+// to y of c^|W|·π(W)·(1−c)·v_x). This module enumerates the walks
+// explicitly — up to a length bound, since cyclic graphs have infinitely
+// many — and serves as a third, independent oracle besides the iterative
+// solvers and the Neumann series. Exponential in the worst case; intended
+// for graphs of at most a few dozen nodes in tests.
+
+#ifndef SPAMMASS_PAGERANK_WALK_ENUMERATION_H_
+#define SPAMMASS_PAGERANK_WALK_ENUMERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::pagerank {
+
+/// One enumerated walk with its weight.
+struct Walk {
+  /// Node sequence x = nodes.front() ... y = nodes.back().
+  std::vector<graph::NodeId> nodes;
+  /// π(W) = Π 1/out(x_i) over the walk's non-final nodes.
+  double weight = 1.0;
+
+  uint32_t length() const {
+    return static_cast<uint32_t>(nodes.size() - 1);
+  }
+};
+
+/// Enumerates every walk from x to y of length 1..max_length (the
+/// zero-length virtual circuit of the paper is NOT included; add
+/// (1−c)·v_x for x == y). Exponential; CHECK-fails if more than
+/// `max_walks` would be produced.
+std::vector<Walk> EnumerateWalks(const graph::WebGraph& graph,
+                                 graph::NodeId x, graph::NodeId y,
+                                 uint32_t max_length,
+                                 uint64_t max_walks = 1000000);
+
+/// Contribution of x to y truncated at walks of length ≤ max_length:
+///   q_y^x ≈ Σ_W c^|W|·π(W)·(1−c)·v_x  (+ the virtual circuit for x == y).
+/// Converges to the true contribution as max_length → ∞ (error bounded by
+/// c^{max_length+1}·v_x / (1−c) in the worst case).
+double WalkSumContribution(const graph::WebGraph& graph, graph::NodeId x,
+                           graph::NodeId y, double damping, double vx,
+                           uint32_t max_length);
+
+}  // namespace spammass::pagerank
+
+#endif  // SPAMMASS_PAGERANK_WALK_ENUMERATION_H_

@@ -1,0 +1,79 @@
+// Synthetic host-level web generator — the stand-in for the 2004 Yahoo!
+// host graph (73.3M hosts / 979M edges) the paper evaluates on. See
+// DESIGN.md ("Key data substitution") for the substitution argument; the
+// generated graph matches the structural properties the detection method
+// interacts with: power-law popularity, large dangling/no-inlink/isolated
+// fractions (Section 4.1), regional communities with configurable good-core
+// coverage (the anomalies of Section 4.4.1), spam farms and alliances
+// (Section 2.3), expired-domain spam and isolated good cliques (Section
+// 4.4.3 observations).
+
+#ifndef SPAMMASS_SYNTH_GENERATOR_H_
+#define SPAMMASS_SYNTH_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/labels.h"
+#include "graph/web_graph.h"
+#include "synth/spam_farm.h"
+#include "synth/web_model.h"
+#include "util/status.h"
+
+namespace spammass::synth {
+
+/// A generated web with full ground truth and core-assembly metadata.
+struct SyntheticWeb {
+  graph::WebGraph graph;
+  /// Ground truth: spam targets, boosters and expired-domain hosts are
+  /// kSpam; everything else kGood.
+  core::LabelStore labels;
+
+  /// Region index per node. Real regions come first (indices into
+  /// `config.regions`); two pseudo-regions follow: `clique_region` for
+  /// isolated good cliques and `spam_region` for farm nodes.
+  std::vector<uint32_t> region_of_node;
+  std::vector<std::string> region_names;
+  uint32_t clique_region = 0;
+  uint32_t spam_region = 0;
+
+  /// Host-category flags (good-core eligibility, Section 4.2).
+  std::vector<bool> is_directory;
+  std::vector<bool> is_gov;
+  std::vector<bool> is_edu;
+  /// Core-eligible hosts that actually appear on the lists available for
+  /// core assembly (after per-region coverage filtering).
+  std::vector<bool> listed;
+  /// Regional hub hosts (e.g. the identifiable Alibaba hub hosts).
+  std::vector<bool> is_hub;
+
+  std::vector<FarmInfo> farms;
+  std::vector<graph::NodeId> expired_domain_targets;
+  std::vector<std::vector<graph::NodeId>> isolated_cliques;
+
+  WebModelConfig config;
+
+  /// The good core Ṽ⁺ assembled from the available lists: every `listed`
+  /// host (Section 4.2's directory + gov + edu construction).
+  std::vector<graph::NodeId> AssembledGoodCore() const;
+
+  /// True when the region is a known coverage anomaly: an isolated
+  /// community or a region with core coverage below 50%. Good hosts from
+  /// anomalous regions are the gray bars of Figure 3.
+  bool IsAnomalousRegion(uint32_t region) const;
+
+  /// True for good nodes whose large relative mass is attributable to a
+  /// core-coverage anomaly (region-level attribution).
+  bool IsAnomalousGoodNode(graph::NodeId x) const;
+
+  /// Region index by name, or num regions if absent.
+  uint32_t RegionIndex(const std::string& name) const;
+};
+
+/// Generates a web from the model configuration. Deterministic in
+/// config.seed.
+util::Result<SyntheticWeb> GenerateWeb(const WebModelConfig& config);
+
+}  // namespace spammass::synth
+
+#endif  // SPAMMASS_SYNTH_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "synth/host_name_gen.h"
+
+namespace spammass::synth {
+
+namespace {
+
+constexpr const char* kStems[] = {
+    "alpha",  "breeze", "cedar",  "delta", "ember",  "flint",  "grove",
+    "harbor", "iris",   "jade",   "krill", "lumen",  "maple",  "nectar",
+    "onyx",   "pine",   "quartz", "reef",  "spruce", "tundra", "umber",
+    "vertex", "willow", "xenon",  "yarrow", "zephyr",
+};
+constexpr size_t kNumStems = sizeof(kStems) / sizeof(kStems[0]);
+
+}  // namespace
+
+std::string GenerateHostName(HostCategory category,
+                             const std::string& region_name,
+                             const std::string& tld, uint32_t index,
+                             util::Rng* rng) {
+  const char* stem = kStems[rng->UniformIndex(kNumStems)];
+  const std::string idx = std::to_string(index);
+  switch (category) {
+    case HostCategory::kPlain:
+      // Unique registered domain per host (most sites have one host).
+      return "www." + std::string(stem) + idx + "-" + region_name + tld;
+    case HostCategory::kDirectory:
+      return "www.dir-" + std::string(stem) + idx + tld;
+    case HostCategory::kGov:
+      return "agency" + idx + "." + stem + ".gov" +
+             (tld == ".com" ? "" : tld);
+    case HostCategory::kEdu:
+      return "www.uni" + idx + "-" + stem + ".edu" +
+             (tld == ".com" ? "" : tld);
+    case HostCategory::kHub:
+      return "hub" + idx + "." + region_name + "-portal" + tld;
+    case HostCategory::kSpamBooster:
+      // Each boosting host sits on its own throwaway domain — the paper
+      // notes farms "span tens, hundreds, or even thousands of different
+      // domain names".
+      return "www." + std::string(stem) + "-deals" + idx + tld;
+    case HostCategory::kSpamTarget:
+      return "www.buy-" + std::string(stem) + idx + tld;
+    case HostCategory::kExpiredDomain:
+      return "www.old-" + std::string(stem) + idx + tld;
+  }
+  return "host" + idx + tld;
+}
+
+}  // namespace spammass::synth

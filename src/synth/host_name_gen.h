@@ -1,0 +1,37 @@
+// Deterministic synthetic host names. Host names make experiment reports
+// and examples legible ("www214.shop.pl" instead of "node 83121") and mark
+// the host category the good-core assembly relies on.
+
+#ifndef SPAMMASS_SYNTH_HOST_NAME_GEN_H_
+#define SPAMMASS_SYNTH_HOST_NAME_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace spammass::synth {
+
+/// Category of a generated host, reflected in its name.
+enum class HostCategory : uint8_t {
+  kPlain = 0,      // www<i>.<word>.<tld>
+  kDirectory = 1,  // dir<i>.<word>.<tld>
+  kGov = 2,        // agency<i>.<word>.gov[.<cc>]
+  kEdu = 3,        // www.uni<i>.edu[.<cc>]
+  kHub = 4,        // hub<i>.<word>.<tld>
+  kSpamBooster = 5,
+  kSpamTarget = 6,
+  kExpiredDomain = 7,
+};
+
+/// Generates a plausible host name for region `region_name` with TLD `tld`
+/// (".com", ".pl", ...). `index` disambiguates within the category; `rng`
+/// picks the word stem.
+std::string GenerateHostName(HostCategory category,
+                             const std::string& region_name,
+                             const std::string& tld, uint32_t index,
+                             util::Rng* rng);
+
+}  // namespace spammass::synth
+
+#endif  // SPAMMASS_SYNTH_HOST_NAME_GEN_H_

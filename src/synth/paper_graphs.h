@@ -1,0 +1,50 @@
+// Exact reconstructions of the example graphs in the paper (Figures 1 and
+// 2), with ground-truth labels and the good cores used in the worked
+// examples. These graphs anchor the analytic unit tests: the paper derives
+// closed-form PageRank and spam-mass values for them (Section 3.1 and
+// Table 1), which our solvers must reproduce to numerical precision.
+
+#ifndef SPAMMASS_SYNTH_PAPER_GRAPHS_H_
+#define SPAMMASS_SYNTH_PAPER_GRAPHS_H_
+
+#include <vector>
+
+#include "core/labels.h"
+#include "graph/web_graph.h"
+
+namespace spammass::synth {
+
+/// Figure 1: good nodes g0, g1 and spam node s0 link to x; boosting nodes
+/// s1..sk link to s0. The paper shows p_x = (1+3c+kc²)(1−c)/n, of which
+/// (c+kc²)(1−c)/n is due to spamming.
+struct Figure1Graph {
+  graph::WebGraph graph;
+  core::LabelStore labels;  // x and s* spam; g* good
+  graph::NodeId x = 0;
+  graph::NodeId g0 = 0, g1 = 0;
+  graph::NodeId s0 = 0;
+  std::vector<graph::NodeId> boosters;  // s1..sk
+};
+
+/// Builds Figure 1 with k boosting nodes (k >= 0); n = k + 4 nodes total.
+Figure1Graph MakeFigure1Graph(uint32_t k);
+
+/// Figure 2: n = 12 nodes. Good g0..g3, spam target x, spam s0..s6.
+/// Edges: g0→x, g2→x, s0→x, g1→g0, s5→g0, g3→g2, s6→g2, s1..s4→s0.
+/// The paper's worked example uses good core Ṽ⁺ = {g0, g1, g3} and c = 0.85
+/// and derives the values of Table 1.
+struct Figure2Graph {
+  graph::WebGraph graph;
+  core::LabelStore labels;  // V⁻ = {x, s0..s6} per Table 1's ground truth
+  graph::NodeId x = 0;
+  graph::NodeId g0 = 0, g1 = 0, g2 = 0, g3 = 0;
+  graph::NodeId s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0, s5 = 0, s6 = 0;
+  /// The example's good core {g0, g1, g3}.
+  std::vector<graph::NodeId> good_core;
+};
+
+Figure2Graph MakeFigure2Graph();
+
+}  // namespace spammass::synth
+
+#endif  // SPAMMASS_SYNTH_PAPER_GRAPHS_H_

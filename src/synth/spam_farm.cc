@@ -1,0 +1,92 @@
+#include "synth/spam_farm.h"
+
+#include "util/logging.h"
+
+namespace spammass::synth {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+FarmInfo BuildSpamFarm(GraphBuilder* builder, const FarmSpec& spec,
+                       const std::string& target_name,
+                       const std::string& booster_name_prefix,
+                       util::Rng* rng,
+                       const std::string& booster_name_suffix) {
+  CHECK_GT(spec.num_boosters, 0u);
+  FarmInfo farm;
+  farm.target = builder->AddNode(target_name);
+  farm.boosters.reserve(spec.num_boosters);
+  for (uint32_t i = 0; i < spec.num_boosters; ++i) {
+    farm.boosters.push_back(builder->AddNode(
+        booster_name_prefix + std::to_string(i) + booster_name_suffix));
+  }
+  for (NodeId b : farm.boosters) {
+    if (spec.boosters_link_target) builder->AddEdge(b, farm.target);
+    if (spec.target_links_back) builder->AddEdge(farm.target, b);
+  }
+  if (spec.interlink_prob > 0 && spec.num_boosters > 1) {
+    const uint64_t k = spec.num_boosters;
+    if (k <= 64) {
+      for (NodeId a : farm.boosters) {
+        for (NodeId b : farm.boosters) {
+          if (a != b && rng->Bernoulli(spec.interlink_prob)) {
+            builder->AddEdge(a, b);
+          }
+        }
+      }
+    } else {
+      // Large farms: sample the expected number of interlinks instead of
+      // testing all k² ordered pairs (duplicates collapse in the builder).
+      uint64_t expected = static_cast<uint64_t>(
+          spec.interlink_prob * static_cast<double>(k) * (k - 1));
+      for (uint64_t i = 0; i < expected; ++i) {
+        NodeId a = farm.boosters[rng->UniformIndex(k)];
+        NodeId b = farm.boosters[rng->UniformIndex(k)];
+        if (a != b) builder->AddEdge(a, b);
+      }
+    }
+  }
+  return farm;
+}
+
+void LinkAllianceTargets(GraphBuilder* builder,
+                         const std::vector<NodeId>& targets) {
+  if (targets.size() < 2) return;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    builder->AddEdge(targets[i], targets[(i + 1) % targets.size()]);
+  }
+}
+
+void LinkAllianceComplete(GraphBuilder* builder,
+                          const std::vector<NodeId>& targets) {
+  for (NodeId a : targets) {
+    for (NodeId b : targets) {
+      if (a != b) builder->AddEdge(a, b);
+    }
+  }
+}
+
+void ShareAllianceBoosters(GraphBuilder* builder,
+                           const std::vector<const FarmInfo*>& farms) {
+  for (const FarmInfo* source : farms) {
+    for (NodeId booster : source->boosters) {
+      for (const FarmInfo* member : farms) {
+        builder->AddEdge(booster, member->target);
+      }
+    }
+  }
+}
+
+double PredictedTargetScaledPageRank(uint32_t k, double damping,
+                                     bool target_links_back) {
+  const double c = damping;
+  if (!target_links_back) {
+    // Boosters have no inlinks (p̂ = 1) and a single outlink each.
+    return 1.0 + c * k;
+  }
+  // With recirculation each booster has p̂_b = 1 + c·p̂_t/k, so
+  // p̂_t = 1 + c·k·p̂_b = 1 + c·k + c²·p̂_t.
+  return (1.0 + c * k) / (1.0 - c * c);
+}
+
+}  // namespace spammass::synth

@@ -1,0 +1,89 @@
+// Spam-farm construction (Section 2.3). A farm has a single target node
+// whose ranking the spammer boosts, plus boosting nodes linking to it; the
+// optimal structure has the target recirculate its PageRank back to the
+// boosters ("Link spam alliances", reference [8] of the paper). Farms can
+// also collect "stray" links from reputable nodes — blog-comment spam,
+// honey pots, purchased expired domains — which the generator wires in on
+// top of these helpers.
+
+#ifndef SPAMMASS_SYNTH_SPAM_FARM_H_
+#define SPAMMASS_SYNTH_SPAM_FARM_H_
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/web_graph.h"
+#include "util/random.h"
+
+namespace spammass::synth {
+
+/// Shape of a single farm.
+struct FarmSpec {
+  /// Number of boosting nodes.
+  uint32_t num_boosters = 10;
+  /// Target links back to every booster (optimal farm).
+  bool target_links_back = true;
+  /// When false, the boosters do NOT link to the target directly — the
+  /// caller wires them through good intermediaries (laundered farm).
+  bool boosters_link_target = true;
+  /// Probability of each ordered booster→booster link.
+  double interlink_prob = 0.0;
+};
+
+/// A constructed farm: node ids inside the host graph.
+struct FarmInfo {
+  graph::NodeId target = graph::kInvalidNode;
+  std::vector<graph::NodeId> boosters;
+  /// True when the farm runs a honey pot / comment spam and has hijacked
+  /// inlinks from good nodes.
+  bool honeypot = false;
+  /// Good hosts that (unknowingly) link to the target.
+  std::vector<graph::NodeId> hijacked_sources;
+  /// True when the farm launders its boost through good intermediaries
+  /// (Figure 2 structure): boosters point at `intermediaries`, which link
+  /// to the target, so the target's direct in-neighbors look reputable.
+  bool laundered = false;
+  std::vector<graph::NodeId> intermediaries;
+  /// Index of the alliance this farm belongs to, or -1.
+  int alliance = -1;
+};
+
+/// Appends the farm's nodes (target first, then boosters) to the builder
+/// and wires the internal links. Host names are attached by the caller via
+/// the builder's named AddNode (this helper uses the provided names).
+FarmInfo BuildSpamFarm(graph::GraphBuilder* builder, const FarmSpec& spec,
+                       const std::string& target_name,
+                       const std::string& booster_name_prefix,
+                       util::Rng* rng,
+                       const std::string& booster_name_suffix = "");
+
+/// Links the targets of an alliance in a ring (each target points to the
+/// next), modeling collaborating spammers who exchange links.
+void LinkAllianceTargets(graph::GraphBuilder* builder,
+                         const std::vector<graph::NodeId>& targets);
+
+/// Fully interconnects the alliance targets (every ordered pair) — the
+/// maximal collaboration structure of "Link spam alliances" [8]. Stronger
+/// mutual boost than the ring at quadratic link cost.
+void LinkAllianceComplete(graph::GraphBuilder* builder,
+                          const std::vector<graph::NodeId>& targets);
+
+/// Alliance by booster sharing: every booster of every member farm links
+/// to every member target (boosters multi-home instead of targets
+/// exchanging links). The farms' FarmInfo is not modified.
+void ShareAllianceBoosters(graph::GraphBuilder* builder,
+                           const std::vector<const FarmInfo*>& farms);
+
+/// Closed-form scaled PageRank (n/(1−c) scaling, leak dangling policy) of
+/// an isolated optimal farm's target with k boosters when the target links
+/// back to all of them:
+///   p̂_target = (1 + c·k) / (1 − c²).
+/// Used by tests and by the farm-anatomy example to compare measured
+/// against predicted amplification. With target_links_back = false the
+/// target is dangling and p̂_target = 1 + c·k.
+double PredictedTargetScaledPageRank(uint32_t k, double damping,
+                                     bool target_links_back);
+
+}  // namespace spammass::synth
+
+#endif  // SPAMMASS_SYNTH_SPAM_FARM_H_

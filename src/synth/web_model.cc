@@ -1,0 +1,72 @@
+#include "synth/web_model.h"
+
+namespace spammass::synth {
+
+using util::Status;
+
+namespace {
+
+bool InUnit(double x) { return x >= 0.0 && x <= 1.0; }
+
+}  // namespace
+
+Status WebModelConfig::Validate() const {
+  if (regions.empty()) {
+    return Status::InvalidArgument("at least one region is required");
+  }
+  for (const RegionConfig& r : regions) {
+    if (r.name.empty()) {
+      return Status::InvalidArgument("region name must not be empty");
+    }
+    if (r.num_hosts == 0) {
+      return Status::InvalidArgument("region '" + r.name + "' has no hosts");
+    }
+    if (!InUnit(r.directory_fraction) || !InUnit(r.gov_fraction) ||
+        !InUnit(r.edu_fraction) || !InUnit(r.core_coverage) ||
+        !InUnit(r.cross_region_link_prob) || !InUnit(r.hub_target_fraction)) {
+      return Status::InvalidArgument("region '" + r.name +
+                                     "' has a fraction outside [0, 1]");
+    }
+    if (r.num_hubs > r.num_hosts) {
+      return Status::InvalidArgument("region '" + r.name +
+                                     "' has more hubs than hosts");
+    }
+  }
+  if (spam.num_farms > 0) {
+    if (spam.min_boosters == 0 || spam.max_boosters < spam.min_boosters) {
+      return Status::InvalidArgument("bad booster count range");
+    }
+    if (spam.booster_exponent <= 1.0) {
+      return Status::InvalidArgument("booster_exponent must exceed 1");
+    }
+    if (!InUnit(spam.interlink_prob) || !InUnit(spam.alliance_fraction) ||
+        !InUnit(spam.honeypot_fraction)) {
+      return Status::InvalidArgument("spam fraction outside [0, 1]");
+    }
+    if (spam.alliance_size < 2 && spam.alliance_fraction > 0) {
+      return Status::InvalidArgument("alliances need at least two farms");
+    }
+  }
+  if (spam.num_expired_domain_targets > 0 &&
+      (spam.expired_inlinks_min == 0 ||
+       spam.expired_inlinks_max < spam.expired_inlinks_min)) {
+    return Status::InvalidArgument("bad expired-domain inlink range");
+  }
+  if (mean_outdegree <= 0) {
+    return Status::InvalidArgument("mean_outdegree must be positive");
+  }
+  if (zipf_exponent <= 0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  if (!InUnit(no_outlink_fraction) || !InUnit(unpopular_fraction) ||
+      !InUnit(unpopular_dangling_bias)) {
+    return Status::InvalidArgument("structure fraction outside [0, 1]");
+  }
+  if (num_isolated_cliques > 0 &&
+      (clique_min_size < 2 || clique_max_size < clique_min_size)) {
+    return Status::InvalidArgument("bad clique size range");
+  }
+  return Status::OK();
+}
+
+}  // namespace spammass::synth

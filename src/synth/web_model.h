@@ -1,0 +1,129 @@
+// Configuration model for the synthetic host-level web. The generator
+// stands in for the 2004 Yahoo! host graph (see DESIGN.md, "Key data
+// substitution"): a scale-free good web partitioned into regions with
+// different good-core coverage, plus configurable spam structures.
+
+#ifndef SPAMMASS_SYNTH_WEB_MODEL_H_
+#define SPAMMASS_SYNTH_WEB_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spammass::synth {
+
+/// One regional community of good hosts (a country, a TLD, a large
+/// provider). Regions reproduce the coverage anomalies of Section 4.4.1:
+/// a region whose reputable hosts are badly covered by the good core shows
+/// up as good hosts with large relative mass.
+struct RegionConfig {
+  /// Short identifier ("generic", "pl", "cn-mall", ...), also used in host
+  /// names.
+  std::string name;
+  /// TLD suffix for generated host names (".com", ".pl", ...).
+  std::string tld = ".com";
+  /// Number of good hosts in the region.
+  uint32_t num_hosts = 0;
+  /// Fractions of hosts carrying the core-eligible categories the paper's
+  /// core is assembled from (Section 4.2): trusted-directory listings,
+  /// governmental hosts, educational hosts.
+  double directory_fraction = 0.0;
+  double gov_fraction = 0.0;
+  double edu_fraction = 0.0;
+  /// Probability that a core-eligible host actually appears on the lists
+  /// available for core assembly. Poland-like regions have low coverage —
+  /// the lists exist but are incomplete (Section 4.4.1).
+  double core_coverage = 1.0;
+  /// Probability that an outlink of a host in this region points to a
+  /// uniform-region global target rather than an intra-region one.
+  double cross_region_link_prob = 0.2;
+  /// Isolated communities (Alibaba-like host farms, Brazilian blogs)
+  /// neither link out of the region nor receive links from other regions.
+  bool isolated_community = false;
+  /// Number of hub hosts inside the region that concentrate intra-region
+  /// popularity (e.g. the 12 identifiable alibaba.com hub hosts of Section
+  /// 4.4.2). 0 means popularity is plain Zipf over all hosts.
+  uint32_t num_hubs = 0;
+  /// Fraction of intra-region link targets that go to hubs when present.
+  double hub_target_fraction = 0.5;
+};
+
+/// Spam-side configuration (Section 2.3 structures).
+struct SpamConfig {
+  /// Number of independent spam farms (one target each).
+  uint32_t num_farms = 0;
+  /// Farm sizes (number of boosting nodes) follow a discrete power law on
+  /// [min_boosters, ∞) with this exponent, capped at max_boosters.
+  uint32_t min_boosters = 5;
+  uint32_t max_boosters = 2000;
+  double booster_exponent = 2.0;
+  /// Probability of each booster→booster link inside a farm.
+  double interlink_prob = 0.0;
+  /// When true the target links back to every booster — the optimal farm
+  /// structure of "Link spam alliances" [8].
+  bool target_links_back = true;
+  /// Fraction of farms grouped into alliances whose targets exchange links.
+  double alliance_fraction = 0.2;
+  uint32_t alliance_size = 4;
+  /// Fraction of farms that run a honey pot: `hijacked_links_per_farm`
+  /// good hosts point at the farm target ("stray" links: blog comments,
+  /// honey pots, bought expired domains — Section 2.3).
+  double honeypot_fraction = 0.15;
+  uint32_t hijacked_links_per_farm = 3;
+  /// Camouflage links from farm nodes to reputable hosts (the s5→g0 /
+  /// s6→g2 pattern of the paper's Figure 2): spammers link to popular good
+  /// pages to mimic organic sites, which hands those pages real spam mass.
+  uint32_t camouflage_links_per_farm = 0;
+  /// Fraction of farms that launder their boosting through good
+  /// intermediaries — the exact structure of the paper's Figure 2, where x
+  /// is supported by good g0/g2 which are in turn inflated by spam s5/s6.
+  /// Boosters link to hijacked good hosts that link to the target instead
+  /// of linking to the target directly; detectors that only inspect direct
+  /// in-neighbors (the naive schemes of Section 3.1) are blind to it.
+  double laundered_fraction = 0.0;
+  /// Number of good intermediaries per laundered farm.
+  uint32_t laundered_intermediaries = 4;
+  /// Spam targets of the *expired domains* flavor (Section 4.4.3, obs. 2):
+  /// hosts whose inlinks come almost exclusively from good hosts, so their
+  /// spam mass is small — known false negatives of the method.
+  uint32_t num_expired_domain_targets = 0;
+  uint32_t expired_inlinks_min = 10;
+  uint32_t expired_inlinks_max = 60;
+};
+
+/// Full model configuration.
+struct WebModelConfig {
+  uint64_t seed = 42;
+  std::vector<RegionConfig> regions;
+  SpamConfig spam;
+  /// Mean outdegree of good hosts that link at all (outdegree is
+  /// 1 + Poisson-ish power-law around this mean).
+  double mean_outdegree = 10.0;
+  /// Zipf exponent of link-target popularity.
+  double zipf_exponent = 0.9;
+  /// Fraction of good hosts that emit no outlinks (the paper's graph has
+  /// 66.4% such hosts — uncrawled or extinct URLs, Section 4.1).
+  double no_outlink_fraction = 0.664;
+  /// Fraction of good hosts that are never link targets (part of the 35%
+  /// of hosts with no inlinks).
+  double unpopular_fraction = 0.30;
+  /// Bias: probability that an unpopular (never-targeted) host is chosen
+  /// among the dangling ones, correlating no-inlink with no-outlink to
+  /// match the paper's 25.8% isolated hosts.
+  double unpopular_dangling_bias = 0.75;
+  /// Isolated good cliques (Section 4.4.3, obs. 1: gaming communities and
+  /// web-design rings only weakly connected to the rest) — false-positive
+  /// generators.
+  uint32_t num_isolated_cliques = 0;
+  uint32_t clique_min_size = 4;
+  uint32_t clique_max_size = 12;
+
+  /// Validates invariants (non-empty regions, fractions in range, ...).
+  util::Status Validate() const;
+};
+
+}  // namespace spammass::synth
+
+#endif  // SPAMMASS_SYNTH_WEB_MODEL_H_

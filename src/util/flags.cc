@@ -1,0 +1,107 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.value = default_value;
+  flag.default_value = default_value;
+  flag.help = help;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::DefineBool(const std::string& name, const std::string& help) {
+  Flag flag;
+  flag.value = "false";
+  flag.default_value = "false";
+  flag.help = help;
+  flag.is_bool = true;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.is_bool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " requires a value");
+        }
+        value = argv[++i];
+      }
+    }
+    flag.value = std::move(value);
+    flag.set = true;
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::Get(const std::string& name) const {
+  auto it = flags_.find(name);
+  CHECK(it != flags_.end()) << "flag --" << name << " was never defined";
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Get(name).value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::atof(Get(name).value.c_str());
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(Get(name).value.c_str(), nullptr, 10);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = Get(name).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  return Get(name).set;
+}
+
+std::string FlagParser::Help() const {
+  std::string out;
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    if (!flag.is_bool) out += " <value>";
+    out += "\n      " + flag.help;
+    if (!flag.default_value.empty() && !flag.is_bool) {
+      out += " (default: " + flag.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace spammass::util

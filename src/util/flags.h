@@ -1,0 +1,64 @@
+// Minimal command-line flag parsing for the CLI tool: "--name value",
+// "--name=value", bare boolean "--name", and positional arguments. No
+// global state; each binary builds a parser, registers flags, parses, and
+// reads values.
+
+#ifndef SPAMMASS_UTIL_FLAGS_H_
+#define SPAMMASS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spammass::util {
+
+/// Parses argv into named flags and positionals.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and a help line. Flags not
+  /// registered before Parse() are rejected as unknown.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Registers a boolean flag (default false; "--name" sets it true,
+  /// "--name=false" resets it).
+  void DefineBool(const std::string& name, const std::string& help);
+
+  /// Parses the arguments (excluding argv[0]). Unknown flags or missing
+  /// values fail.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Flag accessors (CHECK-fail on unregistered names).
+  const std::string& GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the user explicitly set the flag.
+  bool WasSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted help text listing every flag.
+  std::string Help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+    bool set = false;
+  };
+
+  const Flag& Get(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_FLAGS_H_

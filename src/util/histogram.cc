@@ -1,0 +1,66 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+LogHistogram::LogHistogram(double min_value, double ratio)
+    : min_value_(min_value), log_ratio_(std::log(ratio)) {
+  CHECK_GT(min_value, 0.0);
+  CHECK_GT(ratio, 1.0);
+}
+
+void LogHistogram::Add(double value) { AddCount(value, 1); }
+
+void LogHistogram::AddCount(double value, uint64_t count) {
+  total_ += count;
+  if (value < min_value_ || !(value > 0.0)) {
+    underflow_ += count;
+    return;
+  }
+  double idx_f = std::floor(std::log(value / min_value_) / log_ratio_);
+  size_t idx = idx_f < 0 ? 0 : static_cast<size_t>(idx_f);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+}
+
+std::vector<HistogramBin> LogHistogram::bins() const {
+  std::vector<HistogramBin> out;
+  out.reserve(counts_.size());
+  double ratio = std::exp(log_ratio_);
+  double lower = min_value_;
+  for (uint64_t c : counts_) {
+    HistogramBin bin;
+    bin.lower = lower;
+    bin.upper = lower * ratio;
+    bin.count = c;
+    bin.fraction = total_ > 0 ? static_cast<double>(c) / total_ : 0.0;
+    bin.center = std::sqrt(bin.lower * bin.upper);
+    out.push_back(bin);
+    lower = bin.upper;
+  }
+  return out;
+}
+
+SummaryStats Summarize(const std::vector<double>& values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace spammass::util

@@ -1,0 +1,68 @@
+// Log-binned histograms for heavy-tailed quantities (degrees, PageRank,
+// spam mass). Figure 6 of the paper plots the fraction of hosts per
+// logarithmic mass bin; LogHistogram produces exactly that series.
+
+#ifndef SPAMMASS_UTIL_HISTOGRAM_H_
+#define SPAMMASS_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spammass::util {
+
+/// One bin of a log histogram: values in [lower, upper).
+struct HistogramBin {
+  double lower = 0;
+  double upper = 0;
+  uint64_t count = 0;
+  /// count / total observations added (including out-of-range ones).
+  double fraction = 0;
+  /// Geometric bin center, convenient for log-log plotting.
+  double center = 0;
+};
+
+/// Histogram over positive values with logarithmically spaced bin edges:
+/// edges are min_value * ratio^i. Values below min_value go into an
+/// underflow counter; no overflow (the top bin grows on demand).
+class LogHistogram {
+ public:
+  /// `min_value` > 0 is the lower edge of the first bin; `ratio` > 1 is the
+  /// multiplicative bin width (e.g. 2.0 for doubling bins).
+  LogHistogram(double min_value, double ratio);
+
+  /// Adds one observation. Non-positive and sub-min values are counted as
+  /// underflow.
+  void Add(double value);
+
+  /// Adds `count` observations of `value`.
+  void AddCount(double value, uint64_t count);
+
+  uint64_t total_count() const { return total_; }
+  uint64_t underflow_count() const { return underflow_; }
+
+  /// Materializes the non-empty prefix of bins with fractions of the total.
+  std::vector<HistogramBin> bins() const;
+
+ private:
+  double min_value_;
+  double log_ratio_;
+  uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+/// Descriptive statistics of a sample.
+struct SummaryStats {
+  uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+};
+
+/// Computes count/min/max/mean/stddev over a sample (population stddev).
+SummaryStats Summarize(const std::vector<double>& values);
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_HISTOGRAM_H_

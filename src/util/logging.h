@@ -1,0 +1,80 @@
+// Minimal leveled logging and CHECK macros. CHECK is for programming errors
+// (invariant violations); recoverable failures return util::Status instead.
+
+#ifndef SPAMMASS_UTIL_LOGGING_H_
+#define SPAMMASS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace spammass::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level filters it out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace spammass::util
+
+#define SPAMMASS_LOG_INTERNAL(level)                                        \
+  ::spammass::util::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG() SPAMMASS_LOG_INTERNAL(::spammass::util::LogLevel::kDebug)
+#define LOG_INFO() SPAMMASS_LOG_INTERNAL(::spammass::util::LogLevel::kInfo)
+#define LOG_WARNING() SPAMMASS_LOG_INTERNAL(::spammass::util::LogLevel::kWarning)
+#define LOG_ERROR() SPAMMASS_LOG_INTERNAL(::spammass::util::LogLevel::kError)
+#define LOG_FATAL() SPAMMASS_LOG_INTERNAL(::spammass::util::LogLevel::kFatal)
+
+/// Aborts with a message when `condition` is false. Always enabled (also in
+/// release builds): invariant violations in a detection pipeline must not
+/// silently produce wrong rankings.
+#define CHECK(condition)                                          \
+  if (!(condition))                                               \
+  LOG_FATAL() << "Check failed: " #condition " "
+
+#define CHECK_OP(a, b, op) CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+/// Aborts when a Status expression is not OK.
+#define CHECK_OK(expr)                                                 \
+  do {                                                                 \
+    ::spammass::util::Status _st = (expr);                             \
+    CHECK(_st.ok()) << _st.ToString();                                 \
+  } while (false)
+
+#endif  // SPAMMASS_UTIL_LOGGING_H_

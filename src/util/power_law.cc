@@ -1,0 +1,70 @@
+#include "util/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spammass::util {
+
+namespace {
+
+/// KS distance between the empirical CDF of the sorted tail and the fitted
+/// continuous power law with parameters (alpha, xmin).
+double KsDistance(const std::vector<double>& sorted_tail, double alpha,
+                  double xmin) {
+  double worst = 0;
+  const double n = static_cast<double>(sorted_tail.size());
+  for (size_t i = 0; i < sorted_tail.size(); ++i) {
+    double model = 1.0 - std::pow(sorted_tail[i] / xmin, 1.0 - alpha);
+    double emp_lo = static_cast<double>(i) / n;
+    double emp_hi = static_cast<double>(i + 1) / n;
+    worst = std::max(worst, std::abs(model - emp_lo));
+    worst = std::max(worst, std::abs(model - emp_hi));
+  }
+  return worst;
+}
+
+}  // namespace
+
+PowerLawFit FitPowerLaw(const std::vector<double>& values, double xmin) {
+  PowerLawFit fit;
+  fit.xmin = xmin;
+  std::vector<double> tail;
+  tail.reserve(values.size());
+  for (double v : values) {
+    if (v >= xmin && v > 0) tail.push_back(v);
+  }
+  fit.tail_size = tail.size();
+  if (tail.size() < 2 || xmin <= 0) return fit;
+  double log_sum = 0;
+  for (double v : tail) log_sum += std::log(v / xmin);
+  if (log_sum <= 0) return fit;
+  fit.alpha = 1.0 + static_cast<double>(tail.size()) / log_sum;
+  std::sort(tail.begin(), tail.end());
+  fit.ks_distance = KsDistance(tail, fit.alpha, xmin);
+  return fit;
+}
+
+PowerLawFit FitPowerLawAutoXmin(const std::vector<double>& values,
+                                size_t max_candidates) {
+  std::vector<double> positive;
+  positive.reserve(values.size());
+  for (double v : values) {
+    if (v > 0) positive.push_back(v);
+  }
+  PowerLawFit best;
+  if (positive.size() < 2) return best;
+  std::sort(positive.begin(), positive.end());
+  positive.erase(std::unique(positive.begin(), positive.end()),
+                 positive.end());
+  // Only consider cutoffs that keep at least 10 tail points.
+  size_t usable = positive.size() > 10 ? positive.size() - 10 : 1;
+  size_t step = std::max<size_t>(1, usable / std::max<size_t>(1, max_candidates));
+  for (size_t i = 0; i < usable; i += step) {
+    PowerLawFit fit = FitPowerLaw(values, positive[i]);
+    if (fit.tail_size >= 2 && fit.ks_distance < best.ks_distance) best = fit;
+  }
+  if (best.tail_size == 0) best = FitPowerLaw(values, positive.front());
+  return best;
+}
+
+}  // namespace spammass::util

@@ -1,0 +1,166 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(&sm);
+  inc_ = SplitMix64(&sm) | 1ULL;  // Stream selector must be odd.
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::Next64() {
+  uint64_t hi = (*this)();
+  uint64_t lo = (*this)();
+  return (hi << 32) | lo;
+}
+
+double Rng::Uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next64());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(UniformIndex(range));
+}
+
+uint64_t Rng::UniformIndex(uint64_t n) {
+  CHECK_GT(n, 0u);
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform01() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  CHECK_GT(lambda, 0.0);
+  double u;
+  do {
+    u = Uniform01();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::PowerLaw(double xmin, double alpha) {
+  CHECK_GT(alpha, 1.0);
+  CHECK_GT(xmin, 0.0);
+  double u;
+  do {
+    u = Uniform01();
+  } while (u == 0.0);
+  return xmin * std::pow(u, -1.0 / (alpha - 1.0));
+}
+
+uint64_t Rng::DiscretePowerLaw(uint64_t xmin, double alpha) {
+  CHECK_GE(xmin, 1u);
+  double x = (static_cast<double>(xmin) - 0.5) *
+                 std::pow(1.0 - Uniform01(), -1.0 / (alpha - 1.0)) +
+             0.5;
+  if (x >= 9.0e18) return static_cast<uint64_t>(9.0e18);
+  uint64_t r = static_cast<uint64_t>(x);
+  return std::max(r, xmin);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = Uniform01();
+  } while (u1 == 0.0);
+  double u2 = Uniform01();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+// --- ZipfSampler -----------------------------------------------------------
+//
+// Rejection-inversion sampling for the Zipf distribution, after W. Hormann
+// and G. Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (1996). Internally samples k in [1, n] with
+// P(k) ~ k^(-s) and returns k - 1.
+
+namespace {
+
+double HIntegral(double x, double s) {
+  // Integral of t^(-s): (x^(1-s) - 1) / (1 - s); log(x) when s == 1.
+  if (s == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double HIntegralInverse(double y, double s) {
+  if (s == 1.0) return std::exp(y);
+  return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  CHECK_GE(n, 1u);
+  CHECK_GT(s, 0.0);
+  h_x1_ = HIntegral(1.5, s_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, s_);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5, s_) - std::pow(2.0, -s_), s_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, s_); }
+double ZipfSampler::HInverse(double x) const { return HIntegralInverse(x, s_); }
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ == 1) return 0;
+  for (;;) {
+    double u = h_n_ + rng->Uniform01() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    k = std::clamp<uint64_t>(k, 1, n_);
+    double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;
+    }
+  }
+}
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Rng* rng) {
+  CHECK_LE(k, n);
+  // Floyd's algorithm.
+  std::set<uint64_t> chosen;
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng->UniformIndex(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<uint64_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace spammass::util

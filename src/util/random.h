@@ -1,0 +1,111 @@
+// Deterministic, seedable pseudo-random generation used by the synthetic
+// web generator and by the samplers in the evaluation harness. Everything in
+// this repository derives randomness from Rng so that experiments are
+// reproducible bit-for-bit given a seed.
+
+#ifndef SPAMMASS_UTIL_RANDOM_H_
+#define SPAMMASS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spammass::util {
+
+/// SplitMix64: tiny generator used to expand a user seed into engine state.
+/// Advances `state` and returns the next 64-bit value.
+uint64_t SplitMix64(uint64_t* state);
+
+/// PCG32 (pcg_xsh_rr_64_32): small, fast, statistically solid generator.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> and
+/// std::shuffle.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  /// Seeds the engine; distinct seeds yield independent-looking streams.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Next raw 32 bits.
+  result_type operator()();
+
+  /// Next 64 raw bits.
+  uint64_t Next64();
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  uint64_t UniformIndex(uint64_t n);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+
+  /// Continuous Pareto / power-law sample with density ~ x^(-alpha) for
+  /// x >= xmin. Requires alpha > 1, xmin > 0.
+  double PowerLaw(double xmin, double alpha);
+
+  /// Discrete power-law sample >= xmin with P(X = x) ~ x^(-alpha),
+  /// approximated by rounding the continuous inverse transform (the standard
+  /// Clauset et al. recipe). Requires alpha > 1, xmin >= 1.
+  uint64_t DiscretePowerLaw(uint64_t xmin, double alpha);
+
+  /// Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Samples approximately Zipf-distributed ranks in [0, n) with exponent s:
+/// P(rank = r) ~ (r + 1)^(-s). Uses rejection-inversion so construction is
+/// O(1) and sampling is O(1) expected, independent of n.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s > 0, s != 1 handled as well as s == 1.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+/// Returns k distinct indices sampled uniformly from [0, n) (k <= n), in
+/// ascending order. Uses Floyd's algorithm: O(k) expected memory/time.
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Rng* rng);
+
+/// Fisher-Yates shuffle of a vector, driven by Rng.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  if (v->empty()) return;
+  for (uint64_t i = v->size() - 1; i > 0; --i) {
+    uint64_t j = rng->UniformIndex(i + 1);
+    std::swap((*v)[i], (*v)[j]);
+  }
+}
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_RANDOM_H_

@@ -1,0 +1,119 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Arrow / RocksDB. Library code returns Status (or Result<T>) from every
+// fallible operation; programming errors use CHECK from logging.h instead.
+
+#ifndef SPAMMASS_UTIL_STATUS_H_
+#define SPAMMASS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace spammass::util {
+
+/// Broad classification of an error. Kept deliberately small; the message
+/// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation. An OK status
+/// carries no allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result; the value accessors CHECK-fail on error states, so callers
+/// must test ok() (or use ValueOr) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so that `return value;` and `return status;` both work.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+}  // namespace spammass::util
+
+/// Propagates an error status from an expression, Arrow-style:
+///   SPAMMASS_RETURN_NOT_OK(DoThing());
+#define SPAMMASS_RETURN_NOT_OK(expr)                   \
+  do {                                                 \
+    ::spammass::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+#endif  // SPAMMASS_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers shared by graph I/O and report formatting.
+
+#ifndef SPAMMASS_UTIL_STRING_UTIL_H_
+#define SPAMMASS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spammass::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a count with thousands separators ("73,300,000").
+std::string FormatWithCommas(uint64_t value);
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_STRING_UTIL_H_

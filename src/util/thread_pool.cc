@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  num_threads = std::max<uint32_t>(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t total, const std::function<void(uint64_t, uint64_t)>& body) {
+  if (total == 0) return;
+  uint64_t chunks = std::min<uint64_t>(num_threads(), total);
+  uint64_t per_chunk = (total + chunks - 1) / chunks;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    uint64_t begin = c * per_chunk;
+    uint64_t end = std::min(begin + per_chunk, total);
+    if (begin >= end) break;
+    Submit([&body, begin, end] { body(begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace spammass::util

@@ -1,0 +1,58 @@
+// Small fixed-size thread pool with a parallel-for helper. PageRank sweeps
+// over CSR rows are embarrassingly parallel in the Jacobi scheme (each
+// output entry reads only the previous iterate), so the solver shards the
+// node range across workers.
+
+#ifndef SPAMMASS_UTIL_THREAD_POOL_H_
+#define SPAMMASS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spammass::util {
+
+/// Fixed pool of worker threads executing submitted tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Splits [0, total) into roughly equal chunks (one per worker) and runs
+  /// `body(begin, end)` on each concurrently; returns when all are done.
+  void ParallelFor(uint64_t total,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  uint64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_THREAD_POOL_H_

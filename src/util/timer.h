@@ -1,0 +1,32 @@
+// Simple wall-clock timer for experiment harnesses.
+
+#ifndef SPAMMASS_UTIL_TIMER_H_
+#define SPAMMASS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace spammass::util {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_TIMER_H_

@@ -1,0 +1,120 @@
+// End-to-end test of the spammass_cli binary: generate → stats → pagerank
+// → mass → detect → sites over real files. The binary path is injected by
+// CMake (SPAMMASS_CLI_PATH).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace spammass {
+namespace {
+
+#ifndef SPAMMASS_CLI_PATH
+#define SPAMMASS_CLI_PATH ""
+#endif
+
+class CliTest : public ::testing::Test {
+ protected:
+  static std::string Dir() { return testing::TempDir() + "/cli_test"; }
+
+  static void SetUpTestSuite() {
+    std::string mkdir = "mkdir -p " + Dir();
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+  }
+
+  /// Runs the CLI with the given arguments; returns the exit code.
+  int Run(const std::string& args) {
+    std::string cmd = std::string(SPAMMASS_CLI_PATH) + " " + args +
+                      " > " + Dir() + "/stdout.txt 2>" + Dir() +
+                      "/stderr.txt";
+    int rc = std::system(cmd.c_str());
+    return WEXITSTATUS(rc);
+  }
+
+  std::string Stdout() {
+    std::ifstream f(Dir() + "/stdout.txt");
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  bool FileExists(const std::string& name) {
+    std::ifstream f(Dir() + "/" + name);
+    return f.good();
+  }
+};
+
+TEST_F(CliTest, FullWorkflow) {
+  ASSERT_STRNE(SPAMMASS_CLI_PATH, "");
+  const std::string d = Dir();
+
+  // generate
+  ASSERT_EQ(Run("generate --scale 0.03 --seed 21 --out-edges " + d +
+                "/web.edges --out-hosts " + d + "/web.hosts --out-labels " +
+                d + "/web.labels --out-core " + d + "/good.core"),
+            0);
+  EXPECT_TRUE(FileExists("web.edges"));
+  EXPECT_TRUE(FileExists("web.hosts"));
+  EXPECT_TRUE(FileExists("web.labels"));
+  EXPECT_TRUE(FileExists("good.core"));
+
+  // stats
+  ASSERT_EQ(Run("stats --edges " + d + "/web.edges"), 0);
+  EXPECT_NE(Stdout().find("hosts"), std::string::npos);
+  EXPECT_NE(Stdout().find("no outlinks"), std::string::npos);
+
+  // pagerank to CSV
+  ASSERT_EQ(Run("pagerank --edges " + d + "/web.edges --out " + d +
+                "/pr.csv"),
+            0);
+  EXPECT_TRUE(FileExists("pr.csv"));
+
+  // mass to CSV
+  ASSERT_EQ(Run("mass --edges " + d + "/web.edges --core " + d +
+                "/good.core --out " + d + "/mass.csv"),
+            0);
+  EXPECT_TRUE(FileExists("mass.csv"));
+  {
+    std::ifstream f(d + "/mass.csv");
+    std::string header;
+    std::getline(f, header);
+    EXPECT_EQ(header, "node,scaled_pagerank,scaled_abs_mass,rel_mass");
+  }
+
+  // detect with ground truth
+  ASSERT_EQ(Run("detect --edges " + d + "/web.edges --core " + d +
+                "/good.core --labels " + d + "/web.labels --hosts " + d +
+                "/web.hosts --tau 0.9 --rho 10 --out " + d + "/cand.csv"),
+            0);
+  EXPECT_TRUE(FileExists("cand.csv"));
+  EXPECT_NE(Stdout().find("spam candidates"), std::string::npos);
+  EXPECT_NE(Stdout().find("AUC over T"), std::string::npos);
+
+  // sites aggregation
+  ASSERT_EQ(Run("sites --edges " + d + "/web.edges --hosts " + d +
+                "/web.hosts --out-edges " + d + "/sites.edges"),
+            0);
+  EXPECT_TRUE(FileExists("sites.edges"));
+  EXPECT_NE(Stdout().find("aggregated"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_NE(Run("frobnicate"), 0);
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  EXPECT_NE(Run("stats --bogus-flag 3"), 0);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  EXPECT_EQ(Run("generate --help"), 0);
+}
+
+TEST_F(CliTest, MissingInputFileFails) {
+  EXPECT_NE(Run("stats --edges /nonexistent/nope.edges"), 0);
+}
+
+}  // namespace
+}  // namespace spammass

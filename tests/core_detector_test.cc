@@ -1,0 +1,98 @@
+// Tests of Algorithm 2 thresholding and candidate ordering.
+
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using core::DetectorConfig;
+using core::DetectSpamCandidates;
+using core::MassEstimates;
+using core::PageRankFilteredNodes;
+
+/// Hand-built estimates for n nodes: scaled PageRank and relative mass per
+/// node (unscaled internally).
+MassEstimates MakeEstimates(const std::vector<double>& scaled_pagerank,
+                            const std::vector<double>& relative_mass,
+                            double damping = 0.85) {
+  MassEstimates est;
+  est.damping = damping;
+  size_t n = scaled_pagerank.size();
+  double unscale = (1.0 - damping) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    est.pagerank.push_back(scaled_pagerank[i] * unscale);
+    est.relative_mass.push_back(relative_mass[i]);
+    est.absolute_mass.push_back(relative_mass[i] * scaled_pagerank[i] *
+                                unscale);
+    est.core_pagerank.push_back(est.pagerank[i] - est.absolute_mass[i]);
+  }
+  return est;
+}
+
+TEST(DetectorTest, AppliesBothThresholds) {
+  // Nodes: 0 high-PR high-mass (detected), 1 high-PR low-mass, 2 low-PR
+  // high-mass (filtered by ρ), 3 low-PR low-mass.
+  MassEstimates est = MakeEstimates({50, 50, 2, 2}, {0.99, 0.1, 0.99, 0.1});
+  DetectorConfig config;
+  config.scaled_pagerank_threshold = 10;
+  config.relative_mass_threshold = 0.5;
+  auto candidates = DetectSpamCandidates(est, config);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].node, 0u);
+  EXPECT_NEAR(candidates[0].scaled_pagerank, 50, 1e-9);
+  EXPECT_NEAR(candidates[0].relative_mass, 0.99, 1e-12);
+}
+
+TEST(DetectorTest, ThresholdsAreInclusive) {
+  MassEstimates est = MakeEstimates({10, 9.999}, {0.5, 0.5});
+  DetectorConfig config;
+  config.scaled_pagerank_threshold = 10;
+  config.relative_mass_threshold = 0.5;
+  auto candidates = DetectSpamCandidates(est, config);
+  ASSERT_EQ(candidates.size(), 1u);  // node 0 exactly at both thresholds
+  EXPECT_EQ(candidates[0].node, 0u);
+}
+
+TEST(DetectorTest, SortedByRelativeMassThenPageRank) {
+  MassEstimates est =
+      MakeEstimates({20, 30, 40, 25}, {0.7, 0.9, 0.9, 0.8});
+  DetectorConfig config;
+  config.scaled_pagerank_threshold = 10;
+  config.relative_mass_threshold = 0.5;
+  auto candidates = DetectSpamCandidates(est, config);
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0].node, 2u);  // mass 0.9, PR 40
+  EXPECT_EQ(candidates[1].node, 1u);  // mass 0.9, PR 30
+  EXPECT_EQ(candidates[2].node, 3u);  // mass 0.8
+  EXPECT_EQ(candidates[3].node, 0u);  // mass 0.7
+}
+
+TEST(DetectorTest, EmptyWhenNothingQualifies) {
+  MassEstimates est = MakeEstimates({5, 5}, {0.99, 0.99});
+  DetectorConfig config;  // default ρ = 10
+  EXPECT_TRUE(DetectSpamCandidates(est, config).empty());
+}
+
+TEST(DetectorTest, NegativeMassNeverDetected) {
+  MassEstimates est = MakeEstimates({100}, {-3.0});
+  DetectorConfig config;
+  config.relative_mass_threshold = 0.0;
+  auto candidates = DetectSpamCandidates(est, config);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(PageRankFilterTest, FilterSetMatchesThreshold) {
+  MassEstimates est = MakeEstimates({1, 10, 100, 9.99}, {0, 0, 0, 0});
+  auto filtered = PageRankFilteredNodes(est, 10.0);
+  EXPECT_EQ(filtered, (std::vector<graph::NodeId>{1, 2}));
+}
+
+TEST(PageRankFilterTest, ZeroThresholdKeepsAll) {
+  MassEstimates est = MakeEstimates({1, 2}, {0, 0});
+  EXPECT_EQ(PageRankFilteredNodes(est, 0.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,78 @@
+// Tests of good-core assembly utilities (Sections 4.2 and 4.5).
+
+#include "core/good_core.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using core::CoreFromMask;
+using core::ExpandCore;
+using core::FilterCoreByRegion;
+using core::SubsampleCore;
+using core::UnionCores;
+using graph::NodeId;
+
+TEST(GoodCoreTest, CoreFromMask) {
+  EXPECT_EQ(CoreFromMask({false, true, true, false, true}),
+            (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_TRUE(CoreFromMask({}).empty());
+}
+
+TEST(GoodCoreTest, UnionDeduplicatesAndSorts) {
+  EXPECT_EQ(UnionCores({{5, 1}, {1, 3}, {2}}),
+            (std::vector<NodeId>{1, 2, 3, 5}));
+  EXPECT_TRUE(UnionCores({}).empty());
+}
+
+TEST(GoodCoreTest, SubsampleSizes) {
+  std::vector<NodeId> core(1000);
+  for (NodeId i = 0; i < 1000; ++i) core[i] = i;
+  util::Rng rng(5);
+  EXPECT_EQ(SubsampleCore(core, 0.1, &rng).size(), 100u);
+  EXPECT_EQ(SubsampleCore(core, 0.01, &rng).size(), 10u);
+  EXPECT_EQ(SubsampleCore(core, 0.001, &rng).size(), 1u);
+  EXPECT_EQ(SubsampleCore(core, 1.0, &rng).size(), 1000u);
+}
+
+TEST(GoodCoreTest, SubsampleElementsComeFromCore) {
+  std::vector<NodeId> core = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  util::Rng rng(6);
+  auto sub = SubsampleCore(core, 0.4, &rng);
+  EXPECT_EQ(sub.size(), 4u);
+  for (NodeId x : sub) {
+    EXPECT_TRUE(std::find(core.begin(), core.end(), x) != core.end());
+  }
+}
+
+TEST(GoodCoreTest, SubsampleIsUniform) {
+  std::vector<NodeId> core = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  util::Rng rng(7);
+  std::vector<int> hits(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (NodeId x : SubsampleCore(core, 0.3, &rng)) hits[x]++;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.03);
+  }
+}
+
+TEST(GoodCoreTest, FilterByRegion) {
+  std::vector<NodeId> core = {0, 1, 2, 3};
+  std::vector<uint32_t> region = {7, 9, 7, 7};
+  EXPECT_EQ(FilterCoreByRegion(core, region, 7),
+            (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_TRUE(FilterCoreByRegion(core, region, 42).empty());
+}
+
+TEST(GoodCoreTest, ExpandCoreAddsWithoutDuplicates) {
+  // The Section 4.4.2 fix: 12 hub hosts appended to a half-million core.
+  std::vector<NodeId> core = {1, 2, 3};
+  EXPECT_EQ(ExpandCore(core, {3, 4, 5}), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ExpandCore(core, {}), core);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,60 @@
+// Tests of the label store.
+
+#include "core/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using core::LabelStore;
+using core::NodeLabel;
+
+TEST(LabelStoreTest, DefaultsToGood) {
+  LabelStore labels(4);
+  EXPECT_EQ(labels.num_nodes(), 4u);
+  for (uint32_t x = 0; x < 4; ++x) {
+    EXPECT_TRUE(labels.IsGood(x));
+    EXPECT_FALSE(labels.IsSpam(x));
+  }
+  EXPECT_NEAR(labels.GoodFraction(), 1.0, 1e-12);
+}
+
+TEST(LabelStoreTest, SetAndGet) {
+  LabelStore labels(5);
+  labels.Set(1, NodeLabel::kSpam);
+  labels.Set(3, NodeLabel::kUnknown);
+  labels.Set(4, NodeLabel::kNonExistent);
+  EXPECT_EQ(labels.Get(1), NodeLabel::kSpam);
+  EXPECT_EQ(labels.Get(3), NodeLabel::kUnknown);
+  EXPECT_TRUE(labels.IsSpam(1));
+  EXPECT_FALSE(labels.IsGood(3));
+}
+
+TEST(LabelStoreTest, NodeSets) {
+  LabelStore labels(6);
+  labels.Set(2, NodeLabel::kSpam);
+  labels.Set(5, NodeLabel::kSpam);
+  EXPECT_EQ(labels.SpamNodes(), (std::vector<graph::NodeId>{2, 5}));
+  EXPECT_EQ(labels.GoodNodes(), (std::vector<graph::NodeId>{0, 1, 3, 4}));
+  EXPECT_EQ(labels.CountLabel(NodeLabel::kSpam), 2u);
+  EXPECT_NEAR(labels.GoodFraction(), 4.0 / 6, 1e-12);
+}
+
+TEST(LabelStoreTest, LabelNames) {
+  EXPECT_STREQ(core::NodeLabelToString(NodeLabel::kGood), "good");
+  EXPECT_STREQ(core::NodeLabelToString(NodeLabel::kSpam), "spam");
+  EXPECT_STREQ(core::NodeLabelToString(NodeLabel::kUnknown), "unknown");
+  EXPECT_STREQ(core::NodeLabelToString(NodeLabel::kNonExistent),
+               "non-existent");
+}
+
+TEST(LabelStoreTest, EmptyStore) {
+  LabelStore labels;
+  EXPECT_EQ(labels.num_nodes(), 0u);
+  EXPECT_EQ(labels.GoodFraction(), 0.0);
+  EXPECT_TRUE(labels.SpamNodes().empty());
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,182 @@
+// Property-based tests of spam-mass invariants on randomized webs:
+//   * partition identity: q^{V⁺} + q^{V⁻} = p (Section 3.3),
+//   * relative mass never exceeds 1; equals 1 exactly for nodes the core
+//     cannot reach,
+//   * detector monotonicity in both thresholds,
+//   * estimator exactness when the core is the full good set and jumps are
+//     unscaled.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/spam_mass.h"
+#include "pagerank/contribution.h"
+#include "graph/graph_algorithms.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using core::LabelStore;
+using core::MassEstimates;
+using core::NodeLabel;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+
+struct RandomWeb {
+  WebGraph graph;
+  LabelStore labels;
+};
+
+/// Random graph with a random good/spam labeling.
+RandomWeb MakeRandomWeb(uint32_t n, double mean_degree, double spam_fraction,
+                        uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+  uint64_t edges = static_cast<uint64_t>(n * mean_degree);
+  for (uint64_t e = 0; e < edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u != v) b.AddEdge(u, v);
+  }
+  RandomWeb web;
+  web.graph = b.Build();
+  web.labels = LabelStore(n);
+  for (NodeId x = 0; x < n; ++x) {
+    if (rng.Bernoulli(spam_fraction)) web.labels.Set(x, NodeLabel::kSpam);
+  }
+  return web;
+}
+
+pagerank::SolverOptions Precise() {
+  pagerank::SolverOptions opt;
+  opt.tolerance = 1e-14;
+  opt.max_iterations = 5000;
+  return opt;
+}
+
+class MassPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MassPropertyTest, PartitionContributionsSumToPageRank) {
+  RandomWeb web = MakeRandomWeb(60, 3.0, 0.3, GetParam());
+  auto p = pagerank::ComputeUniformPageRank(web.graph, Precise());
+  auto good = pagerank::ComputeSetContribution(web.graph,
+                                               web.labels.GoodNodes(),
+                                               Precise());
+  auto spam = pagerank::ComputeSetContribution(web.graph,
+                                               web.labels.SpamNodes(),
+                                               Precise());
+  ASSERT_TRUE(p.ok() && good.ok() && spam.ok());
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    EXPECT_NEAR(good.value().scores[x] + spam.value().scores[x],
+                p.value().scores[x], 1e-11);
+  }
+}
+
+TEST_P(MassPropertyTest, RelativeMassBoundedAboveByOne) {
+  RandomWeb web = MakeRandomWeb(80, 2.5, 0.3, GetParam() + 100);
+  std::vector<NodeId> core;
+  util::Rng rng(GetParam() + 200);
+  for (NodeId x : web.labels.GoodNodes()) {
+    if (rng.Bernoulli(0.3)) core.push_back(x);
+  }
+  if (core.empty()) core.push_back(web.labels.GoodNodes().front());
+  core::SpamMassOptions options;
+  options.solver = Precise();
+  options.gamma = 0.7;
+  auto est = core::EstimateSpamMass(web.graph, core, options);
+  ASSERT_TRUE(est.ok());
+  for (double m : est.value().relative_mass) {
+    EXPECT_LE(m, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(MassPropertyTest, UnreachableNodesHaveRelativeMassOne) {
+  RandomWeb web = MakeRandomWeb(50, 2.0, 0.3, GetParam() + 300);
+  std::vector<NodeId> core = {0};
+  core::SpamMassOptions options;
+  options.solver = Precise();
+  auto est = core::EstimateSpamMass(web.graph, core, options);
+  ASSERT_TRUE(est.ok());
+  auto reachable = graph::ReachableFrom(web.graph, core);
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    if (!reachable[x]) {
+      EXPECT_NEAR(est.value().relative_mass[x], 1.0, 1e-12) << "node " << x;
+    }
+  }
+}
+
+TEST_P(MassPropertyTest, PerfectUnscaledCoreRecoversActualMass) {
+  // With Ṽ⁺ = V⁺ and the raw 1/n jump, p′ is exactly the good
+  // contribution, so M̃ = M (Definition 3 becomes exact).
+  RandomWeb web = MakeRandomWeb(40, 2.5, 0.35, GetParam() + 400);
+  if (web.labels.GoodNodes().empty()) return;
+  core::SpamMassOptions options;
+  options.solver = Precise();
+  options.scale_core_jump = false;
+  auto est =
+      core::EstimateSpamMass(web.graph, web.labels.GoodNodes(), options);
+  auto actual =
+      core::ComputeActualSpamMass(web.graph, web.labels, Precise());
+  ASSERT_TRUE(est.ok() && actual.ok());
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    EXPECT_NEAR(est.value().absolute_mass[x],
+                actual.value().absolute_mass[x], 1e-11);
+    EXPECT_NEAR(est.value().relative_mass[x],
+                actual.value().relative_mass[x], 1e-9);
+  }
+}
+
+TEST_P(MassPropertyTest, DetectorMonotoneInThresholds) {
+  RandomWeb web = MakeRandomWeb(70, 3.0, 0.3, GetParam() + 500);
+  std::vector<NodeId> core;
+  for (NodeId x : web.labels.GoodNodes()) {
+    if (x % 3 == 0) core.push_back(x);
+  }
+  if (core.empty()) return;
+  core::SpamMassOptions options;
+  options.solver = Precise();
+  auto est = core::EstimateSpamMass(web.graph, core, options);
+  ASSERT_TRUE(est.ok());
+
+  auto count = [&](double tau, double rho) {
+    core::DetectorConfig config;
+    config.relative_mass_threshold = tau;
+    config.scaled_pagerank_threshold = rho;
+    return core::DetectSpamCandidates(est.value(), config).size();
+  };
+  // Raising either threshold never yields more candidates.
+  EXPECT_GE(count(0.2, 1.0), count(0.5, 1.0));
+  EXPECT_GE(count(0.5, 1.0), count(0.9, 1.0));
+  EXPECT_GE(count(0.5, 0.5), count(0.5, 2.0));
+  EXPECT_GE(count(0.5, 2.0), count(0.5, 8.0));
+}
+
+TEST_P(MassPropertyTest, GammaScalesCoreContributionLinearly) {
+  // p′ is linear in the jump vector, hence linear in γ.
+  RandomWeb web = MakeRandomWeb(50, 2.5, 0.3, GetParam() + 600);
+  std::vector<NodeId> core;
+  for (NodeId x : web.labels.GoodNodes()) {
+    if (x % 4 == 0) core.push_back(x);
+  }
+  if (core.empty()) return;
+  core::SpamMassOptions options;
+  options.solver = Precise();
+  options.gamma = 0.4;
+  auto half = core::EstimateSpamMass(web.graph, core, options);
+  options.gamma = 0.8;
+  auto full = core::EstimateSpamMass(web.graph, core, options);
+  ASSERT_TRUE(half.ok() && full.ok());
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    EXPECT_NEAR(2.0 * half.value().core_pagerank[x],
+                full.value().core_pagerank[x], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MassPropertyTest,
+                         ::testing::Values(1u, 4u, 9u, 16u, 25u));
+
+}  // namespace
+}  // namespace spammass

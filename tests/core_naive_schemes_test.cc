@@ -1,0 +1,120 @@
+// Tests of the Section 3.1 naive labeling schemes, including the exact
+// failure cases the paper constructs them to expose.
+
+#include "core/naive_schemes.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/paper_graphs.h"
+
+namespace spammass {
+namespace {
+
+using core::FirstLabelingScheme;
+using core::FirstLabelingSchemeAll;
+using core::LinkContributionMode;
+using core::SecondLabelingScheme;
+using core::SecondLabelingSchemeAll;
+using pagerank::SolverOptions;
+
+SolverOptions Precise() {
+  SolverOptions opt;
+  opt.tolerance = 1e-14;
+  opt.max_iterations = 5000;
+  return opt;
+}
+
+// Figure 1 with k >= 2: the majority of x's inlinks are good (g0, g1 vs
+// s0), so scheme 1 calls x good — the paper's documented failure.
+TEST(NaiveSchemesTest, FirstSchemeFailsOnFigure1) {
+  auto fig = synth::MakeFigure1Graph(10);
+  EXPECT_FALSE(FirstLabelingScheme(fig.graph, fig.labels, fig.x));
+  // It does catch s0, which has only spam inlinks.
+  EXPECT_TRUE(FirstLabelingScheme(fig.graph, fig.labels, fig.s0));
+}
+
+// Scheme 2 weighs links by contribution: the s0→x link carries
+// (c+kc²)(1−c)/n which beats the two good links' 2c(1−c)/n for k >= 2 —
+// scheme 2 succeeds where scheme 1 failed (both modes).
+TEST(NaiveSchemesTest, SecondSchemeSucceedsOnFigure1) {
+  auto fig = synth::MakeFigure1Graph(10);
+  for (auto mode :
+       {LinkContributionMode::kExact, LinkContributionMode::kFirstOrder}) {
+    auto r = SecondLabelingScheme(fig.graph, fig.labels, fig.x, Precise(),
+                                  mode);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value()) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(NaiveSchemesTest, SecondSchemeAgreesWithGoodVerdictOnSmallK) {
+  // k = 1: the good links dominate; x is labeled good.
+  auto fig = synth::MakeFigure1Graph(1);
+  auto r = SecondLabelingScheme(fig.graph, fig.labels, fig.x, Precise(),
+                                LinkContributionMode::kExact);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+// Figure 2: direct links to x are g0, g2 (contributing (2c+4c²)(1−c)/n)
+// versus s0 ((c+4c²)(1−c)/n) — scheme 2 labels x good even though 7 spam
+// nodes influence it indirectly. This is the failure motivating spam mass.
+TEST(NaiveSchemesTest, SecondSchemeFailsOnFigure2) {
+  auto fig = synth::MakeFigure2Graph();
+  for (auto mode :
+       {LinkContributionMode::kExact, LinkContributionMode::kFirstOrder}) {
+    auto r = SecondLabelingScheme(fig.graph, fig.labels, fig.x, Precise(),
+                                  mode);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value()) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(NaiveSchemesTest, FirstSchemeAlsoFailsOnFigure2) {
+  auto fig = synth::MakeFigure2Graph();
+  EXPECT_FALSE(FirstLabelingScheme(fig.graph, fig.labels, fig.x));
+}
+
+TEST(NaiveSchemesTest, NoInlinksMeansGood) {
+  auto fig = synth::MakeFigure1Graph(3);
+  EXPECT_FALSE(FirstLabelingScheme(fig.graph, fig.labels, fig.g0));
+  auto r = SecondLabelingScheme(fig.graph, fig.labels, fig.g0, Precise(),
+                                LinkContributionMode::kFirstOrder);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(NaiveSchemesTest, UnknownNeighborsIgnored) {
+  auto fig = synth::MakeFigure1Graph(4);
+  // Mark the good in-neighbors unknown: only s0 remains judged, so the
+  // majority of judged inlinks is spam.
+  fig.labels.Set(fig.g0, core::NodeLabel::kUnknown);
+  fig.labels.Set(fig.g1, core::NodeLabel::kNonExistent);
+  EXPECT_TRUE(FirstLabelingScheme(fig.graph, fig.labels, fig.x));
+}
+
+TEST(NaiveSchemesTest, AllVariantsMatchSingleNodeCalls) {
+  auto fig = synth::MakeFigure2Graph();
+  auto all1 = FirstLabelingSchemeAll(fig.graph, fig.labels);
+  for (graph::NodeId x = 0; x < fig.graph.num_nodes(); ++x) {
+    EXPECT_EQ(all1[x], FirstLabelingScheme(fig.graph, fig.labels, x));
+  }
+  auto all2 = SecondLabelingSchemeAll(fig.graph, fig.labels, Precise());
+  ASSERT_TRUE(all2.ok());
+  for (graph::NodeId x = 0; x < fig.graph.num_nodes(); ++x) {
+    auto single = SecondLabelingScheme(fig.graph, fig.labels, x, Precise(),
+                                       LinkContributionMode::kFirstOrder);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(all2.value()[x], single.value()) << "node " << x;
+  }
+}
+
+TEST(NaiveSchemesTest, OutOfRangeNodeRejected) {
+  auto fig = synth::MakeFigure1Graph(1);
+  EXPECT_FALSE(SecondLabelingScheme(fig.graph, fig.labels, 999, Precise(),
+                                    LinkContributionMode::kFirstOrder)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace spammass

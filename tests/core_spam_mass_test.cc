@@ -1,0 +1,179 @@
+// Tests of spam-mass estimation beyond the Table 1 anchor (which lives in
+// synth_paper_graphs_test.cc): scaling behavior of Section 3.5, the
+// spam-core estimator, combination, and error paths.
+
+#include "core/spam_mass.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "pagerank/solver.h"
+#include "synth/paper_graphs.h"
+
+namespace spammass {
+namespace {
+
+using core::CombineEstimates;
+using core::EstimateSpamMass;
+using core::EstimateSpamMassFromSpamCore;
+using core::MassEstimates;
+using core::SpamMassOptions;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+
+SpamMassOptions PreciseOptions() {
+  SpamMassOptions opt;
+  opt.solver.tolerance = 1e-14;
+  opt.solver.max_iterations = 5000;
+  return opt;
+}
+
+TEST(SpamMassTest, EmptyCoreRejected) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_FALSE(EstimateSpamMass(g, {}, PreciseOptions()).ok());
+}
+
+TEST(SpamMassTest, OutOfRangeCoreRejected) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_FALSE(EstimateSpamMass(g, {5}, PreciseOptions()).ok());
+}
+
+TEST(SpamMassTest, BadGammaRejected) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  SpamMassOptions opt = PreciseOptions();
+  opt.gamma = 0.0;
+  EXPECT_FALSE(EstimateSpamMass(g, {0}, opt).ok());
+  opt.gamma = 1.5;
+  EXPECT_FALSE(EstimateSpamMass(g, {0}, opt).ok());
+}
+
+TEST(SpamMassTest, RelativeMassIsOneMinusRatio) {
+  auto fig = synth::MakeFigure2Graph();
+  SpamMassOptions opt = PreciseOptions();
+  opt.scale_core_jump = false;
+  auto est = EstimateSpamMass(fig.graph, fig.good_core, opt);
+  ASSERT_TRUE(est.ok());
+  const MassEstimates& e = est.value();
+  for (size_t i = 0; i < e.pagerank.size(); ++i) {
+    EXPECT_NEAR(e.relative_mass[i],
+                1.0 - e.core_pagerank[i] / e.pagerank[i], 1e-12);
+    EXPECT_NEAR(e.absolute_mass[i], e.pagerank[i] - e.core_pagerank[i],
+                1e-15);
+    EXPECT_LE(e.relative_mass[i], 1.0 + 1e-12);
+  }
+}
+
+TEST(SpamMassTest, UnscaledCoreUnderestimatesGoodContribution) {
+  // Section 3.5 / 4.3: with the raw v^Ṽ⁺ jump, ‖p′‖ ≪ ‖p‖ and almost every
+  // node's mass estimate approaches its full PageRank. Scaling to ‖w‖ = γ
+  // fixes this. Build a graph with a small core over many good nodes.
+  GraphBuilder b(200);
+  for (NodeId i = 1; i < 200; ++i) b.AddEdge(i, (i * 7) % 199);
+  WebGraph g = b.Build();
+  std::vector<NodeId> core = {0, 1};
+
+  SpamMassOptions unscaled = PreciseOptions();
+  unscaled.scale_core_jump = false;
+  SpamMassOptions scaled = PreciseOptions();
+  scaled.gamma = 0.9;
+
+  auto u = EstimateSpamMass(g, core, unscaled);
+  auto s = EstimateSpamMass(g, core, scaled);
+  ASSERT_TRUE(u.ok() && s.ok());
+  double u_norm = 0, s_norm = 0, p_norm = 0;
+  for (size_t i = 0; i < u.value().pagerank.size(); ++i) {
+    u_norm += u.value().core_pagerank[i];
+    s_norm += s.value().core_pagerank[i];
+    p_norm += u.value().pagerank[i];
+  }
+  EXPECT_LT(u_norm, 0.05 * p_norm);  // ‖p′‖ ≪ ‖p‖
+  EXPECT_GT(s_norm, 0.3 * p_norm);   // scaled jump restores the magnitude
+}
+
+TEST(SpamMassTest, CoreMembersCanGetNegativeMass) {
+  // Section 3.5: scaled jumps overestimate the good contribution of core
+  // members, driving their estimated mass negative.
+  auto fig = synth::MakeFigure2Graph();
+  SpamMassOptions opt = PreciseOptions();
+  opt.gamma = 0.85;
+  auto est = EstimateSpamMass(fig.graph, fig.good_core, opt);
+  ASSERT_TRUE(est.ok());
+  for (NodeId member : fig.good_core) {
+    EXPECT_LT(est.value().absolute_mass[member], 0.0)
+        << "core member " << member;
+  }
+}
+
+TEST(SpamMassTest, SpamCoreEstimator) {
+  auto fig = synth::MakeFigure2Graph();
+  // Perfect spam core: M̂ should equal the actual mass.
+  auto actual = core::ComputeActualSpamMass(fig.graph, fig.labels,
+                                            PreciseOptions().solver);
+  auto est = EstimateSpamMassFromSpamCore(
+      fig.graph, fig.labels.SpamNodes(), PreciseOptions());
+  ASSERT_TRUE(actual.ok() && est.ok());
+  for (size_t i = 0; i < actual.value().absolute_mass.size(); ++i) {
+    EXPECT_NEAR(est.value().absolute_mass[i],
+                actual.value().absolute_mass[i], 1e-12);
+  }
+}
+
+TEST(SpamMassTest, SpamCoreEmptyRejected) {
+  auto fig = synth::MakeFigure2Graph();
+  EXPECT_FALSE(
+      EstimateSpamMassFromSpamCore(fig.graph, {}, PreciseOptions()).ok());
+}
+
+TEST(SpamMassTest, CombineEstimatesAverages) {
+  auto fig = synth::MakeFigure2Graph();
+  SpamMassOptions opt = PreciseOptions();
+  opt.scale_core_jump = false;
+  auto from_good = EstimateSpamMass(fig.graph, fig.good_core, opt);
+  auto from_spam = EstimateSpamMassFromSpamCore(
+      fig.graph, fig.labels.SpamNodes(), PreciseOptions());
+  ASSERT_TRUE(from_good.ok() && from_spam.ok());
+  MassEstimates combined =
+      CombineEstimates(from_good.value(), from_spam.value(), 0.5);
+  for (size_t i = 0; i < combined.absolute_mass.size(); ++i) {
+    EXPECT_NEAR(combined.absolute_mass[i],
+                0.5 * from_good.value().absolute_mass[i] +
+                    0.5 * from_spam.value().absolute_mass[i],
+                1e-12);
+  }
+  // Weight 1.0 reproduces the good-core estimate exactly.
+  MassEstimates only_good =
+      CombineEstimates(from_good.value(), from_spam.value(), 1.0);
+  for (size_t i = 0; i < only_good.absolute_mass.size(); ++i) {
+    EXPECT_NEAR(only_good.absolute_mass[i],
+                from_good.value().absolute_mass[i], 1e-12);
+  }
+}
+
+TEST(SpamMassTest, ActualMassLabelMismatchRejected) {
+  auto fig = synth::MakeFigure2Graph();
+  core::LabelStore wrong(5);
+  EXPECT_FALSE(core::ComputeActualSpamMass(fig.graph, wrong,
+                                           PreciseOptions().solver)
+                   .ok());
+}
+
+TEST(SpamMassTest, AllGoodWebHasTinyActualMass) {
+  GraphBuilder b(10);
+  for (NodeId i = 0; i < 9; ++i) b.AddEdge(i, i + 1);
+  WebGraph g = b.Build();
+  core::LabelStore labels(10);  // everyone good
+  auto actual =
+      core::ComputeActualSpamMass(g, labels, PreciseOptions().solver);
+  ASSERT_TRUE(actual.ok());
+  for (double m : actual.value().absolute_mass) EXPECT_EQ(m, 0.0);
+}
+
+}  // namespace
+}  // namespace spammass

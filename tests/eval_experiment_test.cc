@@ -1,0 +1,104 @@
+// Tests of the pipeline glue beyond the large integration suite: option
+// handling, gamma clamping, and re-estimation error paths.
+
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace spammass {
+namespace {
+
+using eval::PipelineOptions;
+using eval::PipelineResult;
+using eval::ReestimateWithCore;
+using eval::RunPipeline;
+
+PipelineOptions TinyOptions(uint64_t seed = 3) {
+  PipelineOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  options.sample_size = 60;
+  return options;
+}
+
+TEST(ExperimentTest, FixedGammaIsRespected) {
+  PipelineOptions options = TinyOptions();
+  options.estimate_gamma_from_sample = false;
+  options.mass.gamma = 0.6;
+  auto r = RunPipeline(options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r.value().gamma_used, 0.6);
+}
+
+TEST(ExperimentTest, EstimatedGammaIsClamped) {
+  // Even with a degenerate judged sample the γ used stays in (0, 1].
+  PipelineOptions options = TinyOptions(11);
+  options.gamma_sample_size = 3;  // tiny, noisy sample
+  auto r = RunPipeline(options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().gamma_used, 0.05);
+  EXPECT_LE(r.value().gamma_used, 1.0);
+}
+
+TEST(ExperimentTest, SampleSizeHonored) {
+  PipelineOptions options = TinyOptions(5);
+  options.sample_size = 10;
+  options.scaled_rho = 5.0;  // widen T so 10 is attainable
+  auto r = RunPipeline(options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().sample.hosts.size(), 10u);
+}
+
+TEST(ExperimentTest, RhoControlsFilterSize) {
+  PipelineOptions lo = TinyOptions(7);
+  lo.scaled_rho = 5.0;
+  PipelineOptions hi = TinyOptions(7);
+  hi.scaled_rho = 20.0;
+  auto rl = RunPipeline(lo);
+  auto rh = RunPipeline(hi);
+  ASSERT_TRUE(rl.ok() && rh.ok());
+  EXPECT_GT(rl.value().filtered.size(), rh.value().filtered.size());
+}
+
+TEST(ExperimentTest, ReestimateRejectsBadCore) {
+  auto r = RunPipeline(TinyOptions(9));
+  ASSERT_TRUE(r.ok());
+  auto empty = ReestimateWithCore(r.value(), {}, TinyOptions(9), nullptr);
+  EXPECT_FALSE(empty.ok());
+  auto out_of_range = ReestimateWithCore(
+      r.value(), {r.value().web.graph.num_nodes()}, TinyOptions(9), nullptr);
+  EXPECT_FALSE(out_of_range.ok());
+}
+
+TEST(ExperimentTest, ReestimateKeepsGamma) {
+  auto r = RunPipeline(TinyOptions(13));
+  ASSERT_TRUE(r.ok());
+  core::MassEstimates estimates;
+  auto sample = ReestimateWithCore(r.value(), r.value().good_core,
+                                   TinyOptions(13), &estimates);
+  ASSERT_TRUE(sample.ok());
+  // Same core + same gamma => identical estimates, identical sample mass.
+  for (size_t i = 0; i < sample.value().hosts.size(); ++i) {
+    EXPECT_NEAR(sample.value().hosts[i].relative_mass,
+                r.value().sample.hosts[i].relative_mass, 1e-9);
+  }
+}
+
+TEST(ExperimentTest, UnknownFractionFlowsThrough) {
+  PipelineOptions options = TinyOptions(15);
+  options.scaled_rho = 3.0;
+  options.sample_size = 500;
+  options.unknown_fraction = 0.5;
+  options.nonexistent_fraction = 0.0;
+  auto r = RunPipeline(options);
+  ASSERT_TRUE(r.ok());
+  uint64_t unknown = r.value().sample.CountJudged(core::NodeLabel::kUnknown);
+  double fraction =
+      static_cast<double>(unknown) / r.value().sample.hosts.size();
+  EXPECT_NEAR(fraction, 0.5, 0.12);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,106 @@
+// Tests of the Table 2 / Figure 3 sample grouping.
+
+#include "eval/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using core::NodeLabel;
+using eval::EvaluationSample;
+using eval::JudgedHost;
+using eval::SampleGroup;
+using eval::SplitIntoGroups;
+using eval::ThresholdsFromGroups;
+
+JudgedHost Host(double mass, NodeLabel judged,
+                bool anomalous = false) {
+  JudgedHost h;
+  h.node = 0;
+  h.relative_mass = mass;
+  h.judged = judged;
+  h.anomalous = anomalous;
+  return h;
+}
+
+TEST(GroupingTest, GroupSizesNearEqualAndOrdered) {
+  EvaluationSample sample;
+  for (int i = 0; i < 892; ++i) {
+    sample.hosts.push_back(
+        Host(-68.0 + i * 0.077, i % 4 == 0 ? NodeLabel::kSpam
+                                           : NodeLabel::kGood));
+  }
+  auto groups = SplitIntoGroups(sample, 20);
+  ASSERT_EQ(groups.size(), 20u);
+  uint64_t total = 0;
+  double prev_max = -1e18;
+  for (const auto& g : groups) {
+    EXPECT_GE(g.size, 44u);  // 892 / 20 = 44.6
+    EXPECT_LE(g.size, 45u);
+    EXPECT_LE(g.smallest_mass, g.largest_mass);
+    EXPECT_GE(g.smallest_mass, prev_max);
+    prev_max = g.largest_mass;
+    total += g.size;
+  }
+  EXPECT_EQ(total, 892u);
+}
+
+TEST(GroupingTest, CompositionCounts) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.1, NodeLabel::kGood));
+  sample.hosts.push_back(Host(0.2, NodeLabel::kSpam));
+  sample.hosts.push_back(Host(0.3, NodeLabel::kGood, /*anomalous=*/true));
+  sample.hosts.push_back(Host(0.4, NodeLabel::kUnknown));
+  sample.hosts.push_back(Host(0.5, NodeLabel::kNonExistent));
+  auto groups = SplitIntoGroups(sample, 1);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size, 5u);
+  EXPECT_EQ(groups[0].good, 1u);
+  EXPECT_EQ(groups[0].spam, 1u);
+  EXPECT_EQ(groups[0].anomalous, 1u);
+  EXPECT_EQ(groups[0].excluded, 2u);
+  EXPECT_EQ(groups[0].EvaluatedSize(), 3u);
+  EXPECT_NEAR(groups[0].SpamFraction(), 1.0 / 3, 1e-12);
+}
+
+TEST(GroupingTest, MoreGroupsThanHostsClamps) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.1, NodeLabel::kGood));
+  sample.hosts.push_back(Host(0.9, NodeLabel::kSpam));
+  auto groups = SplitIntoGroups(sample, 20);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(GroupingTest, MassRangeBoundsAreTight) {
+  EvaluationSample sample;
+  for (double m : {0.9, 0.1, 0.5, 0.3, 0.7, 0.2}) {
+    sample.hosts.push_back(Host(m, NodeLabel::kGood));
+  }
+  auto groups = SplitIntoGroups(sample, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_NEAR(groups[0].smallest_mass, 0.1, 1e-12);
+  EXPECT_NEAR(groups[0].largest_mass, 0.3, 1e-12);
+  EXPECT_NEAR(groups[1].smallest_mass, 0.5, 1e-12);
+  EXPECT_NEAR(groups[1].largest_mass, 0.9, 1e-12);
+}
+
+TEST(GroupingTest, ThresholdsDescendFromNonNegativeBoundaries) {
+  EvaluationSample sample;
+  for (double m : {-2.0, -0.5, 0.1, 0.34, 0.56, 0.98}) {
+    sample.hosts.push_back(Host(m, NodeLabel::kGood));
+  }
+  auto groups = SplitIntoGroups(sample, 6);
+  auto thresholds = ThresholdsFromGroups(groups);
+  // Non-negative group minima, descending, ending at 0.
+  ASSERT_EQ(thresholds.size(), 5u);
+  EXPECT_NEAR(thresholds[0], 0.98, 1e-12);
+  EXPECT_NEAR(thresholds[1], 0.56, 1e-12);
+  EXPECT_NEAR(thresholds[2], 0.34, 1e-12);
+  EXPECT_NEAR(thresholds[3], 0.1, 1e-12);
+  EXPECT_NEAR(thresholds[4], 0.0, 1e-12);
+  EXPECT_TRUE(std::is_sorted(thresholds.rbegin(), thresholds.rend()));
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,79 @@
+// Tests of the Figure 6 mass-distribution computation.
+
+#include "eval/mass_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using core::MassEstimates;
+using eval::ComputeMassDistribution;
+using eval::MassDistribution;
+
+MassEstimates EstimatesFromScaledMasses(const std::vector<double>& scaled,
+                                        double damping = 0.85) {
+  MassEstimates est;
+  est.damping = damping;
+  size_t n = scaled.size();
+  double unscale = (1.0 - damping) / static_cast<double>(n);
+  for (double m : scaled) {
+    est.absolute_mass.push_back(m * unscale);
+    est.pagerank.push_back(std::abs(m) * unscale + unscale);
+    est.core_pagerank.push_back(0);
+    est.relative_mass.push_back(0);
+  }
+  return est;
+}
+
+TEST(MassDistributionTest, SplitsBranchesAndRange) {
+  MassEstimates est =
+      EstimatesFromScaledMasses({-100, -5, -0.1, 0, 2, 30, 400});
+  MassDistribution dist = ComputeMassDistribution(est);
+  EXPECT_EQ(dist.num_negative, 3u);
+  EXPECT_EQ(dist.num_positive, 3u);
+  EXPECT_NEAR(dist.min_scaled_mass, -100, 1e-9);
+  EXPECT_NEAR(dist.max_scaled_mass, 400, 1e-9);
+}
+
+TEST(MassDistributionTest, BinFractionsReferTotalPerBranch) {
+  MassEstimates est = EstimatesFromScaledMasses({1, 2, 4, 8, 16});
+  MassDistribution dist = ComputeMassDistribution(est, 2.0, 1.0);
+  uint64_t count = 0;
+  for (const auto& b : dist.positive) count += b.count;
+  EXPECT_EQ(count, 5u);
+  EXPECT_TRUE(dist.negative.empty());
+}
+
+TEST(MassDistributionTest, PowerLawTailRecovered) {
+  // Positive masses drawn from a power law with alpha = 2.31 — the paper's
+  // measured exponent — must be recovered by the fit.
+  util::Rng rng(5);
+  std::vector<double> scaled;
+  for (int i = 0; i < 60000; ++i) {
+    scaled.push_back(rng.PowerLaw(1.0, 2.31));
+  }
+  for (int i = 0; i < 5000; ++i) scaled.push_back(-rng.PowerLaw(1.0, 2.5));
+  MassEstimates est = EstimatesFromScaledMasses(scaled);
+  MassDistribution dist = ComputeMassDistribution(est);
+  EXPECT_EQ(dist.num_positive, 60000u);
+  EXPECT_NEAR(dist.positive_fit.alpha, 2.31, 0.06);
+}
+
+TEST(MassDistributionTest, TooFewPositivesNoFit) {
+  MassEstimates est = EstimatesFromScaledMasses({-1, -2, 3});
+  MassDistribution dist = ComputeMassDistribution(est);
+  EXPECT_EQ(dist.positive_fit.alpha, 0.0);
+}
+
+TEST(MassDistributionTest, LogBinsCoverWideRange) {
+  MassEstimates est = EstimatesFromScaledMasses({1, 1e5});
+  MassDistribution dist = ComputeMassDistribution(est, 10.0, 1.0);
+  ASSERT_FALSE(dist.positive.empty());
+  EXPECT_GE(dist.positive.back().upper, 1e5);
+}
+
+}  // namespace
+}  // namespace spammass

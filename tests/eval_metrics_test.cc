@@ -1,0 +1,109 @@
+// Tests of ROC / AUC / precision-recall metrics.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using eval::ComputeAuc;
+using eval::ComputePrCurve;
+using eval::ComputeRoc;
+using eval::ScoredExample;
+using eval::ThresholdForPrecision;
+
+std::vector<ScoredExample> PerfectSeparation() {
+  return {{0.9, true}, {0.8, true}, {0.3, false}, {0.1, false}};
+}
+
+TEST(MetricsTest, PerfectSeparationAucIsOne) {
+  EXPECT_NEAR(ComputeAuc(PerfectSeparation()), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ReversedSeparationAucIsZero) {
+  std::vector<ScoredExample> reversed = {
+      {0.9, false}, {0.8, false}, {0.3, true}, {0.1, true}};
+  EXPECT_NEAR(ComputeAuc(reversed), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, RandomScoresAucNearHalf) {
+  util::Rng rng(5);
+  std::vector<ScoredExample> examples;
+  for (int i = 0; i < 20000; ++i) {
+    examples.push_back({rng.Uniform01(), rng.Bernoulli(0.3)});
+  }
+  EXPECT_NEAR(ComputeAuc(examples), 0.5, 0.02);
+}
+
+TEST(MetricsTest, EmptyInputAucIsHalf) {
+  EXPECT_EQ(ComputeAuc({}), 0.5);
+}
+
+TEST(MetricsTest, TiedScoresCountHalf) {
+  // One positive and one negative share the same score: AUC = 0.5.
+  std::vector<ScoredExample> tied = {{0.5, true}, {0.5, false}};
+  EXPECT_NEAR(ComputeAuc(tied), 0.5, 1e-12);
+}
+
+TEST(MetricsTest, RocEndpointsAndMonotonicity) {
+  auto curve = ComputeRoc(PerfectSeparation());
+  ASSERT_FALSE(curve.empty());
+  double prev_tpr = 0, prev_fpr = 0;
+  for (const auto& point : curve) {
+    EXPECT_GE(point.true_positive_rate, prev_tpr);
+    EXPECT_GE(point.false_positive_rate, prev_fpr);
+    prev_tpr = point.true_positive_rate;
+    prev_fpr = point.false_positive_rate;
+  }
+  EXPECT_NEAR(curve.back().true_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(curve.back().false_positive_rate, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, RocGroupsTies) {
+  std::vector<ScoredExample> examples = {
+      {0.9, true}, {0.5, true}, {0.5, false}, {0.5, false}, {0.1, false}};
+  auto curve = ComputeRoc(examples);
+  // Thresholds: 0.9, 0.5, 0.1 — one point per distinct score.
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[1].true_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(curve[1].false_positive_rate, 2.0 / 3, 1e-12);
+}
+
+TEST(MetricsTest, PrCurveValues) {
+  auto curve = ComputePrCurve(PerfectSeparation());
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_NEAR(curve[0].precision, 1.0, 1e-12);
+  EXPECT_NEAR(curve[0].recall, 0.5, 1e-12);
+  EXPECT_EQ(curve[0].flagged, 1u);
+  EXPECT_NEAR(curve[1].precision, 1.0, 1e-12);
+  EXPECT_NEAR(curve[1].recall, 1.0, 1e-12);
+  EXPECT_NEAR(curve[3].precision, 0.5, 1e-12);
+  EXPECT_NEAR(curve[3].recall, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ThresholdForPrecisionPicksMaxRecall) {
+  auto point = ThresholdForPrecision(PerfectSeparation(), 1.0);
+  EXPECT_NEAR(point.precision, 1.0, 1e-12);
+  EXPECT_NEAR(point.recall, 1.0, 1e-12);  // threshold 0.8, not 0.9
+  EXPECT_NEAR(point.threshold, 0.8, 1e-12);
+}
+
+TEST(MetricsTest, ThresholdForPrecisionFallsBackToBest) {
+  std::vector<ScoredExample> noisy = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.1, false}};
+  auto point = ThresholdForPrecision(noisy, 0.99);
+  // Unattainable: best available precision is 1.0 at the top threshold...
+  // top point has precision 1.0 (1 of 1), so the target IS attainable.
+  EXPECT_NEAR(point.precision, 1.0, 1e-12);
+  EXPECT_NEAR(point.threshold, 0.9, 1e-12);
+
+  std::vector<ScoredExample> hopeless = {{0.9, false}, {0.5, true}};
+  auto fallback = ThresholdForPrecision(hopeless, 0.99);
+  EXPECT_NEAR(fallback.precision, 0.5, 1e-12);  // best of {0, 0.5}
+}
+
+}  // namespace
+}  // namespace spammass

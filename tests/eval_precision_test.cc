@@ -1,0 +1,100 @@
+// Tests of the Figure 4/5 precision computation.
+
+#include "eval/precision.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using core::NodeLabel;
+using eval::ComputePrecisionCurve;
+using eval::EvaluationSample;
+using eval::JudgedHost;
+
+JudgedHost Host(double mass, NodeLabel judged, bool anomalous = false) {
+  JudgedHost h;
+  h.relative_mass = mass;
+  h.judged = judged;
+  h.anomalous = anomalous;
+  return h;
+}
+
+TEST(PrecisionTest, BasicCounts) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.99, NodeLabel::kSpam));
+  sample.hosts.push_back(Host(0.95, NodeLabel::kSpam));
+  sample.hosts.push_back(Host(0.92, NodeLabel::kGood));
+  sample.hosts.push_back(Host(0.40, NodeLabel::kSpam));
+  sample.hosts.push_back(Host(0.10, NodeLabel::kGood));
+  auto curve = ComputePrecisionCurve(sample, {0.9, 0.0});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve[0].sample_spam, 2u);
+  EXPECT_EQ(curve[0].sample_good, 1u);
+  EXPECT_NEAR(curve[0].precision_including_anomalous, 2.0 / 3, 1e-12);
+  EXPECT_EQ(curve[1].sample_spam, 3u);
+  EXPECT_NEAR(curve[1].precision_including_anomalous, 3.0 / 5, 1e-12);
+}
+
+TEST(PrecisionTest, AnomalousVariants) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.99, NodeLabel::kSpam));
+  sample.hosts.push_back(Host(0.98, NodeLabel::kGood, /*anomalous=*/true));
+  auto curve = ComputePrecisionCurve(sample, {0.9});
+  ASSERT_EQ(curve.size(), 1u);
+  // Included: the anomalous good host is a false positive -> 1/2.
+  EXPECT_NEAR(curve[0].precision_including_anomalous, 0.5, 1e-12);
+  // Excluded: it is dropped -> 1/1.
+  EXPECT_NEAR(curve[0].precision_excluding_anomalous, 1.0, 1e-12);
+}
+
+TEST(PrecisionTest, ExcludedHostsIgnored) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.99, NodeLabel::kUnknown));
+  sample.hosts.push_back(Host(0.99, NodeLabel::kNonExistent));
+  sample.hosts.push_back(Host(0.99, NodeLabel::kSpam));
+  auto curve = ComputePrecisionCurve(sample, {0.5});
+  EXPECT_EQ(curve[0].sample_spam, 1u);
+  EXPECT_EQ(curve[0].sample_good, 0u);
+  EXPECT_NEAR(curve[0].precision_including_anomalous, 1.0, 1e-12);
+}
+
+TEST(PrecisionTest, EmptyAboveThresholdGivesZero) {
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.2, NodeLabel::kSpam));
+  auto curve = ComputePrecisionCurve(sample, {0.9});
+  EXPECT_EQ(curve[0].precision_including_anomalous, 0.0);
+}
+
+TEST(PrecisionTest, HostsAboveUsesFullEstimates) {
+  core::MassEstimates est;
+  est.damping = 0.85;
+  // 4 nodes; scaled PR = p * n/(1-c) = p * 4/0.15.
+  double unit = 0.15 / 4;             // scaled PR exactly 1
+  est.pagerank = {20 * unit, 20 * unit, 20 * unit, 2 * unit};
+  est.relative_mass = {0.95, 0.5, 0.99, 0.99};
+  est.absolute_mass = {0, 0, 0, 0};
+  est.core_pagerank = {0, 0, 0, 0};
+
+  EvaluationSample sample;
+  sample.hosts.push_back(Host(0.95, NodeLabel::kSpam));
+  auto curve = ComputePrecisionCurve(sample, {0.9}, &est, 10.0);
+  // Node 3 fails ρ; node 1 fails τ; nodes 0 and 2 count.
+  EXPECT_EQ(curve[0].hosts_above, 2u);
+}
+
+TEST(PrecisionTest, MonotoneSpamCountsAsThresholdDrops) {
+  EvaluationSample sample;
+  for (int i = 0; i < 100; ++i) {
+    sample.hosts.push_back(Host(i / 100.0, i % 3 == 0 ? NodeLabel::kSpam
+                                                      : NodeLabel::kGood));
+  }
+  auto curve = ComputePrecisionCurve(sample, {0.8, 0.5, 0.2, 0.0});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].sample_spam, curve[i - 1].sample_spam);
+    EXPECT_GE(curve[i].sample_good, curve[i - 1].sample_good);
+  }
+}
+
+}  // namespace
+}  // namespace spammass

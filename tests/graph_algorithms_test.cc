@@ -1,0 +1,100 @@
+// Tests of BFS reachability and weakly connected components.
+
+#include "graph/graph_algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace spammass {
+namespace {
+
+using graph::BfsDistances;
+using graph::CanReach;
+using graph::GraphBuilder;
+using graph::kUnreachableDistance;
+using graph::NodeId;
+using graph::ReachableFrom;
+using graph::WeaklyConnectedComponents;
+using graph::WebGraph;
+
+WebGraph TwoComponents() {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  // 6 isolated.
+  return b.Build();
+}
+
+TEST(GraphAlgorithmsTest, ReachableFollowsDirection) {
+  WebGraph g = TwoComponents();
+  auto reach = ReachableFrom(g, {3});
+  EXPECT_FALSE(reach[0]);
+  EXPECT_TRUE(reach[3]);
+  EXPECT_TRUE(reach[4]);
+  EXPECT_TRUE(reach[5]);
+  EXPECT_FALSE(reach[6]);
+}
+
+TEST(GraphAlgorithmsTest, ReachableMultiSource) {
+  WebGraph g = TwoComponents();
+  auto reach = ReachableFrom(g, {0, 3});
+  int count = 0;
+  for (bool r : reach) count += r;
+  EXPECT_EQ(count, 6);  // everything except the isolated node 6
+}
+
+TEST(GraphAlgorithmsTest, CanReachIsReverseReachability) {
+  WebGraph g = TwoComponents();
+  auto can = CanReach(g, {5});
+  EXPECT_TRUE(can[3]);
+  EXPECT_TRUE(can[4]);
+  EXPECT_TRUE(can[5]);
+  EXPECT_FALSE(can[0]);
+}
+
+TEST(GraphAlgorithmsTest, BfsDistances) {
+  WebGraph g = TwoComponents();
+  auto dist = BfsDistances(g, {3});
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[4], 1u);
+  EXPECT_EQ(dist[5], 2u);
+  EXPECT_EQ(dist[0], kUnreachableDistance);
+}
+
+TEST(GraphAlgorithmsTest, WeaklyConnectedComponents) {
+  WebGraph g = TwoComponents();
+  uint32_t num = 0;
+  auto comp = WeaklyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[6]);
+  EXPECT_NE(comp[3], comp[6]);
+}
+
+TEST(GraphAlgorithmsTest, WccIgnoresEdgeDirection) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);  // 0 -> 1 <- 2: weakly one component
+  WebGraph g = b.Build();
+  uint32_t num = 0;
+  auto comp = WeaklyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 1u);
+  EXPECT_EQ(comp[0], comp[2]);
+}
+
+TEST(GraphAlgorithmsTest, EmptySources) {
+  WebGraph g = TwoComponents();
+  auto reach = ReachableFrom(g, {});
+  for (bool r : reach) EXPECT_FALSE(r);
+}
+
+}  // namespace
+}  // namespace spammass

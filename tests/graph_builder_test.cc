@@ -1,0 +1,82 @@
+// Tests of GraphBuilder normalization: self-loop removal and duplicate
+// collapsing (Sections 2.1 and 4.1 of the paper).
+
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesCollapse) {
+  // "We collapsed all hyperlinks between any pair of pages on two hosts
+  // into a single directed edge" (Section 4.1).
+  GraphBuilder b(2);
+  for (int i = 0; i < 10; ++i) b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, EnsureNodesExtends) {
+  GraphBuilder b;
+  b.EnsureNodes(5);
+  EXPECT_EQ(b.num_nodes(), 5u);
+  b.EnsureNodes(3);  // Never shrinks.
+  EXPECT_EQ(b.num_nodes(), 5u);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, AddNodeReturnsSequentialIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(), 0u);
+  EXPECT_EQ(b.AddNode(), 1u);
+  EXPECT_EQ(b.AddNode("named.example.com"), 2u);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.HostName(2), "named.example.com");
+  // Unnamed nodes created before the first named one get empty names.
+  EXPECT_EQ(g.HostName(0), "");
+}
+
+TEST(GraphBuilderTest, BuildResetsBuilder) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g1 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(b.num_nodes(), 0u);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, MixedNamedAndUnnamed) {
+  GraphBuilder b;
+  b.AddNode();
+  b.AddNode("host.example.net");
+  b.AddNode();
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.HostName(1), "host.example.net");
+  EXPECT_EQ(g.HostName(2), "");
+}
+
+TEST(GraphBuilderDeathTest, EdgeToUnknownNodeAborts) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace spammass

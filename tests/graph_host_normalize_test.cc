@@ -1,0 +1,122 @@
+// Tests of host-name normalization and alias merging.
+
+#include "graph/host_normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace spammass {
+namespace {
+
+using graph::AliasMergeResult;
+using graph::GraphBuilder;
+using graph::HostNormalizeOptions;
+using graph::MergeHostAliases;
+using graph::NodeId;
+using graph::NormalizeHostName;
+using graph::WebGraph;
+
+TEST(NormalizeHostNameTest, CaseFolding) {
+  HostNormalizeOptions opt;
+  EXPECT_EQ(NormalizeHostName("WWW.Example.COM", opt), "example.com");
+  opt.case_fold = false;
+  opt.fold_www = false;
+  EXPECT_EQ(NormalizeHostName("EXAMPLE.com", opt), "EXAMPLE.com");
+}
+
+TEST(NormalizeHostNameTest, TrailingDotAndPort) {
+  HostNormalizeOptions opt;
+  EXPECT_EQ(NormalizeHostName("example.com.", opt), "example.com");
+  EXPECT_EQ(NormalizeHostName("example.com:8080", opt), "example.com");
+  EXPECT_EQ(NormalizeHostName("example.com:8080.", opt), "example.com");
+  // A colon without digits is left alone.
+  EXPECT_EQ(NormalizeHostName("weird:host", opt), "weird:host");
+}
+
+TEST(NormalizeHostNameTest, WwwFolding) {
+  HostNormalizeOptions opt;
+  EXPECT_EQ(NormalizeHostName("www.example.com", opt), "example.com");
+  // Never folds down to a single label.
+  EXPECT_EQ(NormalizeHostName("www.com", opt), "www.com");
+  opt.fold_www = false;
+  EXPECT_EQ(NormalizeHostName("www.example.com", opt), "www.example.com");
+}
+
+TEST(NormalizeHostNameTest, WwwVariants) {
+  HostNormalizeOptions opt;
+  opt.fold_www_variants = true;
+  EXPECT_EQ(NormalizeHostName("www3.example.com", opt), "example.com");
+  EXPECT_EQ(NormalizeHostName("www-cs.stanford.edu", opt), "cs.stanford.edu");
+  // Plain words starting with www are not mangled.
+  EXPECT_EQ(NormalizeHostName("wwwhat.example.com", opt),
+            "wwwhat.example.com");
+}
+
+TEST(MergeHostAliasesTest, MergesAndRedirectsEdges) {
+  GraphBuilder b;
+  NodeId a1 = b.AddNode("www.example.com");
+  NodeId a2 = b.AddNode("Example.COM");
+  NodeId c = b.AddNode("other.org");
+  b.AddEdge(a1, c);
+  b.AddEdge(c, a2);
+  WebGraph g = b.Build();
+
+  auto merged = MergeHostAliases(g, HostNormalizeOptions{});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const AliasMergeResult& r = merged.value();
+  EXPECT_EQ(r.graph.num_nodes(), 2u);
+  EXPECT_EQ(r.merged_groups, 1u);
+  EXPECT_EQ(r.to_merged[a1], r.to_merged[a2]);
+  NodeId example = r.to_merged[a1];
+  NodeId other = r.to_merged[c];
+  EXPECT_TRUE(r.graph.HasEdge(example, other));
+  EXPECT_TRUE(r.graph.HasEdge(other, example));
+  EXPECT_EQ(r.graph.HostName(example), "example.com");
+}
+
+TEST(MergeHostAliasesTest, SelfLinksFromMergingDisappear) {
+  GraphBuilder b;
+  NodeId a1 = b.AddNode("www.example.com");
+  NodeId a2 = b.AddNode("example.com");
+  b.AddEdge(a1, a2);  // Becomes a self-link after merging.
+  WebGraph g = b.Build();
+  auto merged = MergeHostAliases(g, HostNormalizeOptions{});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().graph.num_nodes(), 1u);
+  EXPECT_EQ(merged.value().graph.num_edges(), 0u);
+}
+
+TEST(MergeHostAliasesTest, NoAliasesIsStructurePreserving) {
+  GraphBuilder b;
+  NodeId x = b.AddNode("a.example.com");
+  NodeId y = b.AddNode("b.example.com");
+  b.AddEdge(x, y);
+  WebGraph g = b.Build();
+  auto merged = MergeHostAliases(g, HostNormalizeOptions{});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().graph.num_nodes(), 2u);
+  EXPECT_EQ(merged.value().graph.num_edges(), 1u);
+  EXPECT_EQ(merged.value().merged_groups, 0u);
+}
+
+TEST(MergeHostAliasesTest, RequiresHostNames) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  // "node0"/"node1" fallbacks are synthetic, not real host names;
+  // require explicit names.
+  auto merged = MergeHostAliases(g, HostNormalizeOptions{});
+  EXPECT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(MergeHostAliasesTest, EmptyGraph) {
+  WebGraph g;
+  auto merged = MergeHostAliases(g, HostNormalizeOptions{});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().graph.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace spammass

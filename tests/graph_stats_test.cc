@@ -1,0 +1,77 @@
+// Tests of the structural statistics used to reproduce Section 4.1.
+
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace spammass {
+namespace {
+
+using graph::ComputeGraphStats;
+using graph::GraphBuilder;
+using graph::GraphStats;
+using graph::WebGraph;
+
+TEST(GraphStatsTest, CountsDanglingNoInlinkIsolated) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 2);
+  // 4, 5 isolated; 2 dangling with inlinks; 0, 3 have no inlinks.
+  WebGraph g = b.Build();
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.no_outlinks, 3u);  // 2, 4, 5
+  EXPECT_EQ(s.no_inlinks, 4u);   // 0, 3, 4, 5
+  EXPECT_EQ(s.isolated, 2u);     // 4, 5
+  EXPECT_NEAR(s.FractionNoOutlinks(), 0.5, 1e-12);
+  EXPECT_NEAR(s.FractionNoInlinks(), 4.0 / 6, 1e-12);
+  EXPECT_NEAR(s.FractionIsolated(), 2.0 / 6, 1e-12);
+  EXPECT_EQ(s.max_indegree, 2u);
+  EXPECT_EQ(s.max_outdegree, 1u);
+  EXPECT_NEAR(s.mean_indegree, 0.5, 1e-12);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  WebGraph g;
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.FractionIsolated(), 0.0);
+}
+
+TEST(GraphStatsTest, DegreeDistributions) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 4);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  WebGraph g = b.Build();
+  auto in = graph::InDegreeDistribution(g);
+  ASSERT_EQ(in.size(), 5u);  // up to degree 4
+  EXPECT_EQ(in[0], 4u);
+  EXPECT_EQ(in[4], 1u);
+  auto out = graph::OutDegreeDistribution(g);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 4u);
+}
+
+TEST(GraphStatsTest, DistributionsSumToNodeCount) {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  b.AddEdge(3, 4);
+  WebGraph g = b.Build();
+  uint64_t total = 0;
+  for (uint64_t c : graph::InDegreeDistribution(g)) total += c;
+  EXPECT_EQ(total, 10u);
+  total = 0;
+  for (uint64_t c : graph::OutDegreeDistribution(g)) total += c;
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace spammass

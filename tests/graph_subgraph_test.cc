@@ -1,0 +1,82 @@
+// Tests of induced-subgraph extraction.
+
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::InducedSubgraph;
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::Subgraph;
+using graph::WebGraph;
+
+TEST(SubgraphTest, KeepsOnlySelectedNodesAndInternalEdges) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  WebGraph g = b.Build();
+  std::vector<bool> keep = {true, true, false, true, true};
+  Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  // Only 0->1 and 3->4 survive (edges through node 2 are cut).
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_TRUE(sub.graph.HasEdge(sub.to_sub[0], sub.to_sub[1]));
+  EXPECT_TRUE(sub.graph.HasEdge(sub.to_sub[3], sub.to_sub[4]));
+}
+
+TEST(SubgraphTest, MappingsAreConsistent) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3);
+  WebGraph g = b.Build();
+  std::vector<bool> keep = {true, false, false, true};
+  Subgraph sub = InducedSubgraph(g, keep);
+  ASSERT_EQ(sub.to_original.size(), 2u);
+  EXPECT_EQ(sub.to_original[sub.to_sub[0]], 0u);
+  EXPECT_EQ(sub.to_original[sub.to_sub[3]], 3u);
+  EXPECT_EQ(sub.to_sub[1], kInvalidNode);
+  EXPECT_EQ(sub.to_sub[2], kInvalidNode);
+}
+
+TEST(SubgraphTest, CarriesHostNames) {
+  GraphBuilder b;
+  b.AddNode("a.example.com");
+  b.AddNode("b.example.com");
+  b.AddNode("c.example.com");
+  b.AddEdge(0, 2);
+  WebGraph g = b.Build();
+  std::vector<bool> keep = {true, false, true};
+  Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.HostName(sub.to_sub[0]), "a.example.com");
+  EXPECT_EQ(sub.graph.HostName(sub.to_sub[2]), "c.example.com");
+}
+
+TEST(SubgraphTest, KeepNothing) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  Subgraph sub = InducedSubgraph(g, {false, false, false});
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(SubgraphTest, KeepEverythingIsIdentity) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  WebGraph g = b.Build();
+  Subgraph sub = InducedSubgraph(g, {true, true, true});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  for (NodeId x = 0; x < 3; ++x) EXPECT_EQ(sub.to_sub[x], x);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,138 @@
+// Tests of the CSR WebGraph core.
+
+#include "graph/web_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+
+TEST(WebGraphTest, EmptyGraph) {
+  WebGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(WebGraphTest, FromSortedEdges) {
+  WebGraph g = WebGraph::FromSortedEdges(4, {{0, 1}, {0, 2}, {2, 1}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_TRUE(g.IsDangling(1));
+  EXPECT_FALSE(g.IsDangling(0));
+}
+
+TEST(WebGraphTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 3);
+  b.AddEdge(2, 1);
+  b.AddEdge(4, 1);
+  WebGraph g = b.Build();
+  auto out = g.OutNeighbors(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto in = g.InNeighbors(1);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(WebGraphTest, HasEdge) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  WebGraph g = b.Build();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(WebGraphTest, InOutDegreeSumsMatch) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 2);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 0);
+  WebGraph g = b.Build();
+  uint64_t in_sum = 0, out_sum = 0;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    in_sum += g.InDegree(x);
+    out_sum += g.OutDegree(x);
+  }
+  EXPECT_EQ(in_sum, g.num_edges());
+  EXPECT_EQ(out_sum, g.num_edges());
+}
+
+TEST(WebGraphTest, TransposeReversesEdges) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 1);
+  WebGraph g = b.Build();
+  WebGraph t = g.Transposed();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_TRUE(t.HasEdge(1, 0));
+  EXPECT_TRUE(t.HasEdge(2, 1));
+  EXPECT_TRUE(t.HasEdge(1, 3));
+  EXPECT_FALSE(t.HasEdge(0, 1));
+  // Double transpose is the identity.
+  WebGraph tt = t.Transposed();
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    auto a = g.OutNeighbors(x);
+    auto c = tt.OutNeighbors(x);
+    ASSERT_EQ(a.size(), c.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), c.begin()));
+  }
+}
+
+TEST(WebGraphTest, IsolatedNode) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_TRUE(g.IsIsolated(2));
+  EXPECT_FALSE(g.IsIsolated(0));
+  EXPECT_FALSE(g.IsIsolated(1));
+}
+
+TEST(WebGraphTest, HostNames) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("www.example.com");
+  NodeId c = b.AddNode("www.stanford.edu");
+  b.AddEdge(a, c);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.HostName(a), "www.example.com");
+  EXPECT_EQ(g.HostName(c), "www.stanford.edu");
+}
+
+TEST(WebGraphTest, DefaultHostNames) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_EQ(g.HostName(0), "node0");
+  EXPECT_EQ(g.HostName(1), "node1");
+}
+
+TEST(WebGraphDeathTest, SelfLoopInSortedEdgesAborts) {
+  EXPECT_DEATH(WebGraph::FromSortedEdges(2, {{1, 1}}), "self-links");
+}
+
+TEST(WebGraphDeathTest, UnsortedEdgesAbort) {
+  EXPECT_DEATH(WebGraph::FromSortedEdges(3, {{1, 2}, {0, 1}}), "sorted");
+}
+
+TEST(WebGraphDeathTest, DuplicateEdgesAbort) {
+  EXPECT_DEATH(WebGraph::FromSortedEdges(3, {{0, 1}, {0, 1}}), "sorted");
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,149 @@
+// Detection-quality integration tests: the qualitative claims of Section 4
+// must hold on the synthetic web — high precision at high τ, farm targets
+// detected, expired-domain spam missed (documented false negatives),
+// isolated cliques and anomalous-region hosts as documented false
+// positives, and core members receiving large negative mass.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "eval/experiment.h"
+#include "eval/precision.h"
+#include "util/logging.h"
+
+namespace spammass {
+namespace {
+
+using core::DetectorConfig;
+using core::DetectSpamCandidates;
+using eval::PipelineOptions;
+using eval::PipelineResult;
+using eval::RunPipeline;
+using graph::NodeId;
+
+class DetectionQualityTest : public ::testing::Test {
+ protected:
+  static const PipelineResult& Result() {
+    static PipelineResult* result = [] {
+      PipelineOptions options;
+      options.scale = 0.08;
+      options.seed = 5;
+      options.sample_size = 892;
+      auto r = RunPipeline(options);
+      CHECK_OK(r.status());
+      return new PipelineResult(std::move(r.value()));
+    }();
+    return *result;
+  }
+};
+
+TEST_F(DetectionQualityTest, HighThresholdGivesHighPrecision) {
+  const PipelineResult& r = Result();
+  auto curve = eval::ComputePrecisionCurve(r.sample, {0.98});
+  ASSERT_EQ(curve.size(), 1u);
+  ASSERT_GT(curve[0].sample_spam + curve[0].sample_good, 10u);
+  // The paper reports ~100% excluding anomalies at τ = 0.98.
+  EXPECT_GT(curve[0].precision_excluding_anomalous, 0.9);
+}
+
+TEST_F(DetectionQualityTest, DetectorFindsManyFarmTargets) {
+  const PipelineResult& r = Result();
+  DetectorConfig config;  // τ = 0.98, ρ = 10
+  auto candidates = DetectSpamCandidates(r.estimates, config);
+  ASSERT_FALSE(candidates.empty());
+  uint64_t true_positives = 0;
+  for (const auto& c : candidates) {
+    if (r.web.labels.IsSpam(c.node)) ++true_positives;
+  }
+  // Strong majority of detections are real spam.
+  EXPECT_GT(static_cast<double>(true_positives) / candidates.size(), 0.75);
+
+  // And a sizable share of the big farms' targets is caught: count farm
+  // targets above the PageRank threshold and check recall among them.
+  const double scale = static_cast<double>(r.estimates.pagerank.size()) /
+                       (1.0 - r.estimates.damping);
+  std::vector<bool> detected(r.web.graph.num_nodes(), false);
+  for (const auto& c : candidates) detected[c.node] = true;
+  uint64_t eligible = 0, caught = 0;
+  for (const auto& farm : r.web.farms) {
+    if (r.estimates.pagerank[farm.target] * scale >= 10.0) {
+      ++eligible;
+      caught += detected[farm.target];
+    }
+  }
+  ASSERT_GT(eligible, 10u);
+  EXPECT_GT(static_cast<double>(caught) / eligible, 0.6);
+}
+
+TEST_F(DetectionQualityTest, ExpiredDomainSpamEscapes) {
+  // Section 4.4.3 observation 2: spam whose PageRank comes from good hosts
+  // has small (often negative) mass and is *not* detected.
+  const PipelineResult& r = Result();
+  DetectorConfig config;
+  auto candidates = DetectSpamCandidates(r.estimates, config);
+  std::vector<bool> detected(r.web.graph.num_nodes(), false);
+  for (const auto& c : candidates) detected[c.node] = true;
+  uint64_t caught = 0;
+  for (NodeId t : r.web.expired_domain_targets) caught += detected[t];
+  EXPECT_EQ(caught, 0u);
+  // Their relative mass sits well below the farm targets'.
+  double expired_mean = 0;
+  for (NodeId t : r.web.expired_domain_targets) {
+    expired_mean += r.estimates.relative_mass[t];
+  }
+  expired_mean /= r.web.expired_domain_targets.size();
+  EXPECT_LT(expired_mean, 0.5);
+}
+
+TEST_F(DetectionQualityTest, CoreMembersGetLargeNegativeMass) {
+  // Section 4.4.3 observation 3.
+  const PipelineResult& r = Result();
+  uint64_t negative = 0;
+  for (NodeId x : r.good_core) {
+    if (r.estimates.absolute_mass[x] < 0) ++negative;
+  }
+  EXPECT_GT(static_cast<double>(negative) / r.good_core.size(), 0.95);
+}
+
+TEST_F(DetectionQualityTest, AnomalousRegionsProduceHighMassGoodHosts) {
+  // Section 4.4.1: good hosts from badly covered regions show up with high
+  // relative mass (the gray bars of Figure 3).
+  const PipelineResult& r = Result();
+  uint64_t anomalous_high = 0;
+  for (NodeId x : r.filtered) {
+    if (r.web.IsAnomalousGoodNode(x) && r.estimates.relative_mass[x] > 0.9) {
+      ++anomalous_high;
+    }
+  }
+  EXPECT_GT(anomalous_high, 0u);
+}
+
+TEST_F(DetectionQualityTest, IsolatedCliqueCentersAreFalsePositives) {
+  // Section 4.4.3 observation 1: good hosts in cliques weakly connected to
+  // the core carry positive relative mass.
+  const PipelineResult& r = Result();
+  uint64_t positive_mass_centers = 0;
+  for (const auto& clique : r.web.isolated_cliques) {
+    NodeId center = clique[0];
+    if (r.estimates.relative_mass[center] > 0.4) ++positive_mass_centers;
+  }
+  EXPECT_GT(static_cast<double>(positive_mass_centers) /
+                r.web.isolated_cliques.size(),
+            0.7);
+}
+
+TEST_F(DetectionQualityTest, LoweringTauTradesPrecisionForVolume) {
+  const PipelineResult& r = Result();
+  auto curve = eval::ComputePrecisionCurve(r.sample, {0.98, 0.5, 0.0},
+                                           &r.estimates, 10.0);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_LT(curve[0].hosts_above, curve[2].hosts_above);
+  // The top threshold concentrates spam; allow a small sampling-noise
+  // margin on the precision comparison.
+  EXPECT_GE(curve[0].precision_excluding_anomalous,
+            curve[2].precision_excluding_anomalous - 0.03);
+  EXPECT_GT(curve[0].precision_excluding_anomalous, 0.85);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,180 @@
+// Tests of PageRank contribution computations (Section 3.2, Theorems 1-2).
+
+#include "pagerank/contribution.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "pagerank/solver.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::ComputeNodeContribution;
+using pagerank::ComputeSetContribution;
+using pagerank::ComputeUniformPageRank;
+using pagerank::LinkContribution;
+using pagerank::SolverOptions;
+
+SolverOptions Precise() {
+  SolverOptions opt;
+  opt.tolerance = 1e-14;
+  opt.max_iterations = 5000;
+  return opt;
+}
+
+constexpr double kC = 0.85;
+
+TEST(ContributionTest, SelfContributionWithoutCircuits) {
+  // A node not on any circuit contributes exactly (1−c)·v_x to itself.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  WebGraph g = b.Build();
+  auto q = ComputeNodeContribution(g, 0, Precise());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value().scores[0], (1 - kC) / 3.0, 1e-12);
+}
+
+TEST(ContributionTest, SelfContributionWithCircuit) {
+  // On a 2-cycle, x's contribution to itself includes the circuit walks:
+  // q_x^x = (1−c)v_x · (1 + c² + c⁴ + ...) = (1−c)v_x / (1−c²).
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  WebGraph g = b.Build();
+  auto q = ComputeNodeContribution(g, 0, Precise());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value().scores[0], (1 - kC) / 2.0 / (1 - kC * kC), 1e-12);
+  // And to the neighbor: one extra step of damping c.
+  EXPECT_NEAR(q.value().scores[1], kC * (1 - kC) / 2.0 / (1 - kC * kC),
+              1e-12);
+}
+
+TEST(ContributionTest, UnconnectedNodesContributeNothing) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  WebGraph g = b.Build();
+  auto q = ComputeNodeContribution(g, 0, Precise());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().scores[2], 0.0);
+  EXPECT_EQ(q.value().scores[3], 0.0);
+}
+
+TEST(ContributionTest, ContributionSplitsByWalkLength) {
+  // Chain 0→1→2: q_2^0 = c²·(1−c)·v_0.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  WebGraph g = b.Build();
+  auto q = ComputeNodeContribution(g, 0, Precise());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value().scores[2], kC * kC * (1 - kC) / 3.0, 1e-12);
+}
+
+TEST(ContributionTest, WalkWeightUsesOutDegrees) {
+  // 0 links to both 1 and 2, so the walk 0→1 has weight 1/2:
+  // q_1^0 = c·(1/2)·(1−c)·v_0.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  WebGraph g = b.Build();
+  auto q = ComputeNodeContribution(g, 0, Precise());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value().scores[1], kC * 0.5 * (1 - kC) / 3.0, 1e-12);
+}
+
+TEST(ContributionTest, EmptySetContributesZero) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  auto q = ComputeSetContribution(g, {}, Precise());
+  ASSERT_TRUE(q.ok());
+  for (double x : q.value().scores) EXPECT_EQ(x, 0.0);
+}
+
+TEST(ContributionTest, SetContributionIsSumOfNodeContributions) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 2);
+  WebGraph g = b.Build();
+  auto q01 = ComputeSetContribution(g, {0, 1}, Precise());
+  auto q0 = ComputeNodeContribution(g, 0, Precise());
+  auto q1 = ComputeNodeContribution(g, 1, Precise());
+  ASSERT_TRUE(q01.ok() && q0.ok() && q1.ok());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_NEAR(q01.value().scores[x],
+                q0.value().scores[x] + q1.value().scores[x], 1e-12);
+  }
+}
+
+TEST(ContributionTest, FullSetContributionEqualsPageRank) {
+  // Theorem 1 with U = V.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 1);
+  WebGraph g = b.Build();
+  std::vector<NodeId> all = {0, 1, 2, 3};
+  auto q = ComputeSetContribution(g, all, Precise());
+  auto p = ComputeUniformPageRank(g, Precise());
+  ASSERT_TRUE(q.ok() && p.ok());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_NEAR(q.value().scores[x], p.value().scores[x], 1e-12);
+  }
+}
+
+TEST(ContributionTest, OutOfRangeNodeRejected) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_FALSE(ComputeNodeContribution(g, 7, Precise()).ok());
+}
+
+TEST(LinkContributionTest, MissingLinkRejected) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  auto r = LinkContribution(g, 1, 0, Precise());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(LinkContributionTest, SingleInlinkContribution) {
+  // Figure 1 reasoning: the link g0→x contributes c·(1−c)/n when g0 has
+  // PageRank (1−c)/n and outdegree 1.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  auto r = LinkContribution(g, 0, 1, Precise());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), kC * (1 - kC) / 2.0, 1e-12);
+}
+
+TEST(LinkContributionTest, BoostedLinkContributesMore) {
+  // Figure 1 with k = 3: the s0→x link contributes (c+3c²)(1−c)/n, more
+  // than a plain good link's c(1−c)/n.
+  GraphBuilder b(7);  // x=0, g=1, s0=2, s1..s3=3..5, spare=6
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 0);
+  for (NodeId s = 3; s <= 5; ++s) b.AddEdge(s, 2);
+  WebGraph g = b.Build();
+  auto good = LinkContribution(g, 1, 0, Precise());
+  auto spam = LinkContribution(g, 2, 0, Precise());
+  ASSERT_TRUE(good.ok() && spam.ok());
+  double n = g.num_nodes();
+  EXPECT_NEAR(good.value(), kC * (1 - kC) / n, 1e-12);
+  EXPECT_NEAR(spam.value(), (kC + 3 * kC * kC) * (1 - kC) / n, 1e-12);
+  EXPECT_GT(spam.value(), good.value());
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,69 @@
+// Tests of the jump-vector factories (Sections 2.2, 3.4, 3.5).
+
+#include "pagerank/jump_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using pagerank::JumpVector;
+
+TEST(JumpVectorTest, UniformHasUnitNorm) {
+  JumpVector v = JumpVector::Uniform(8);
+  EXPECT_EQ(v.n(), 8u);
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+  for (uint32_t i = 0; i < 8; ++i) EXPECT_NEAR(v[i], 0.125, 1e-12);
+}
+
+TEST(JumpVectorTest, CoreNormIsCoreFractionOfN) {
+  // ‖v^Ṽ⁺‖ = |Ṽ⁺|/n — the inequality driving Section 3.5.
+  JumpVector v = JumpVector::Core(10, {1, 3, 5});
+  EXPECT_NEAR(v.Norm(), 0.3, 1e-12);
+  EXPECT_EQ(v.NumNonZero(), 3u);
+  EXPECT_NEAR(v[1], 0.1, 1e-12);
+  EXPECT_EQ(v[0], 0.0);
+}
+
+TEST(JumpVectorTest, ScaledCoreNormIsGamma) {
+  // ‖w‖ = γ regardless of core size (Section 3.5).
+  JumpVector w = JumpVector::ScaledCore(1000, {7, 8}, 0.85);
+  EXPECT_NEAR(w.Norm(), 0.85, 1e-12);
+  EXPECT_NEAR(w[7], 0.425, 1e-12);
+  EXPECT_NEAR(w[8], 0.425, 1e-12);
+}
+
+TEST(JumpVectorTest, ScaledCoreMembersGetMoreThanUniform) {
+  // Section 3.5: core members receive γ/|Ṽ⁺| ≫ 1/n — the source of
+  // negative mass estimates for core members.
+  JumpVector w = JumpVector::ScaledCore(1000, {1, 2, 3, 4}, 0.85);
+  EXPECT_GT(w[1], 1.0 / 1000);
+}
+
+TEST(JumpVectorTest, SingleNode) {
+  JumpVector v = JumpVector::SingleNode(5, 2, 0.2);
+  EXPECT_NEAR(v.Norm(), 0.2, 1e-12);
+  EXPECT_EQ(v.NumNonZero(), 1u);
+  EXPECT_NEAR(v[2], 0.2, 1e-12);
+}
+
+TEST(JumpVectorTest, PlusAndScaled) {
+  JumpVector a = JumpVector::SingleNode(4, 0, 0.25);
+  JumpVector b = JumpVector::SingleNode(4, 1, 0.25);
+  JumpVector sum = a.Plus(b);
+  EXPECT_NEAR(sum.Norm(), 0.5, 1e-12);
+  JumpVector half = sum.Scaled(0.5);
+  EXPECT_NEAR(half.Norm(), 0.25, 1e-12);
+  EXPECT_NEAR(half[0], 0.125, 1e-12);
+}
+
+TEST(JumpVectorTest, CoreDecomposesIntoSingleNodes) {
+  // v^U = Σ_{x∈U} vˣ — the linearity used to prove q^U = Σ q^x.
+  JumpVector core = JumpVector::Core(6, {2, 4});
+  JumpVector sum = JumpVector::SingleNode(6, 2, 1.0 / 6)
+                       .Plus(JumpVector::SingleNode(6, 4, 1.0 / 6));
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_NEAR(core[i], sum[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,114 @@
+// Dedicated tests of the truncated Neumann-series oracle.
+
+#include "pagerank/neumann.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "pagerank/solver.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::JumpVector;
+using pagerank::NeumannSeries;
+using pagerank::NeumannTruncationBound;
+
+constexpr double kC = 0.85;
+
+TEST(NeumannTest, FirstTermIsJumpOnly) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  auto v = JumpVector::Uniform(3);
+  auto series = NeumannSeries(g, v, kC, 1);
+  for (NodeId x = 0; x < 3; ++x) {
+    EXPECT_DOUBLE_EQ(series[x], (1 - kC) / 3.0);
+  }
+}
+
+TEST(NeumannTest, SecondTermAddsOneHop) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  auto v = JumpVector::Uniform(2);
+  auto series = NeumannSeries(g, v, kC, 2);
+  EXPECT_DOUBLE_EQ(series[0], (1 - kC) / 2.0);
+  EXPECT_DOUBLE_EQ(series[1], (1 - kC) / 2.0 + kC * (1 - kC) / 2.0);
+}
+
+TEST(NeumannTest, ConvergesMonotonicallyToSolverSolution) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 2);
+  b.AddEdge(4, 0);
+  WebGraph g = b.Build();
+  auto v = JumpVector::Uniform(5);
+  pagerank::SolverOptions opt;
+  opt.tolerance = 1e-15;
+  opt.max_iterations = 5000;
+  auto exact = pagerank::ComputePageRank(g, v, opt);
+  ASSERT_TRUE(exact.ok());
+  double prev_err = 1e9;
+  for (int terms : {2, 5, 10, 30, 120, 200}) {
+    auto series = NeumannSeries(g, v, kC, terms);
+    double err = 0;
+    for (NodeId x = 0; x < 5; ++x) {
+      err += std::abs(series[x] - exact.value().scores[x]);
+    }
+    EXPECT_LT(err, prev_err + 1e-15) << "terms=" << terms;
+    EXPECT_LE(err, NeumannTruncationBound(v, kC, terms) + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-12);  // c^200 ~ 8e-15 per unit of jump mass
+}
+
+TEST(NeumannTest, SeriesIsAlwaysBelowLimit) {
+  // Every term is non-negative, so truncations underestimate.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 1);
+  WebGraph g = b.Build();
+  auto v = JumpVector::Uniform(4);
+  pagerank::SolverOptions opt;
+  opt.tolerance = 1e-15;
+  opt.max_iterations = 5000;
+  auto exact = pagerank::ComputePageRank(g, v, opt);
+  ASSERT_TRUE(exact.ok());
+  auto series = NeumannSeries(g, v, kC, 10);
+  for (NodeId x = 0; x < 4; ++x) {
+    EXPECT_LE(series[x], exact.value().scores[x] + 1e-15);
+  }
+}
+
+TEST(NeumannTest, TruncationBoundShrinksGeometrically) {
+  auto v = JumpVector::Uniform(10);
+  double b1 = NeumannTruncationBound(v, kC, 10);
+  double b2 = NeumannTruncationBound(v, kC, 20);
+  EXPECT_NEAR(b2 / b1, std::pow(kC, 10), 1e-12);
+}
+
+TEST(NeumannTest, SparseJumpStaysSparse) {
+  // Contribution semantics: with v = v^x, nodes unreachable from x stay 0.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  WebGraph g = b.Build();
+  auto vx = JumpVector::SingleNode(4, 0, 0.25);
+  auto series = NeumannSeries(g, vx, kC, 50);
+  EXPECT_GT(series[0], 0.0);
+  EXPECT_GT(series[1], 0.0);
+  EXPECT_EQ(series[2], 0.0);
+  EXPECT_EQ(series[3], 0.0);
+}
+
+}  // namespace
+}  // namespace spammass

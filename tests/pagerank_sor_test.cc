@@ -1,0 +1,101 @@
+// Tests of the SOR solver.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "pagerank/solver.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::ComputeUniformPageRank;
+using pagerank::DanglingPolicy;
+using pagerank::Method;
+using pagerank::SolverOptions;
+
+WebGraph IrregularGraph() {
+  GraphBuilder b(40);
+  for (NodeId i = 0; i < 40; ++i) {
+    b.AddEdge(i, (i + 1) % 40);
+    if (i % 3 == 0) b.AddEdge(i, (i + 11) % 40);
+    if (i % 7 == 0) b.AddEdge(i, (i * 5 + 2) % 40);
+  }
+  return b.Build();
+}
+
+SolverOptions Options(Method method, double omega = 1.1) {
+  SolverOptions opt;
+  opt.method = method;
+  opt.sor_omega = omega;
+  opt.tolerance = 1e-13;
+  opt.max_iterations = 5000;
+  return opt;
+}
+
+TEST(SorTest, MatchesGaussSeidelSolution) {
+  WebGraph g = IrregularGraph();
+  auto gs = ComputeUniformPageRank(g, Options(Method::kGaussSeidel));
+  auto sor = ComputeUniformPageRank(g, Options(Method::kSor, 1.15));
+  ASSERT_TRUE(gs.ok() && sor.ok());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_NEAR(gs.value().scores[x], sor.value().scores[x], 1e-10);
+  }
+}
+
+TEST(SorTest, OmegaOneIsGaussSeidel) {
+  WebGraph g = IrregularGraph();
+  SolverOptions gs_opt = Options(Method::kGaussSeidel);
+  SolverOptions sor_opt = Options(Method::kSor, 1.0);
+  auto gs = ComputeUniformPageRank(g, gs_opt);
+  auto sor = ComputeUniformPageRank(g, sor_opt);
+  ASSERT_TRUE(gs.ok() && sor.ok());
+  EXPECT_EQ(gs.value().iterations, sor.value().iterations);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_DOUBLE_EQ(gs.value().scores[x], sor.value().scores[x]);
+  }
+}
+
+TEST(SorTest, MatchesJacobiWithRedistribution) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);  // 2 dangles
+  b.AddEdge(3, 2);
+  b.AddEdge(4, 0);
+  b.AddEdge(5, 4);
+  WebGraph g = b.Build();
+  SolverOptions jacobi_opt = Options(Method::kJacobi);
+  SolverOptions sor_opt = Options(Method::kSor, 1.2);
+  jacobi_opt.dangling = sor_opt.dangling =
+      DanglingPolicy::kRedistributeToJump;
+  auto jacobi = ComputeUniformPageRank(g, jacobi_opt);
+  auto sor = ComputeUniformPageRank(g, sor_opt);
+  ASSERT_TRUE(jacobi.ok() && sor.ok());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_NEAR(jacobi.value().scores[x], sor.value().scores[x], 1e-10);
+  }
+}
+
+TEST(SorTest, InvalidOmegaRejected) {
+  WebGraph g = IrregularGraph();
+  EXPECT_FALSE(ComputeUniformPageRank(g, Options(Method::kSor, 0.0)).ok());
+  EXPECT_FALSE(ComputeUniformPageRank(g, Options(Method::kSor, 2.0)).ok());
+  EXPECT_FALSE(ComputeUniformPageRank(g, Options(Method::kSor, -0.5)).ok());
+}
+
+TEST(SorTest, UnderRelaxationStillConverges) {
+  WebGraph g = IrregularGraph();
+  auto sor = ComputeUniformPageRank(g, Options(Method::kSor, 0.6));
+  ASSERT_TRUE(sor.ok());
+  EXPECT_TRUE(sor.value().converged);
+  auto gs = ComputeUniformPageRank(g, Options(Method::kGaussSeidel));
+  ASSERT_TRUE(gs.ok());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_NEAR(gs.value().scores[x], sor.value().scores[x], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,120 @@
+// Tests of the explicit walk-sum oracle (Section 3.2 semantics).
+
+#include "pagerank/walk_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "pagerank/contribution.h"
+#include "synth/paper_graphs.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::EnumerateWalks;
+using pagerank::WalkSumContribution;
+
+constexpr double kC = 0.85;
+
+TEST(WalkEnumerationTest, ChainHasExactlyOneWalk) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  WebGraph g = b.Build();
+  auto walks = EnumerateWalks(g, 0, 2, 10);
+  ASSERT_EQ(walks.size(), 1u);
+  EXPECT_EQ(walks[0].length(), 2u);
+  EXPECT_DOUBLE_EQ(walks[0].weight, 1.0);
+  EXPECT_EQ(walks[0].nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(WalkEnumerationTest, BranchingWeights) {
+  // 0 -> {1, 2}; 1 -> 3; 2 -> 3: two walks of weight 1/2 each.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  WebGraph g = b.Build();
+  auto walks = EnumerateWalks(g, 0, 3, 10);
+  ASSERT_EQ(walks.size(), 2u);
+  EXPECT_DOUBLE_EQ(walks[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(walks[1].weight, 0.5);
+}
+
+TEST(WalkEnumerationTest, CyclesProduceWalksPerLength) {
+  // 0 <-> 1: walks 0->1 (len 1), 0->1->0->1 (len 3), ... up to the bound.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  WebGraph g = b.Build();
+  auto walks = EnumerateWalks(g, 0, 1, 7);
+  ASSERT_EQ(walks.size(), 4u);  // lengths 1, 3, 5, 7
+  for (const auto& w : walks) {
+    EXPECT_EQ(w.length() % 2, 1u);
+    EXPECT_DOUBLE_EQ(w.weight, 1.0);
+  }
+}
+
+TEST(WalkEnumerationTest, NoWalkBetweenDisconnectedNodes) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  WebGraph g = b.Build();
+  EXPECT_TRUE(EnumerateWalks(g, 1, 0, 10).empty());
+  EXPECT_TRUE(EnumerateWalks(g, 0, 2, 10).empty());
+}
+
+TEST(WalkEnumerationTest, WalkSumMatchesSolverOnFigure2) {
+  // Independent cross-check of Theorem 2: the walk sum of Section 3.2 must
+  // agree with the PR(v^x) solver on the paper's example graph (acyclic,
+  // so a modest length bound is exact).
+  auto fig = synth::MakeFigure2Graph();
+  pagerank::SolverOptions opt;
+  opt.tolerance = 1e-15;
+  opt.max_iterations = 2000;
+  const double vx = 1.0 / fig.graph.num_nodes();
+  for (NodeId x : {fig.s1, fig.s5, fig.g1, fig.s0, fig.g0}) {
+    auto solver_q = pagerank::ComputeNodeContribution(fig.graph, x, opt);
+    ASSERT_TRUE(solver_q.ok());
+    for (NodeId y = 0; y < fig.graph.num_nodes(); ++y) {
+      double walk_q = WalkSumContribution(fig.graph, x, y, kC, vx, 8);
+      EXPECT_NEAR(walk_q, solver_q.value().scores[y], 1e-12)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(WalkEnumerationTest, WalkSumConvergesOnCyclicGraph) {
+  // 2-cycle: q_0^0 = (1−c)v₀/(1−c²) in the limit; truncation approaches it.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  WebGraph g = b.Build();
+  const double vx = 0.5;
+  double exact = (1 - kC) * vx / (1 - kC * kC);
+  double truncated = WalkSumContribution(g, 0, 0, kC, vx, 40);
+  EXPECT_NEAR(truncated, exact, 1e-3);
+  EXPECT_LT(truncated, exact);  // truncation always underestimates
+  // Longer bound gets closer.
+  double longer = WalkSumContribution(g, 0, 0, kC, vx, 80);
+  EXPECT_GT(longer, truncated);
+}
+
+TEST(WalkEnumerationDeathTest, WalkBudgetEnforced) {
+  // Complete-ish graph explodes combinatorially; the budget must trip.
+  GraphBuilder b(6);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) b.AddEdge(i, j);
+    }
+  }
+  WebGraph g = b.Build();
+  EXPECT_DEATH(EnumerateWalks(g, 0, 1, 30, /*max_walks=*/100),
+               "walk budget");
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,211 @@
+// Tests of the synthetic web generator: determinism, metadata consistency,
+// and the structural properties it must reproduce (Section 4.1 fractions,
+// spam wiring, coverage anomalies).
+
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "synth/scenario.h"
+#include "util/logging.h"
+
+namespace spammass {
+namespace {
+
+using graph::NodeId;
+using synth::GenerateWeb;
+using synth::SyntheticWeb;
+using synth::TinyScenario;
+using synth::WebModelConfig;
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static const SyntheticWeb& Web() {
+    static SyntheticWeb* web = [] {
+      auto r = GenerateWeb(TinyScenario(7));
+      CHECK_OK(r.status());
+      return new SyntheticWeb(std::move(r.value()));
+    }();
+    return *web;
+  }
+};
+
+TEST_F(GeneratorTest, MetadataSizesMatchGraph) {
+  const SyntheticWeb& web = Web();
+  const size_t n = web.graph.num_nodes();
+  EXPECT_GT(n, 1000u);
+  EXPECT_EQ(web.labels.num_nodes(), n);
+  EXPECT_EQ(web.region_of_node.size(), n);
+  EXPECT_EQ(web.is_directory.size(), n);
+  EXPECT_EQ(web.is_gov.size(), n);
+  EXPECT_EQ(web.is_edu.size(), n);
+  EXPECT_EQ(web.listed.size(), n);
+  EXPECT_EQ(web.is_hub.size(), n);
+}
+
+TEST_F(GeneratorTest, RegionIdsValid) {
+  const SyntheticWeb& web = Web();
+  for (uint32_t r : web.region_of_node) {
+    EXPECT_LT(r, web.region_names.size());
+  }
+  EXPECT_EQ(web.region_names[web.clique_region], "cliques");
+  EXPECT_EQ(web.region_names[web.spam_region], "spam");
+}
+
+TEST_F(GeneratorTest, SpamNodesAreFarmAndExpiredNodes) {
+  const SyntheticWeb& web = Web();
+  uint64_t expected_spam = web.expired_domain_targets.size();
+  for (const auto& farm : web.farms) {
+    expected_spam += 1 + farm.boosters.size();
+  }
+  EXPECT_EQ(web.labels.CountLabel(core::NodeLabel::kSpam), expected_spam);
+  for (const auto& farm : web.farms) {
+    EXPECT_TRUE(web.labels.IsSpam(farm.target));
+    EXPECT_EQ(web.region_of_node[farm.target], web.spam_region);
+    for (NodeId b : farm.boosters) {
+      EXPECT_TRUE(web.labels.IsSpam(b));
+      if (farm.laundered) {
+        // Boosters support the good intermediaries, never the target.
+        EXPECT_FALSE(web.graph.HasEdge(b, farm.target));
+      } else {
+        EXPECT_TRUE(web.graph.HasEdge(b, farm.target));
+      }
+    }
+    if (farm.laundered) {
+      ASSERT_FALSE(farm.intermediaries.empty());
+      for (NodeId g : farm.intermediaries) {
+        EXPECT_TRUE(web.labels.IsGood(g));
+        EXPECT_TRUE(web.graph.HasEdge(g, farm.target));
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, ListedImpliesEligibleGood) {
+  const SyntheticWeb& web = Web();
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    if (web.listed[x]) {
+      EXPECT_TRUE(web.is_directory[x] || web.is_gov[x] || web.is_edu[x]);
+      EXPECT_TRUE(web.labels.IsGood(x));
+    }
+  }
+  auto core = web.AssembledGoodCore();
+  EXPECT_FALSE(core.empty());
+  EXPECT_TRUE(std::is_sorted(core.begin(), core.end()));
+}
+
+TEST_F(GeneratorTest, StructuralFractionsNearPaper) {
+  // Section 4.1: 35% no inlinks, 66.4% no outlinks, 25.8% isolated. The
+  // synthetic graph must land in the same regime (±10 points).
+  const SyntheticWeb& web = Web();
+  auto stats = graph::ComputeGraphStats(web.graph);
+  EXPECT_NEAR(stats.FractionNoOutlinks(), 0.664, 0.12);
+  EXPECT_NEAR(stats.FractionNoInlinks(), 0.35, 0.12);
+  EXPECT_NEAR(stats.FractionIsolated(), 0.258, 0.12);
+}
+
+TEST_F(GeneratorTest, IsolatedCommunitiesDoNotTouchOtherRegions) {
+  const SyntheticWeb& web = Web();
+  for (NodeId x = 0; x < web.graph.num_nodes(); ++x) {
+    uint32_t rx = web.region_of_node[x];
+    if (rx >= web.config.regions.size() ||
+        !web.config.regions[rx].isolated_community) {
+      continue;
+    }
+    for (NodeId y : web.graph.OutNeighbors(x)) {
+      EXPECT_EQ(web.region_of_node[y], rx);
+    }
+    for (NodeId y : web.graph.InNeighbors(x)) {
+      EXPECT_EQ(web.region_of_node[y], rx);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, AnomalyAttribution) {
+  const SyntheticWeb& web = Web();
+  uint32_t mall = web.RegionIndex("cn-mall");
+  uint32_t blog = web.RegionIndex("br-blog");
+  uint32_t pl = web.RegionIndex("pl");
+  uint32_t generic = web.RegionIndex("generic");
+  ASSERT_LT(mall, web.config.regions.size());
+  EXPECT_TRUE(web.IsAnomalousRegion(mall));
+  EXPECT_TRUE(web.IsAnomalousRegion(blog));
+  EXPECT_TRUE(web.IsAnomalousRegion(pl));
+  EXPECT_FALSE(web.IsAnomalousRegion(generic));
+  EXPECT_FALSE(web.IsAnomalousRegion(web.spam_region));
+}
+
+TEST_F(GeneratorTest, CliquesAreGoodAndInternallyWired) {
+  const SyntheticWeb& web = Web();
+  EXPECT_FALSE(web.isolated_cliques.empty());
+  for (const auto& clique : web.isolated_cliques) {
+    ASSERT_GE(clique.size(), 2u);
+    NodeId center = clique[0];
+    for (NodeId m : clique) {
+      EXPECT_TRUE(web.labels.IsGood(m));
+      EXPECT_EQ(web.region_of_node[m], web.clique_region);
+    }
+    for (size_t i = 1; i < clique.size(); ++i) {
+      EXPECT_TRUE(web.graph.HasEdge(clique[i], center));
+      EXPECT_TRUE(web.graph.HasEdge(center, clique[i]));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, ExpiredDomainsHaveOnlyGoodInlinks) {
+  const SyntheticWeb& web = Web();
+  EXPECT_FALSE(web.expired_domain_targets.empty());
+  for (NodeId t : web.expired_domain_targets) {
+    EXPECT_TRUE(web.labels.IsSpam(t));
+    EXPECT_GT(web.graph.InDegree(t), 0u);
+    for (NodeId src : web.graph.InNeighbors(t)) {
+      EXPECT_TRUE(web.labels.IsGood(src));
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameGraph) {
+  auto a = GenerateWeb(TinyScenario(99));
+  auto b = GenerateWeb(TinyScenario(99));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().graph.num_nodes(), b.value().graph.num_nodes());
+  ASSERT_EQ(a.value().graph.num_edges(), b.value().graph.num_edges());
+  for (NodeId x = 0; x < a.value().graph.num_nodes(); ++x) {
+    auto na = a.value().graph.OutNeighbors(x);
+    auto nb = b.value().graph.OutNeighbors(x);
+    ASSERT_EQ(na.size(), nb.size());
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  auto a = GenerateWeb(TinyScenario(1));
+  auto b = GenerateWeb(TinyScenario(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().graph.num_edges(), b.value().graph.num_edges());
+}
+
+TEST(GeneratorValidationTest, RejectsBadConfigs) {
+  WebModelConfig empty;
+  EXPECT_FALSE(GenerateWeb(empty).ok());
+
+  WebModelConfig bad = TinyScenario(1);
+  bad.regions[0].directory_fraction = 1.7;
+  EXPECT_FALSE(GenerateWeb(bad).ok());
+
+  bad = TinyScenario(1);
+  bad.spam.booster_exponent = 0.5;
+  EXPECT_FALSE(GenerateWeb(bad).ok());
+
+  bad = TinyScenario(1);
+  bad.mean_outdegree = -1;
+  EXPECT_FALSE(GenerateWeb(bad).ok());
+
+  bad = TinyScenario(1);
+  for (auto& r : bad.regions) r.isolated_community = true;
+  EXPECT_FALSE(GenerateWeb(bad).ok());
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,98 @@
+// Tests of the synthetic host-name generator: category formats, TLD
+// handling, and the registered-domain properties the site-aggregation
+// experiments rely on (plain/spam hosts get distinct domains; community
+// hosts share theirs).
+
+#include "synth/host_name_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/site_aggregation.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "util/logging.h"
+
+namespace spammass {
+namespace {
+
+using graph::RegisteredDomain;
+using synth::GenerateHostName;
+using synth::HostCategory;
+
+TEST(HostNameGenTest, CategoriesAreRecognizable) {
+  util::Rng rng(1);
+  EXPECT_NE(GenerateHostName(HostCategory::kPlain, "de", ".de", 7, &rng)
+                .find("-de.de"),
+            std::string::npos);
+  EXPECT_EQ(GenerateHostName(HostCategory::kDirectory, "generic", ".com", 3,
+                             &rng)
+                .rfind("www.dir-", 0),
+            0u);
+  std::string gov =
+      GenerateHostName(HostCategory::kGov, "usgov", ".us", 2, &rng);
+  EXPECT_NE(gov.find(".gov"), std::string::npos);
+  std::string edu = GenerateHostName(HostCategory::kEdu, "cz", ".cz", 5, &rng);
+  EXPECT_NE(edu.find(".edu.cz"), std::string::npos);
+  std::string target =
+      GenerateHostName(HostCategory::kSpamTarget, "spam", ".biz", 1, &rng);
+  EXPECT_EQ(target.rfind("www.buy-", 0), 0u);
+}
+
+TEST(HostNameGenTest, ComTldHasNoCountrySuffixOnGovEdu) {
+  util::Rng rng(2);
+  std::string gov =
+      GenerateHostName(HostCategory::kGov, "generic", ".com", 0, &rng);
+  EXPECT_EQ(gov.find(".com"), std::string::npos);
+  EXPECT_EQ(gov.substr(gov.size() - 4), ".gov");
+}
+
+TEST(HostNameGenTest, DistinctIndicesGiveDistinctDomains) {
+  util::Rng rng(3);
+  std::set<std::string> domains;
+  for (uint32_t i = 0; i < 200; ++i) {
+    domains.insert(RegisteredDomain(
+        GenerateHostName(HostCategory::kPlain, "generic", ".com", i, &rng)));
+  }
+  EXPECT_EQ(domains.size(), 200u);
+}
+
+TEST(HostNameGenTest, SpamNodesGetOwnDomains) {
+  util::Rng rng(4);
+  std::set<std::string> domains;
+  for (uint32_t i = 0; i < 100; ++i) {
+    domains.insert(RegisteredDomain(GenerateHostName(
+        HostCategory::kSpamTarget, "spam", ".com", i, &rng)));
+    domains.insert(RegisteredDomain(GenerateHostName(
+        HostCategory::kExpiredDomain, "spam", ".com", i, &rng)));
+  }
+  EXPECT_EQ(domains.size(), 200u);
+}
+
+TEST(GeneratedWebNamesTest, IsolatedCommunitySharesOneDomain) {
+  auto web = synth::GenerateWeb(synth::TinyScenario(17));
+  CHECK_OK(web.status());
+  uint32_t blog = web.value().RegionIndex("br-blog");
+  ASSERT_LT(blog, web.value().config.regions.size());
+  std::set<std::string> domains;
+  for (graph::NodeId x = 0; x < web.value().graph.num_nodes(); ++x) {
+    if (web.value().region_of_node[x] == blog && !web.value().is_hub[x]) {
+      domains.insert(RegisteredDomain(web.value().graph.HostName(x)));
+    }
+  }
+  EXPECT_EQ(domains.size(), 1u);  // the *.blogger.com.br pattern
+}
+
+TEST(GeneratedWebNamesTest, HostNamesAreUnique) {
+  auto web = synth::GenerateWeb(synth::TinyScenario(19));
+  CHECK_OK(web.status());
+  std::set<std::string> names;
+  for (graph::NodeId x = 0; x < web.value().graph.num_nodes(); ++x) {
+    names.insert(web.value().graph.HostName(x));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(web.value().graph.num_nodes()));
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,222 @@
+// Validates the solvers and mass estimators against the paper's worked
+// examples: the closed-form PageRank of Figure 1 (Section 3.1) and the full
+// Table 1 of features for the Figure 2 graph. These are the strongest
+// correctness anchors in the repository — every value is derived
+// analytically in the paper.
+
+#include "synth/paper_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/spam_mass.h"
+#include "pagerank/contribution.h"
+#include "pagerank/solver.h"
+
+namespace spammass {
+namespace {
+
+using pagerank::ComputeUniformPageRank;
+using pagerank::ScaledScores;
+using pagerank::SolverOptions;
+using synth::Figure1Graph;
+using synth::Figure2Graph;
+using synth::MakeFigure1Graph;
+using synth::MakeFigure2Graph;
+
+constexpr double kC = 0.85;
+constexpr double kTol = 1e-9;
+
+SolverOptions PreciseOptions() {
+  SolverOptions opt;
+  opt.damping = kC;
+  opt.tolerance = 1e-15;
+  opt.max_iterations = 2000;
+  return opt;
+}
+
+// Section 3.1: p_x = (1 + 3c + kc²)(1−c)/n on the Figure 1 graph, of which
+// (c + kc²)(1−c)/n is due to spamming.
+class Figure1PageRankTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Figure1PageRankTest, MatchesClosedForm) {
+  const uint32_t k = GetParam();
+  Figure1Graph fig = MakeFigure1Graph(k);
+  const double n = fig.graph.num_nodes();
+  ASSERT_EQ(n, k + 4.0);
+
+  auto result = ComputeUniformPageRank(fig.graph, PreciseOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& p = result.value().scores;
+
+  double expected_x = (1.0 + 3.0 * kC + k * kC * kC) * (1.0 - kC) / n;
+  EXPECT_NEAR(p[fig.x], expected_x, kTol);
+
+  // The spam-attributable part: contribution of {s0, ..., sk} to x.
+  auto spam_contrib = pagerank::ComputeSetContribution(
+      fig.graph, fig.labels.SpamNodes(), PreciseOptions());
+  ASSERT_TRUE(spam_contrib.ok());
+  double expected_spam_part = (kC + k * kC * kC) * (1.0 - kC) / n;
+  // x itself is spam-labeled; subtract its self-contribution (1−c)/n to
+  // isolate the boosting by s0..sk that the formula describes.
+  EXPECT_NEAR(spam_contrib.value().scores[fig.x] - (1.0 - kC) / n,
+              expected_spam_part, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(VaryBoosters, Figure1PageRankTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 10u, 50u));
+
+// For c = 0.85, the paper argues x is mostly spam-supported as soon as
+// k >= ceil(1/c) = 2.
+TEST(Figure1PageRankTest, SpamDominatesFromKEqualTwo) {
+  for (uint32_t k : {0u, 1u, 2u, 3u, 10u}) {
+    Figure1Graph fig = MakeFigure1Graph(k);
+    auto pr = ComputeUniformPageRank(fig.graph, PreciseOptions());
+    ASSERT_TRUE(pr.ok());
+    double n = fig.graph.num_nodes();
+    double good_part = 2.0 * kC * (1.0 - kC) / n;       // links from g0, g1
+    double spam_part = (kC + k * kC * kC) * (1.0 - kC) / n;  // link from s0
+    if (k >= 2) {
+      EXPECT_GT(spam_part, good_part) << "k=" << k;
+    } else {
+      EXPECT_LT(spam_part, good_part) << "k=" << k;
+    }
+  }
+}
+
+// Table 1, column by column. Scaled by n/(1−c); the paper rounds to two
+// decimals (and prints 9.33 for x's PageRank).
+TEST(Figure2Table1Test, ScaledPageRank) {
+  Figure2Graph fig = MakeFigure2Graph();
+  ASSERT_EQ(fig.graph.num_nodes(), 12u);
+  auto pr = ComputeUniformPageRank(fig.graph, PreciseOptions());
+  ASSERT_TRUE(pr.ok());
+  auto p = ScaledScores(pr.value().scores, kC);
+
+  // Exact values: p̂_x = 1 + 2c(1+2c) + c(1+4c) = 9.33 for c = 0.85.
+  EXPECT_NEAR(p[fig.x], 9.33, 1e-9);
+  EXPECT_NEAR(p[fig.g0], 2.7, 1e-9);
+  EXPECT_NEAR(p[fig.g1], 1.0, 1e-9);
+  EXPECT_NEAR(p[fig.g2], 2.7, 1e-9);
+  EXPECT_NEAR(p[fig.g3], 1.0, 1e-9);
+  EXPECT_NEAR(p[fig.s0], 4.4, 1e-9);
+  for (auto s : {fig.s1, fig.s2, fig.s3, fig.s4, fig.s5, fig.s6}) {
+    EXPECT_NEAR(p[s], 1.0, 1e-9);
+  }
+}
+
+TEST(Figure2Table1Test, CoreBasedPageRank) {
+  Figure2Graph fig = MakeFigure2Graph();
+  // The worked example uses w = v^Ṽ⁺ (no γ scaling).
+  core::SpamMassOptions options;
+  options.solver = PreciseOptions();
+  options.scale_core_jump = false;
+  auto est = core::EstimateSpamMass(fig.graph, fig.good_core, options);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  auto p0 = ScaledScores(est.value().core_pagerank, kC);
+
+  EXPECT_NEAR(p0[fig.x], 2.295, 1e-9);   // c·(1.85 + 0.85)
+  EXPECT_NEAR(p0[fig.g0], 1.85, 1e-9);   // 1 + c·1
+  EXPECT_NEAR(p0[fig.g1], 1.0, 1e-9);
+  EXPECT_NEAR(p0[fig.g2], 0.85, 1e-9);   // c·1 (g3 in core, g2 not)
+  EXPECT_NEAR(p0[fig.g3], 1.0, 1e-9);
+  EXPECT_NEAR(p0[fig.s0], 0.0, 1e-9);
+  for (auto s : {fig.s1, fig.s2, fig.s3, fig.s4, fig.s5, fig.s6}) {
+    EXPECT_NEAR(p0[s], 0.0, 1e-9);
+  }
+}
+
+TEST(Figure2Table1Test, ActualAbsoluteAndRelativeMass) {
+  Figure2Graph fig = MakeFigure2Graph();
+  auto actual =
+      core::ComputeActualSpamMass(fig.graph, fig.labels, PreciseOptions());
+  ASSERT_TRUE(actual.ok());
+  auto m_abs = ScaledScores(actual.value().absolute_mass, kC);
+  const auto& m_rel = actual.value().relative_mass;
+
+  EXPECT_NEAR(m_abs[fig.x], 6.185, 1e-9);  // 1 + c + 6c² (self + s0 + 6 walks)
+  EXPECT_NEAR(m_abs[fig.g0], 0.85, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g1], 0.0, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g2], 0.85, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g3], 0.0, 1e-9);
+  EXPECT_NEAR(m_abs[fig.s0], 4.4, 1e-9);
+  for (auto s : {fig.s1, fig.s2, fig.s3, fig.s4, fig.s5, fig.s6}) {
+    EXPECT_NEAR(m_abs[s], 1.0, 1e-9);
+  }
+
+  // Relative mass (Table 1): 0.66, 0.31, 0, 0.31, 0, 1, 1.
+  EXPECT_NEAR(m_rel[fig.x], 6.185 / 9.33, 1e-9);
+  EXPECT_NEAR(m_rel[fig.g0], 0.85 / 2.7, 1e-9);
+  EXPECT_NEAR(m_rel[fig.g1], 0.0, 1e-9);
+  EXPECT_NEAR(m_rel[fig.g2], 0.85 / 2.7, 1e-9);
+  EXPECT_NEAR(m_rel[fig.s0], 1.0, 1e-9);
+  EXPECT_NEAR(m_rel[fig.s1], 1.0, 1e-9);
+}
+
+TEST(Figure2Table1Test, EstimatedAbsoluteAndRelativeMass) {
+  Figure2Graph fig = MakeFigure2Graph();
+  core::SpamMassOptions options;
+  options.solver = PreciseOptions();
+  options.scale_core_jump = false;
+  auto est = core::EstimateSpamMass(fig.graph, fig.good_core, options);
+  ASSERT_TRUE(est.ok());
+  auto m_abs = ScaledScores(est.value().absolute_mass, kC);
+  const auto& m_rel = est.value().relative_mass;
+
+  EXPECT_NEAR(m_abs[fig.x], 9.33 - 2.295, 1e-9);  // 7.035
+  EXPECT_NEAR(m_abs[fig.g0], 0.85, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g1], 0.0, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g2], 1.85, 1e-9);
+  EXPECT_NEAR(m_abs[fig.g3], 0.0, 1e-9);
+  EXPECT_NEAR(m_abs[fig.s0], 4.4, 1e-9);
+
+  EXPECT_NEAR(m_rel[fig.x], (9.33 - 2.295) / 9.33, 1e-9);  // 0.75
+  EXPECT_NEAR(m_rel[fig.g0], 0.85 / 2.7, 1e-9);                // 0.31
+  EXPECT_NEAR(m_rel[fig.g2], 1.85 / 2.7, 1e-9);                // 0.69
+  EXPECT_NEAR(m_rel[fig.s0], 1.0, 1e-9);
+  EXPECT_NEAR(m_rel[fig.s5], 1.0, 1e-9);
+}
+
+// Section 3.3's worked contributions: q_x^{good} = (2c+2c²)(1−c)/n and
+// q_x^{spam minus x} = (c+6c²)(1−c)/n, a ratio of 1.65 at c = 0.85.
+TEST(Figure2Table1Test, SpamToGoodContributionRatio) {
+  Figure2Graph fig = MakeFigure2Graph();
+  auto good = pagerank::ComputeSetContribution(
+      fig.graph, {fig.g0, fig.g1, fig.g2, fig.g3}, PreciseOptions());
+  auto spam = pagerank::ComputeSetContribution(
+      fig.graph, {fig.s0, fig.s1, fig.s2, fig.s3, fig.s4, fig.s5, fig.s6},
+      PreciseOptions());
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(spam.ok());
+  const double n = 12.0;
+  EXPECT_NEAR(good.value().scores[fig.x],
+              (2 * kC + 2 * kC * kC) * (1 - kC) / n, kTol);
+  EXPECT_NEAR(spam.value().scores[fig.x],
+              (kC + 6 * kC * kC) * (1 - kC) / n, kTol);
+  EXPECT_NEAR(
+      spam.value().scores[fig.x] / good.value().scores[fig.x], 1.65, 0.005);
+}
+
+// Section 3.6 walks Algorithm 2 over the example: with ρ = 1.5 and τ = 0.5,
+// the spam candidates are exactly {x, s0, g2} — g2 being the documented
+// false positive caused by core incompleteness.
+TEST(Figure2Table1Test, Algorithm2WorkedExample) {
+  Figure2Graph fig = MakeFigure2Graph();
+  core::SpamMassOptions options;
+  options.solver = PreciseOptions();
+  options.scale_core_jump = false;
+  auto est = core::EstimateSpamMass(fig.graph, fig.good_core, options);
+  ASSERT_TRUE(est.ok());
+
+  core::DetectorConfig config;
+  config.scaled_pagerank_threshold = 1.5;
+  config.relative_mass_threshold = 0.5;
+  auto candidates = core::DetectSpamCandidates(est.value(), config);
+  std::vector<graph::NodeId> nodes;
+  for (const auto& c : candidates) nodes.push_back(c.node);
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<graph::NodeId>{fig.x, fig.g2, fig.s0}));
+}
+
+}  // namespace
+}  // namespace spammass

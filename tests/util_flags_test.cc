@@ -1,0 +1,89 @@
+// Tests of the CLI flag parser.
+
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using util::FlagParser;
+
+TEST(FlagParserTest, DefaultsWhenUnset) {
+  FlagParser flags;
+  flags.Define("scale", "0.5", "scenario scale");
+  ASSERT_TRUE(flags.Parse(0, nullptr).ok());
+  EXPECT_EQ(flags.GetString("scale"), "0.5");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale"), 0.5);
+  EXPECT_FALSE(flags.WasSet("scale"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValue) {
+  FlagParser flags;
+  flags.Define("edges", "", "path");
+  const char* argv[] = {"--edges", "web.edges"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetString("edges"), "web.edges");
+  EXPECT_TRUE(flags.WasSet("edges"));
+}
+
+TEST(FlagParserTest, EqualsSeparatedValue) {
+  FlagParser flags;
+  flags.Define("tau", "0.98", "threshold");
+  const char* argv[] = {"--tau=0.5"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tau"), 0.5);
+}
+
+TEST(FlagParserTest, BoolFlagForms) {
+  FlagParser flags;
+  flags.DefineBool("verbose", "talk more");
+  flags.DefineBool("quiet", "talk less");
+  const char* argv[] = {"--verbose", "--quiet=false"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.GetBool("quiet"));
+}
+
+TEST(FlagParserTest, IntParsing) {
+  FlagParser flags;
+  flags.Define("seed", "42", "rng seed");
+  const char* argv[] = {"--seed", "123456789"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetInt("seed"), 123456789);
+}
+
+TEST(FlagParserTest, PositionalsCollected) {
+  FlagParser flags;
+  flags.Define("x", "", "");
+  const char* argv[] = {"first", "--x", "v", "second"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags;
+  const char* argv[] = {"--nope"};
+  EXPECT_FALSE(flags.Parse(1, argv).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser flags;
+  flags.Define("edges", "", "path");
+  const char* argv[] = {"--edges"};
+  EXPECT_FALSE(flags.Parse(1, argv).ok());
+}
+
+TEST(FlagParserTest, HelpMentionsEveryFlag) {
+  FlagParser flags;
+  flags.Define("alpha", "1", "the alpha knob");
+  flags.DefineBool("beta", "the beta switch");
+  std::string help = flags.Help();
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("--beta"), std::string::npos);
+  EXPECT_NE(help.find("alpha knob"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,85 @@
+// Tests of log-binned histograms and summary statistics.
+
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spammass {
+namespace {
+
+using util::LogHistogram;
+using util::Summarize;
+
+TEST(LogHistogramTest, BinsDoubleInWidth) {
+  LogHistogram h(1.0, 2.0);
+  h.Add(1.0);   // [1, 2)
+  h.Add(1.5);   // [1, 2)
+  h.Add(2.0);   // [2, 4)
+  h.Add(3.9);   // [2, 4)
+  h.Add(4.0);   // [4, 8)
+  auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_NEAR(bins[0].lower, 1.0, 1e-12);
+  EXPECT_NEAR(bins[0].upper, 2.0, 1e-12);
+  EXPECT_NEAR(bins[1].upper, 4.0, 1e-12);
+}
+
+TEST(LogHistogramTest, FractionsSumWithUnderflow) {
+  LogHistogram h(1.0, 10.0);
+  h.Add(0.5);   // underflow
+  h.Add(-3.0);  // underflow
+  h.Add(5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.underflow_count(), 2u);
+  double frac = 0;
+  for (const auto& b : h.bins()) frac += b.fraction;
+  EXPECT_NEAR(frac, 0.5, 1e-12);
+}
+
+TEST(LogHistogramTest, CenterIsGeometricMean) {
+  LogHistogram h(1.0, 4.0);
+  h.Add(1.0);
+  auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_NEAR(bins[0].center, 2.0, 1e-12);  // sqrt(1*4)
+}
+
+TEST(LogHistogramTest, AddCountBulk) {
+  LogHistogram h(1.0, 2.0);
+  h.AddCount(3.0, 1000);
+  auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[1].count, 1000u);
+  EXPECT_NEAR(bins[1].fraction, 1.0, 1e-12);
+}
+
+TEST(SummarizeTest, BasicMoments) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean, 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(SummarizeTest, Empty) {
+  auto s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, NegativeValues) {
+  auto s = Summarize({-5.0, 5.0});
+  EXPECT_EQ(s.min, -5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.mean, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,72 @@
+// Tests of the MLE power-law fit used for the Figure 6 exponent.
+
+#include "util/power_law.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using util::FitPowerLaw;
+using util::FitPowerLawAutoXmin;
+using util::Rng;
+
+std::vector<double> PowerLawSample(double alpha, double xmin, size_t n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng.PowerLaw(xmin, alpha));
+  return out;
+}
+
+class PowerLawFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawFitTest, RecoversExponent) {
+  const double alpha = GetParam();
+  auto sample = PowerLawSample(alpha, 1.0, 50000, 99);
+  auto fit = FitPowerLaw(sample, 1.0);
+  EXPECT_EQ(fit.tail_size, sample.size());
+  EXPECT_NEAR(fit.alpha, alpha, 0.05);
+  EXPECT_LT(fit.ks_distance, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawFitTest,
+                         ::testing::Values(1.8, 2.31, 2.8, 3.5));
+
+TEST(PowerLawFitTest, IgnoresSubXminValues) {
+  auto sample = PowerLawSample(2.5, 1.0, 20000, 7);
+  sample.push_back(0.001);
+  sample.push_back(-4.0);
+  auto fit = FitPowerLaw(sample, 1.0);
+  EXPECT_EQ(fit.tail_size, 20000u);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.06);
+}
+
+TEST(PowerLawFitTest, TooFewPointsYieldsZeroAlpha) {
+  auto fit = FitPowerLaw({5.0}, 1.0);
+  EXPECT_EQ(fit.alpha, 0.0);
+  EXPECT_EQ(fit.tail_size, 1u);
+}
+
+TEST(PowerLawFitTest, AutoXminFindsCutoff) {
+  // Sample that is power-law only above x = 10 (uniform noise below).
+  Rng rng(13);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.Uniform01() * 10.0);
+  auto tail = PowerLawSample(2.2, 10.0, 20000, 17);
+  sample.insert(sample.end(), tail.begin(), tail.end());
+  auto fit = FitPowerLawAutoXmin(sample);
+  EXPECT_GT(fit.xmin, 3.0);
+  EXPECT_NEAR(fit.alpha, 2.2, 0.15);
+}
+
+TEST(PowerLawFitTest, AutoXminEmptyAndDegenerate) {
+  EXPECT_EQ(FitPowerLawAutoXmin({}).tail_size, 0u);
+  EXPECT_EQ(FitPowerLawAutoXmin({-1.0, -2.0}).tail_size, 0u);
+}
+
+}  // namespace
+}  // namespace spammass

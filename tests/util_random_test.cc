@@ -1,0 +1,206 @@
+// Tests of the deterministic PRNG and its distributions.
+
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace spammass {
+namespace {
+
+using util::Rng;
+using util::SampleWithoutReplacement;
+using util::ZipfSampler;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformIndex(13), 13u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, DiscretePowerLawRespectsXmin) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.DiscretePowerLaw(5, 2.0), 5u);
+  }
+}
+
+TEST(RngTest, DiscretePowerLawIsHeavyTailed) {
+  Rng rng(23);
+  const int n = 200000;
+  int small = 0, large = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t x = rng.DiscretePowerLaw(1, 2.5);
+    if (x == 1) ++small;
+    if (x >= 10) ++large;
+  }
+  // For alpha = 2.5, P(X = 1) ≈ 1 − 2^(-1.5) ≈ 0.65 and P(X >= 10) is a
+  // few percent — verify both qualitative features.
+  EXPECT_GT(static_cast<double>(small) / n, 0.5);
+  EXPECT_GT(large, 0);
+  EXPECT_LT(static_cast<double>(large) / n, 0.10);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfSamplerTest, RanksWithinBounds) {
+  ZipfSampler zipf(1000, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 1000u);
+}
+
+TEST(ZipfSamplerTest, LowRanksDominare) {
+  ZipfSampler zipf(10000, 1.0);
+  Rng rng(3);
+  const int n = 100000;
+  int top10 = 0;
+  for (int i = 0; i < n; ++i) top10 += (zipf.Sample(&rng) < 10);
+  // With s = 1 and N = 10⁴, the top 10 ranks carry about
+  // H(10)/H(10000) ≈ 2.93/9.79 ≈ 30% of the probability mass.
+  EXPECT_GT(static_cast<double>(top10) / n, 0.2);
+  EXPECT_LT(static_cast<double>(top10) / n, 0.4);
+}
+
+TEST(ZipfSamplerTest, FrequencyRatioMatchesExponent) {
+  // P(rank 0) / P(rank 1) should be close to 2^s.
+  const double s = 1.2;
+  ZipfSampler zipf(1000, s);
+  Rng rng(4);
+  const int n = 400000;
+  int r0 = 0, r1 = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t r = zipf.Sample(&rng);
+    if (r == 0) ++r0;
+    if (r == 1) ++r1;
+  }
+  ASSERT_GT(r1, 0);
+  EXPECT_NEAR(static_cast<double>(r0) / r1, std::pow(2.0, s), 0.2);
+}
+
+TEST(SampleWithoutReplacementTest, ExactSizeAndUniqueness) {
+  Rng rng(6);
+  auto s = SampleWithoutReplacement(100, 30, &rng);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (uint64_t x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, FullSample) {
+  Rng rng(8);
+  auto s = SampleWithoutReplacement(10, 10, &rng);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, EmptySample) {
+  Rng rng(8);
+  EXPECT_TRUE(SampleWithoutReplacement(10, 0, &rng).empty());
+  EXPECT_TRUE(SampleWithoutReplacement(0, 0, &rng).empty());
+}
+
+TEST(SampleWithoutReplacementTest, ApproximatelyUniform) {
+  Rng rng(10);
+  std::vector<int> hits(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (uint64_t x : SampleWithoutReplacement(20, 5, &rng)) hits[x]++;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.25, 0.03);
+  }
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  util::Shuffle(&v, &rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+}  // namespace
+}  // namespace spammass

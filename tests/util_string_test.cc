@@ -1,0 +1,59 @@
+// Tests of string helpers.
+
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace spammass {
+namespace {
+
+using util::FormatWithCommas;
+using util::Join;
+using util::Split;
+using util::SplitWhitespace;
+using util::StringPrintf;
+using util::Trim;
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   \t ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(73300000), "73,300,000");
+  EXPECT_EQ(FormatWithCommas(979000000), "979,000,000");
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,80 @@
+// Tests of the text-table / CSV renderer.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace spammass {
+namespace {
+
+using util::FormatDouble;
+using util::TextTable;
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(2.7), "2.7");
+  EXPECT_EQ(FormatDouble(2.7000001, 2), "2.7");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-0.0), "0");
+  EXPECT_EQ(FormatDouble(-67.9, 2), "-67.9");
+  EXPECT_EQ(FormatDouble(0.1234567, 4), "0.1235");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"node", "pagerank"});
+  t.AddRowValues("x", 9.33);
+  t.AddRowValues("g0", 2.7);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("node"), std::string::npos);
+  EXPECT_NE(s.find("9.33"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Every line has the same column start for "pagerank" values.
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvQuoting) {
+  TextTable t;
+  t.SetHeader({"name", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvWriteToFile) {
+  TextTable t;
+  t.SetHeader({"x"});
+  t.AddRowValues(42);
+  std::string path = testing::TempDir() + "/table.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "42");
+}
+
+TEST(TextTableTest, MixedCellTypes) {
+  TextTable t;
+  t.SetHeader({"id", "mass", "label"});
+  t.AddRowValues(7, -67.9, std::string("good"));
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("-67.9"), std::string::npos);
+  EXPECT_NE(s.find("good"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,376 @@
+// spammass_cli — command-line front end for the library. Subcommands:
+//
+//   generate   synthesize a Yahoo-2004-like host graph to disk
+//   stats      structural statistics of an edge-list graph
+//   pagerank   compute (scaled) PageRank scores
+//   mass       estimate spam mass from a good-core file
+//   detect     run Algorithm 2 and print/save spam candidates
+//   sites      aggregate a host graph to the site level
+//
+// Graphs are text edge lists ("src dst" per line; see graph/graph_io.h),
+// cores are node-id lists (one per line), labels are "<id>\t<label>" lines.
+// Run `spammass_cli <command> --help` for per-command flags.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/detector.h"
+#include "core/label_io.h"
+#include "core/spam_mass.h"
+#include "eval/metrics.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/site_aggregation.h"
+#include "pagerank/solver.h"
+#include "synth/generator.h"
+#include "synth/scenario.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace spammass;
+
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spammass_cli <generate|stats|pagerank|mass|detect|sites> "
+               "[flags]\n");
+  return 2;
+}
+
+/// Parses flags; on --help prints the command's flag list and exits.
+bool ParseOrHelp(util::FlagParser* flags, const char* command, int argc,
+                 const char* const* argv, int* exit_code) {
+  flags->DefineBool("help", "show this help");
+  util::Status status = flags->Parse(argc, argv);
+  if (!status.ok()) {
+    *exit_code = Fail(status);
+    return false;
+  }
+  if (flags->GetBool("help")) {
+    std::fprintf(stderr, "spammass_cli %s flags:\n%s", command,
+                 flags->Help().c_str());
+    *exit_code = 0;
+    return false;
+  }
+  return true;
+}
+
+pagerank::SolverOptions SolverFromFlags(const util::FlagParser& flags) {
+  pagerank::SolverOptions solver;
+  solver.method = pagerank::Method::kGaussSeidel;
+  const std::string& method = flags.GetString("method");
+  if (method == "jacobi") solver.method = pagerank::Method::kJacobi;
+  if (method == "sor") solver.method = pagerank::Method::kSor;
+  if (method == "power") solver.method = pagerank::Method::kPowerIteration;
+  solver.damping = flags.GetDouble("damping");
+  solver.tolerance = flags.GetDouble("tolerance");
+  solver.max_iterations = static_cast<int>(flags.GetInt("max-iterations"));
+  return solver;
+}
+
+void DefineSolverFlags(util::FlagParser* flags) {
+  flags->Define("method", "gauss-seidel",
+                "solver: jacobi | gauss-seidel | sor | power");
+  flags->Define("damping", "0.85", "PageRank damping factor c");
+  flags->Define("tolerance", "1e-10", "L1 convergence tolerance");
+  flags->Define("max-iterations", "400", "iteration cap");
+}
+
+int CmdGenerate(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  flags.Define("scale", "0.1", "scenario scale (1.0 ~ 170k hosts)");
+  flags.Define("seed", "42", "generator seed");
+  flags.Define("out-edges", "web.edges", "edge-list output path");
+  flags.Define("out-hosts", "", "optional host-name map output path");
+  flags.Define("out-labels", "", "optional ground-truth label output path");
+  flags.Define("out-core", "", "optional assembled good-core output path");
+  int code = 0;
+  if (!ParseOrHelp(&flags, "generate", argc, argv, &code)) return code;
+
+  util::WallTimer timer;
+  auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(
+      flags.GetDouble("scale"),
+      static_cast<uint64_t>(flags.GetInt("seed"))));
+  if (!web.ok()) return Fail(web.status());
+  const synth::SyntheticWeb& w = web.value();
+  util::Status status =
+      graph::WriteEdgeListText(w.graph, flags.GetString("out-edges"));
+  if (!status.ok()) return Fail(status);
+  if (!flags.GetString("out-hosts").empty()) {
+    status = graph::WriteHostNames(w.graph, flags.GetString("out-hosts"));
+    if (!status.ok()) return Fail(status);
+  }
+  if (!flags.GetString("out-labels").empty()) {
+    status = core::WriteLabels(w.labels, flags.GetString("out-labels"));
+    if (!status.ok()) return Fail(status);
+  }
+  if (!flags.GetString("out-core").empty()) {
+    status = core::WriteNodeList(w.AssembledGoodCore(),
+                                 flags.GetString("out-core"));
+    if (!status.ok()) return Fail(status);
+  }
+  std::printf("generated %s hosts, %s links in %.1fs -> %s\n",
+              util::FormatWithCommas(w.graph.num_nodes()).c_str(),
+              util::FormatWithCommas(w.graph.num_edges()).c_str(),
+              timer.Seconds(), flags.GetString("out-edges").c_str());
+  return 0;
+}
+
+int CmdStats(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  flags.Define("edges", "web.edges", "edge-list input path");
+  int code = 0;
+  if (!ParseOrHelp(&flags, "stats", argc, argv, &code)) return code;
+
+  auto graph = graph::ReadEdgeListText(flags.GetString("edges"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto stats = graph::ComputeGraphStats(graph.value());
+  util::TextTable table;
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"hosts", util::FormatWithCommas(stats.num_nodes)});
+  table.AddRow({"links", util::FormatWithCommas(stats.num_edges)});
+  table.AddRow({"no inlinks",
+                util::FormatDouble(100 * stats.FractionNoInlinks(), 1) + "%"});
+  table.AddRow({"no outlinks",
+                util::FormatDouble(100 * stats.FractionNoOutlinks(), 1) + "%"});
+  table.AddRow({"isolated",
+                util::FormatDouble(100 * stats.FractionIsolated(), 1) + "%"});
+  table.AddRow({"max indegree", std::to_string(stats.max_indegree)});
+  table.AddRow({"max outdegree", std::to_string(stats.max_outdegree)});
+  table.AddRow({"mean degree", util::FormatDouble(stats.mean_indegree, 2)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdPageRank(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  flags.Define("edges", "web.edges", "edge-list input path");
+  flags.Define("out", "", "CSV output path (node,scaled_pagerank); stdout "
+                          "top-20 otherwise");
+  flags.Define("top", "20", "rows to print when --out is unset");
+  DefineSolverFlags(&flags);
+  int code = 0;
+  if (!ParseOrHelp(&flags, "pagerank", argc, argv, &code)) return code;
+
+  auto graph = graph::ReadEdgeListText(flags.GetString("edges"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto solver = SolverFromFlags(flags);
+  util::WallTimer timer;
+  auto pr = pagerank::ComputeUniformPageRank(graph.value(), solver);
+  if (!pr.ok()) return Fail(pr.status());
+  auto scaled = pagerank::ScaledScores(pr.value().scores, solver.damping);
+  std::fprintf(stderr, "solved in %d sweeps, %.2fs (converged: %s)\n",
+               pr.value().iterations, timer.Seconds(),
+               pr.value().converged ? "yes" : "no");
+
+  util::TextTable table;
+  table.SetHeader({"node", "scaled_pagerank"});
+  std::vector<graph::NodeId> order(graph.value().num_nodes());
+  for (graph::NodeId i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    return scaled[a] > scaled[b];
+  });
+  if (!flags.GetString("out").empty()) {
+    for (graph::NodeId x : order) {
+      table.AddRow({std::to_string(x), util::FormatDouble(scaled[x], 6)});
+    }
+    util::Status status = table.WriteCsv(flags.GetString("out"));
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %u rows to %s\n", graph.value().num_nodes(),
+                flags.GetString("out").c_str());
+  } else {
+    size_t top = static_cast<size_t>(flags.GetInt("top"));
+    for (size_t i = 0; i < order.size() && i < top; ++i) {
+      table.AddRow({std::to_string(order[i]),
+                    util::FormatDouble(scaled[order[i]], 4)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  return 0;
+}
+
+util::Result<core::MassEstimates> EstimateFromFlags(
+    const util::FlagParser& flags, const graph::WebGraph& graph) {
+  auto good_core =
+      core::ReadNodeList(flags.GetString("core"), graph.num_nodes());
+  if (!good_core.ok()) return good_core.status();
+  core::SpamMassOptions options;
+  options.solver = SolverFromFlags(flags);
+  options.gamma = flags.GetDouble("gamma");
+  options.scale_core_jump = !flags.GetBool("no-jump-scaling");
+  return core::EstimateSpamMass(graph, good_core.value(), options);
+}
+
+void DefineMassFlags(util::FlagParser* flags) {
+  flags->Define("edges", "web.edges", "edge-list input path");
+  flags->Define("core", "good.core", "good-core node-list input path");
+  flags->Define("gamma", "0.85", "estimated good fraction (Section 3.5)");
+  flags->DefineBool("no-jump-scaling",
+                    "use the raw v^core jump instead of the gamma-scaled w");
+  DefineSolverFlags(flags);
+}
+
+int CmdMass(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  DefineMassFlags(&flags);
+  flags.Define("out", "mass.csv",
+               "CSV output (node,scaled_pagerank,scaled_abs_mass,rel_mass)");
+  int code = 0;
+  if (!ParseOrHelp(&flags, "mass", argc, argv, &code)) return code;
+
+  auto graph = graph::ReadEdgeListText(flags.GetString("edges"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto estimates = EstimateFromFlags(flags, graph.value());
+  if (!estimates.ok()) return Fail(estimates.status());
+  const core::MassEstimates& est = estimates.value();
+  const double scale =
+      static_cast<double>(est.pagerank.size()) / (1.0 - est.damping);
+  util::TextTable table;
+  table.SetHeader({"node", "scaled_pagerank", "scaled_abs_mass", "rel_mass"});
+  for (size_t x = 0; x < est.pagerank.size(); ++x) {
+    table.AddRow({std::to_string(x),
+                  util::FormatDouble(est.pagerank[x] * scale, 6),
+                  util::FormatDouble(est.absolute_mass[x] * scale, 6),
+                  util::FormatDouble(est.relative_mass[x], 6)});
+  }
+  util::Status status = table.WriteCsv(flags.GetString("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu rows to %s\n", est.pagerank.size(),
+              flags.GetString("out").c_str());
+  return 0;
+}
+
+int CmdDetect(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  DefineMassFlags(&flags);
+  flags.Define("tau", "0.98", "relative-mass threshold");
+  flags.Define("rho", "10", "scaled-PageRank threshold");
+  flags.Define("hosts", "", "optional host-name map for readable output");
+  flags.Define("labels", "", "optional ground-truth labels; prints "
+                             "precision and AUC when provided");
+  flags.Define("out", "", "optional CSV output of all candidates");
+  flags.Define("top", "25", "candidates to print");
+  int code = 0;
+  if (!ParseOrHelp(&flags, "detect", argc, argv, &code)) return code;
+
+  auto graph = graph::ReadEdgeListText(flags.GetString("edges"));
+  if (!graph.ok()) return Fail(graph.status());
+  graph::WebGraph& web = graph.value();
+  if (!flags.GetString("hosts").empty()) {
+    util::Status status = graph::ReadHostNames(flags.GetString("hosts"), &web);
+    if (!status.ok()) return Fail(status);
+  }
+  auto estimates = EstimateFromFlags(flags, web);
+  if (!estimates.ok()) return Fail(estimates.status());
+
+  core::DetectorConfig config;
+  config.relative_mass_threshold = flags.GetDouble("tau");
+  config.scaled_pagerank_threshold = flags.GetDouble("rho");
+  auto candidates = core::DetectSpamCandidates(estimates.value(), config);
+  std::printf("%zu spam candidates (tau=%.2f, rho=%.1f)\n", candidates.size(),
+              config.relative_mass_threshold,
+              config.scaled_pagerank_threshold);
+
+  util::TextTable table;
+  table.SetHeader({"node", "host", "scaled_pagerank", "rel_mass"});
+  size_t top = static_cast<size_t>(flags.GetInt("top"));
+  for (size_t i = 0; i < candidates.size() && i < top; ++i) {
+    const auto& c = candidates[i];
+    table.AddRow({std::to_string(c.node), web.HostName(c.node),
+                  util::FormatDouble(c.scaled_pagerank, 2),
+                  util::FormatDouble(c.relative_mass, 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (!flags.GetString("out").empty()) {
+    util::TextTable csv;
+    csv.SetHeader({"node", "scaled_pagerank", "rel_mass"});
+    for (const auto& c : candidates) {
+      csv.AddRow({std::to_string(c.node),
+                  util::FormatDouble(c.scaled_pagerank, 6),
+                  util::FormatDouble(c.relative_mass, 6)});
+    }
+    util::Status status = csv.WriteCsv(flags.GetString("out"));
+    if (!status.ok()) return Fail(status);
+  }
+
+  if (!flags.GetString("labels").empty()) {
+    auto labels = core::ReadLabels(flags.GetString("labels"), web.num_nodes());
+    if (!labels.ok()) return Fail(labels.status());
+    uint64_t tp = 0;
+    for (const auto& c : candidates) tp += labels.value().IsSpam(c.node);
+    // AUC of relative mass over the rho-filtered population.
+    auto filtered = core::PageRankFilteredNodes(
+        estimates.value(), config.scaled_pagerank_threshold);
+    std::vector<eval::ScoredExample> examples;
+    for (graph::NodeId x : filtered) {
+      examples.push_back({estimates.value().relative_mass[x],
+                          labels.value().IsSpam(x)});
+    }
+    std::printf("\nagainst ground truth: precision %.3f (%llu of %zu), "
+                "AUC over T %.3f\n",
+                candidates.empty() ? 0.0
+                                   : static_cast<double>(tp) / candidates.size(),
+                static_cast<unsigned long long>(tp), candidates.size(),
+                eval::ComputeAuc(examples));
+  }
+  return 0;
+}
+
+
+int CmdSites(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  flags.Define("edges", "web.edges", "host edge-list input path");
+  flags.Define("hosts", "web.hosts", "host-name map input path");
+  flags.Define("out-edges", "sites.edges", "site edge-list output path");
+  flags.Define("out-hosts", "", "optional site-name map output path");
+  int code = 0;
+  if (!ParseOrHelp(&flags, "sites", argc, argv, &code)) return code;
+
+  auto graph = graph::ReadEdgeListText(flags.GetString("edges"));
+  if (!graph.ok()) return Fail(graph.status());
+  util::Status status =
+      graph::ReadHostNames(flags.GetString("hosts"), &graph.value());
+  if (!status.ok()) return Fail(status);
+  auto sites = graph::AggregateToSites(graph.value());
+  if (!sites.ok()) return Fail(sites.status());
+  status = graph::WriteEdgeListText(sites.value().graph,
+                                    flags.GetString("out-edges"));
+  if (!status.ok()) return Fail(status);
+  if (!flags.GetString("out-hosts").empty()) {
+    status = graph::WriteHostNames(sites.value().graph,
+                                   flags.GetString("out-hosts"));
+    if (!status.ok()) return Fail(status);
+  }
+  std::printf("aggregated %s hosts into %s sites (%s links) -> %s\n",
+              util::FormatWithCommas(graph.value().num_nodes()).c_str(),
+              util::FormatWithCommas(sites.value().graph.num_nodes()).c_str(),
+              util::FormatWithCommas(sites.value().graph.num_edges()).c_str(),
+              flags.GetString("out-edges").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  int sub_argc = argc - 2;
+  const char* const* sub_argv = argv + 2;
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (command == "stats") return CmdStats(sub_argc, sub_argv);
+  if (command == "pagerank") return CmdPageRank(sub_argc, sub_argv);
+  if (command == "mass") return CmdMass(sub_argc, sub_argv);
+  if (command == "detect") return CmdDetect(sub_argc, sub_argv);
+  if (command == "sites") return CmdSites(sub_argc, sub_argv);
+  return Usage();
+}
