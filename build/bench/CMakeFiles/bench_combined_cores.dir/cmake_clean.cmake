@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combined_cores.dir/bench_combined_cores.cc.o"
+  "CMakeFiles/bench_combined_cores.dir/bench_combined_cores.cc.o.d"
+  "bench_combined_cores"
+  "bench_combined_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_precision.dir/bench_figure4_precision.cc.o"
+  "CMakeFiles/bench_figure4_precision.dir/bench_figure4_precision.cc.o.d"
+  "bench_figure4_precision"
+  "bench_figure4_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

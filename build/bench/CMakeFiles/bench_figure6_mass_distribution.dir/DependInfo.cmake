@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure6_mass_distribution.cc" "bench/CMakeFiles/bench_figure6_mass_distribution.dir/bench_figure6_mass_distribution.cc.o" "gcc" "bench/CMakeFiles/bench_figure6_mass_distribution.dir/bench_figure6_mass_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/spammass_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spammass_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spammass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagerank/CMakeFiles/spammass_pagerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_mass_distribution.dir/bench_figure6_mass_distribution.cc.o"
+  "CMakeFiles/bench_figure6_mass_distribution.dir/bench_figure6_mass_distribution.cc.o.d"
+  "bench_figure6_mass_distribution"
+  "bench_figure6_mass_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_mass_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_ops.dir/bench_graph_ops.cc.o"
+  "CMakeFiles/bench_graph_ops.dir/bench_graph_ops.cc.o.d"
+  "bench_graph_ops"
+  "bench_graph_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observations.dir/bench_observations.cc.o"
+  "CMakeFiles/bench_observations.dir/bench_observations.cc.o.d"
+  "bench_observations"
+  "bench_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_site_level.dir/bench_site_level.cc.o"
+  "CMakeFiles/bench_site_level.dir/bench_site_level.cc.o.d"
+  "bench_site_level"
+  "bench_site_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_site_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_paper_examples.dir/bench_table1_paper_examples.cc.o"
+  "CMakeFiles/bench_table1_paper_examples.dir/bench_table1_paper_examples.cc.o.d"
+  "bench_table1_paper_examples"
+  "bench_table1_paper_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

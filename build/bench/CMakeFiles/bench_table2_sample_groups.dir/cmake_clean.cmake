@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sample_groups.dir/bench_table2_sample_groups.cc.o"
+  "CMakeFiles/bench_table2_sample_groups.dir/bench_table2_sample_groups.cc.o.d"
+  "bench_table2_sample_groups"
+  "bench_table2_sample_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sample_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

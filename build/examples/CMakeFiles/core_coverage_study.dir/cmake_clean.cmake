@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coverage_study.dir/core_coverage_study.cpp.o"
+  "CMakeFiles/core_coverage_study.dir/core_coverage_study.cpp.o.d"
+  "core_coverage_study"
+  "core_coverage_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coverage_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_farm_anatomy.dir/spam_farm_anatomy.cpp.o"
+  "CMakeFiles/spam_farm_anatomy.dir/spam_farm_anatomy.cpp.o.d"
+  "spam_farm_anatomy"
+  "spam_farm_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_farm_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

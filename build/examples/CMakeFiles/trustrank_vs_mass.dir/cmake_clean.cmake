@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustrank_vs_mass.dir/trustrank_vs_mass.cpp.o"
+  "CMakeFiles/trustrank_vs_mass.dir/trustrank_vs_mass.cpp.o.d"
+  "trustrank_vs_mass"
+  "trustrank_vs_mass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustrank_vs_mass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

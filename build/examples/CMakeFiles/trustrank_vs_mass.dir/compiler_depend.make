@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trustrank_vs_mass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for trustrank_vs_mass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_scale_detection.dir/web_scale_detection.cpp.o"
+  "CMakeFiles/web_scale_detection.dir/web_scale_detection.cpp.o.d"
+  "web_scale_detection"
+  "web_scale_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_scale_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cc" "src/core/CMakeFiles/spammass_core.dir/bootstrap.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/bootstrap.cc.o.d"
+  "/root/repo/src/core/degree_outlier.cc" "src/core/CMakeFiles/spammass_core.dir/degree_outlier.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/degree_outlier.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/spammass_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/good_core.cc" "src/core/CMakeFiles/spammass_core.dir/good_core.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/good_core.cc.o.d"
+  "/root/repo/src/core/label_io.cc" "src/core/CMakeFiles/spammass_core.dir/label_io.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/label_io.cc.o.d"
+  "/root/repo/src/core/labels.cc" "src/core/CMakeFiles/spammass_core.dir/labels.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/labels.cc.o.d"
+  "/root/repo/src/core/naive_schemes.cc" "src/core/CMakeFiles/spammass_core.dir/naive_schemes.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/naive_schemes.cc.o.d"
+  "/root/repo/src/core/spam_mass.cc" "src/core/CMakeFiles/spammass_core.dir/spam_mass.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/spam_mass.cc.o.d"
+  "/root/repo/src/core/trustrank.cc" "src/core/CMakeFiles/spammass_core.dir/trustrank.cc.o" "gcc" "src/core/CMakeFiles/spammass_core.dir/trustrank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pagerank/CMakeFiles/spammass_pagerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_core.dir/bootstrap.cc.o"
+  "CMakeFiles/spammass_core.dir/bootstrap.cc.o.d"
+  "CMakeFiles/spammass_core.dir/degree_outlier.cc.o"
+  "CMakeFiles/spammass_core.dir/degree_outlier.cc.o.d"
+  "CMakeFiles/spammass_core.dir/detector.cc.o"
+  "CMakeFiles/spammass_core.dir/detector.cc.o.d"
+  "CMakeFiles/spammass_core.dir/good_core.cc.o"
+  "CMakeFiles/spammass_core.dir/good_core.cc.o.d"
+  "CMakeFiles/spammass_core.dir/label_io.cc.o"
+  "CMakeFiles/spammass_core.dir/label_io.cc.o.d"
+  "CMakeFiles/spammass_core.dir/labels.cc.o"
+  "CMakeFiles/spammass_core.dir/labels.cc.o.d"
+  "CMakeFiles/spammass_core.dir/naive_schemes.cc.o"
+  "CMakeFiles/spammass_core.dir/naive_schemes.cc.o.d"
+  "CMakeFiles/spammass_core.dir/spam_mass.cc.o"
+  "CMakeFiles/spammass_core.dir/spam_mass.cc.o.d"
+  "CMakeFiles/spammass_core.dir/trustrank.cc.o"
+  "CMakeFiles/spammass_core.dir/trustrank.cc.o.d"
+  "libspammass_core.a"
+  "libspammass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

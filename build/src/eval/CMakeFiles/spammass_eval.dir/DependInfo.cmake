@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/spammass_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/grouping.cc" "src/eval/CMakeFiles/spammass_eval.dir/grouping.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/grouping.cc.o.d"
+  "/root/repo/src/eval/mass_distribution.cc" "src/eval/CMakeFiles/spammass_eval.dir/mass_distribution.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/mass_distribution.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/spammass_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/precision.cc" "src/eval/CMakeFiles/spammass_eval.dir/precision.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/precision.cc.o.d"
+  "/root/repo/src/eval/sampling.cc" "src/eval/CMakeFiles/spammass_eval.dir/sampling.cc.o" "gcc" "src/eval/CMakeFiles/spammass_eval.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/spammass_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spammass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagerank/CMakeFiles/spammass_pagerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

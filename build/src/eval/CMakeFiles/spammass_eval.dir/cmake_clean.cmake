@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_eval.dir/experiment.cc.o"
+  "CMakeFiles/spammass_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/spammass_eval.dir/grouping.cc.o"
+  "CMakeFiles/spammass_eval.dir/grouping.cc.o.d"
+  "CMakeFiles/spammass_eval.dir/mass_distribution.cc.o"
+  "CMakeFiles/spammass_eval.dir/mass_distribution.cc.o.d"
+  "CMakeFiles/spammass_eval.dir/metrics.cc.o"
+  "CMakeFiles/spammass_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/spammass_eval.dir/precision.cc.o"
+  "CMakeFiles/spammass_eval.dir/precision.cc.o.d"
+  "CMakeFiles/spammass_eval.dir/sampling.cc.o"
+  "CMakeFiles/spammass_eval.dir/sampling.cc.o.d"
+  "libspammass_eval.a"
+  "libspammass_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_algorithms.cc" "src/graph/CMakeFiles/spammass_graph.dir/graph_algorithms.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/graph_algorithms.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/spammass_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/spammass_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/spammass_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/host_normalize.cc" "src/graph/CMakeFiles/spammass_graph.dir/host_normalize.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/host_normalize.cc.o.d"
+  "/root/repo/src/graph/site_aggregation.cc" "src/graph/CMakeFiles/spammass_graph.dir/site_aggregation.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/site_aggregation.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/spammass_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/subgraph.cc.o.d"
+  "/root/repo/src/graph/web_graph.cc" "src/graph/CMakeFiles/spammass_graph.dir/web_graph.cc.o" "gcc" "src/graph/CMakeFiles/spammass_graph.dir/web_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

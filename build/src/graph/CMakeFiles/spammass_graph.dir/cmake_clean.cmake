@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_graph.dir/graph_algorithms.cc.o"
+  "CMakeFiles/spammass_graph.dir/graph_algorithms.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/spammass_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/graph_io.cc.o"
+  "CMakeFiles/spammass_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/spammass_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/host_normalize.cc.o"
+  "CMakeFiles/spammass_graph.dir/host_normalize.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/site_aggregation.cc.o"
+  "CMakeFiles/spammass_graph.dir/site_aggregation.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/subgraph.cc.o"
+  "CMakeFiles/spammass_graph.dir/subgraph.cc.o.d"
+  "CMakeFiles/spammass_graph.dir/web_graph.cc.o"
+  "CMakeFiles/spammass_graph.dir/web_graph.cc.o.d"
+  "libspammass_graph.a"
+  "libspammass_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

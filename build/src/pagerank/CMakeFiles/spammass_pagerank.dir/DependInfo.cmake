@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pagerank/contribution.cc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/contribution.cc.o" "gcc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/contribution.cc.o.d"
+  "/root/repo/src/pagerank/jump_vector.cc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/jump_vector.cc.o" "gcc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/jump_vector.cc.o.d"
+  "/root/repo/src/pagerank/neumann.cc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/neumann.cc.o" "gcc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/neumann.cc.o.d"
+  "/root/repo/src/pagerank/solver.cc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/solver.cc.o" "gcc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/solver.cc.o.d"
+  "/root/repo/src/pagerank/walk_enumeration.cc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/walk_enumeration.cc.o" "gcc" "src/pagerank/CMakeFiles/spammass_pagerank.dir/walk_enumeration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

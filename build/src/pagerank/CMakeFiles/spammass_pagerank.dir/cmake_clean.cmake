@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_pagerank.dir/contribution.cc.o"
+  "CMakeFiles/spammass_pagerank.dir/contribution.cc.o.d"
+  "CMakeFiles/spammass_pagerank.dir/jump_vector.cc.o"
+  "CMakeFiles/spammass_pagerank.dir/jump_vector.cc.o.d"
+  "CMakeFiles/spammass_pagerank.dir/neumann.cc.o"
+  "CMakeFiles/spammass_pagerank.dir/neumann.cc.o.d"
+  "CMakeFiles/spammass_pagerank.dir/solver.cc.o"
+  "CMakeFiles/spammass_pagerank.dir/solver.cc.o.d"
+  "CMakeFiles/spammass_pagerank.dir/walk_enumeration.cc.o"
+  "CMakeFiles/spammass_pagerank.dir/walk_enumeration.cc.o.d"
+  "libspammass_pagerank.a"
+  "libspammass_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

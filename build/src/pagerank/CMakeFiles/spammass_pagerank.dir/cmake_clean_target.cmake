@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspammass_pagerank.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/spammass_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/host_name_gen.cc" "src/synth/CMakeFiles/spammass_synth.dir/host_name_gen.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/host_name_gen.cc.o.d"
+  "/root/repo/src/synth/paper_graphs.cc" "src/synth/CMakeFiles/spammass_synth.dir/paper_graphs.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/paper_graphs.cc.o.d"
+  "/root/repo/src/synth/scenario.cc" "src/synth/CMakeFiles/spammass_synth.dir/scenario.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/scenario.cc.o.d"
+  "/root/repo/src/synth/spam_farm.cc" "src/synth/CMakeFiles/spammass_synth.dir/spam_farm.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/spam_farm.cc.o.d"
+  "/root/repo/src/synth/web_model.cc" "src/synth/CMakeFiles/spammass_synth.dir/web_model.cc.o" "gcc" "src/synth/CMakeFiles/spammass_synth.dir/web_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spammass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagerank/CMakeFiles/spammass_pagerank.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_synth.dir/generator.cc.o"
+  "CMakeFiles/spammass_synth.dir/generator.cc.o.d"
+  "CMakeFiles/spammass_synth.dir/host_name_gen.cc.o"
+  "CMakeFiles/spammass_synth.dir/host_name_gen.cc.o.d"
+  "CMakeFiles/spammass_synth.dir/paper_graphs.cc.o"
+  "CMakeFiles/spammass_synth.dir/paper_graphs.cc.o.d"
+  "CMakeFiles/spammass_synth.dir/scenario.cc.o"
+  "CMakeFiles/spammass_synth.dir/scenario.cc.o.d"
+  "CMakeFiles/spammass_synth.dir/spam_farm.cc.o"
+  "CMakeFiles/spammass_synth.dir/spam_farm.cc.o.d"
+  "CMakeFiles/spammass_synth.dir/web_model.cc.o"
+  "CMakeFiles/spammass_synth.dir/web_model.cc.o.d"
+  "libspammass_synth.a"
+  "libspammass_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_util.dir/flags.cc.o"
+  "CMakeFiles/spammass_util.dir/flags.cc.o.d"
+  "CMakeFiles/spammass_util.dir/histogram.cc.o"
+  "CMakeFiles/spammass_util.dir/histogram.cc.o.d"
+  "CMakeFiles/spammass_util.dir/logging.cc.o"
+  "CMakeFiles/spammass_util.dir/logging.cc.o.d"
+  "CMakeFiles/spammass_util.dir/power_law.cc.o"
+  "CMakeFiles/spammass_util.dir/power_law.cc.o.d"
+  "CMakeFiles/spammass_util.dir/random.cc.o"
+  "CMakeFiles/spammass_util.dir/random.cc.o.d"
+  "CMakeFiles/spammass_util.dir/status.cc.o"
+  "CMakeFiles/spammass_util.dir/status.cc.o.d"
+  "CMakeFiles/spammass_util.dir/string_util.cc.o"
+  "CMakeFiles/spammass_util.dir/string_util.cc.o.d"
+  "CMakeFiles/spammass_util.dir/table.cc.o"
+  "CMakeFiles/spammass_util.dir/table.cc.o.d"
+  "CMakeFiles/spammass_util.dir/thread_pool.cc.o"
+  "CMakeFiles/spammass_util.dir/thread_pool.cc.o.d"
+  "libspammass_util.a"
+  "libspammass_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

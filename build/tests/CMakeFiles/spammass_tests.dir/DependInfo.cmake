@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli_integration_test.cc" "tests/CMakeFiles/spammass_tests.dir/cli_integration_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/cli_integration_test.cc.o.d"
+  "/root/repo/tests/core_bootstrap_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_bootstrap_test.cc.o.d"
+  "/root/repo/tests/core_degree_outlier_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_degree_outlier_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_degree_outlier_test.cc.o.d"
+  "/root/repo/tests/core_detector_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_detector_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_detector_test.cc.o.d"
+  "/root/repo/tests/core_good_core_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_good_core_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_good_core_test.cc.o.d"
+  "/root/repo/tests/core_label_io_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_label_io_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_label_io_test.cc.o.d"
+  "/root/repo/tests/core_labels_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_labels_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_labels_test.cc.o.d"
+  "/root/repo/tests/core_mass_properties_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_mass_properties_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_mass_properties_test.cc.o.d"
+  "/root/repo/tests/core_naive_schemes_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_naive_schemes_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_naive_schemes_test.cc.o.d"
+  "/root/repo/tests/core_spam_mass_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_spam_mass_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_spam_mass_test.cc.o.d"
+  "/root/repo/tests/core_trustrank_test.cc" "tests/CMakeFiles/spammass_tests.dir/core_trustrank_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/core_trustrank_test.cc.o.d"
+  "/root/repo/tests/eval_experiment_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_experiment_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_experiment_test.cc.o.d"
+  "/root/repo/tests/eval_grouping_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_grouping_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_grouping_test.cc.o.d"
+  "/root/repo/tests/eval_mass_distribution_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_mass_distribution_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_mass_distribution_test.cc.o.d"
+  "/root/repo/tests/eval_metrics_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_metrics_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_metrics_test.cc.o.d"
+  "/root/repo/tests/eval_precision_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_precision_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_precision_test.cc.o.d"
+  "/root/repo/tests/eval_sampling_test.cc" "tests/CMakeFiles/spammass_tests.dir/eval_sampling_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/eval_sampling_test.cc.o.d"
+  "/root/repo/tests/graph_algorithms_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_algorithms_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_algorithms_test.cc.o.d"
+  "/root/repo/tests/graph_builder_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_builder_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_builder_test.cc.o.d"
+  "/root/repo/tests/graph_host_normalize_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_host_normalize_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_host_normalize_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_site_aggregation_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_site_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_site_aggregation_test.cc.o.d"
+  "/root/repo/tests/graph_stats_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_stats_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_stats_test.cc.o.d"
+  "/root/repo/tests/graph_subgraph_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_subgraph_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_subgraph_test.cc.o.d"
+  "/root/repo/tests/graph_web_graph_test.cc" "tests/CMakeFiles/spammass_tests.dir/graph_web_graph_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/graph_web_graph_test.cc.o.d"
+  "/root/repo/tests/integration_detection_quality_test.cc" "tests/CMakeFiles/spammass_tests.dir/integration_detection_quality_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/integration_detection_quality_test.cc.o.d"
+  "/root/repo/tests/integration_pipeline_test.cc" "tests/CMakeFiles/spammass_tests.dir/integration_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/integration_pipeline_test.cc.o.d"
+  "/root/repo/tests/pagerank_contribution_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_contribution_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_contribution_test.cc.o.d"
+  "/root/repo/tests/pagerank_jump_vector_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_jump_vector_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_jump_vector_test.cc.o.d"
+  "/root/repo/tests/pagerank_neumann_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_neumann_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_neumann_test.cc.o.d"
+  "/root/repo/tests/pagerank_properties_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_properties_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_properties_test.cc.o.d"
+  "/root/repo/tests/pagerank_solver_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_solver_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_solver_test.cc.o.d"
+  "/root/repo/tests/pagerank_sor_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_sor_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_sor_test.cc.o.d"
+  "/root/repo/tests/pagerank_walk_enumeration_test.cc" "tests/CMakeFiles/spammass_tests.dir/pagerank_walk_enumeration_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/pagerank_walk_enumeration_test.cc.o.d"
+  "/root/repo/tests/synth_generator_test.cc" "tests/CMakeFiles/spammass_tests.dir/synth_generator_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/synth_generator_test.cc.o.d"
+  "/root/repo/tests/synth_host_name_test.cc" "tests/CMakeFiles/spammass_tests.dir/synth_host_name_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/synth_host_name_test.cc.o.d"
+  "/root/repo/tests/synth_paper_graphs_test.cc" "tests/CMakeFiles/spammass_tests.dir/synth_paper_graphs_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/synth_paper_graphs_test.cc.o.d"
+  "/root/repo/tests/synth_scenario_test.cc" "tests/CMakeFiles/spammass_tests.dir/synth_scenario_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/synth_scenario_test.cc.o.d"
+  "/root/repo/tests/synth_spam_farm_test.cc" "tests/CMakeFiles/spammass_tests.dir/synth_spam_farm_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/synth_spam_farm_test.cc.o.d"
+  "/root/repo/tests/util_flags_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_flags_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_flags_test.cc.o.d"
+  "/root/repo/tests/util_histogram_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_histogram_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_histogram_test.cc.o.d"
+  "/root/repo/tests/util_power_law_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_power_law_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_power_law_test.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_random_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_string_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_string_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_string_test.cc.o.d"
+  "/root/repo/tests/util_table_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_table_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_table_test.cc.o.d"
+  "/root/repo/tests/util_thread_pool_test.cc" "tests/CMakeFiles/spammass_tests.dir/util_thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/spammass_tests.dir/util_thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/spammass_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/spammass_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spammass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagerank/CMakeFiles/spammass_pagerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spammass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spammass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spammass_cli.dir/spammass_cli.cc.o"
+  "CMakeFiles/spammass_cli.dir/spammass_cli.cc.o.d"
+  "spammass_cli"
+  "spammass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spammass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
