@@ -1,0 +1,71 @@
+# Sanitizer and static-analysis wiring. Included from the top-level
+# CMakeLists; everything here is opt-in via cache variables so that the
+# default `cmake -B build` remains a plain optimized build.
+#
+#   SPAMMASS_SANITIZE   semicolon/comma-separated sanitizer list, e.g.
+#                       -DSPAMMASS_SANITIZE=address;undefined   (ASan+UBSan)
+#                       -DSPAMMASS_SANITIZE=thread              (TSan)
+#   SPAMMASS_ANALYZE    ON runs clang-tidy over every compiled TU via
+#                       CMAKE_CXX_CLANG_TIDY (skipped with a warning when
+#                       clang-tidy is not installed).
+#   SPAMMASS_WERROR     ON escalates warnings to errors (CI uses this; kept
+#                       opt-in locally so new-compiler noise never blocks a
+#                       checkout from building).
+
+set(SPAMMASS_SANITIZE "" CACHE STRING
+    "Sanitizers to instrument with: any of address, undefined, leak, thread")
+option(SPAMMASS_ANALYZE "Run clang-tidy alongside compilation" OFF)
+option(SPAMMASS_WERROR "Treat compiler warnings as errors" OFF)
+
+if(SPAMMASS_SANITIZE)
+  # Accept both list ("address;undefined") and comma ("address,undefined")
+  # spellings.
+  string(REPLACE "," ";" _spammass_san_list "${SPAMMASS_SANITIZE}")
+
+  set(_spammass_san_allowed address undefined leak thread)
+  foreach(_san IN LISTS _spammass_san_list)
+    if(NOT _san IN_LIST _spammass_san_allowed)
+      message(FATAL_ERROR
+          "SPAMMASS_SANITIZE: unknown sanitizer '${_san}' "
+          "(allowed: ${_spammass_san_allowed})")
+    endif()
+  endforeach()
+
+  # TSan maintains its own shadow state and cannot coexist with ASan/LSan.
+  if("thread" IN_LIST _spammass_san_list AND
+     ("address" IN_LIST _spammass_san_list OR
+      "leak" IN_LIST _spammass_san_list))
+    message(FATAL_ERROR
+        "SPAMMASS_SANITIZE: 'thread' cannot be combined with "
+        "'address'/'leak'")
+  endif()
+
+  string(REPLACE ";" "," _spammass_san_flag "${_spammass_san_list}")
+  message(STATUS "Sanitizers enabled: ${_spammass_san_flag}")
+  add_compile_options(-fsanitize=${_spammass_san_flag} -fno-omit-frame-pointer
+                      -g)
+  add_link_options(-fsanitize=${_spammass_san_flag})
+  if("undefined" IN_LIST _spammass_san_list)
+    # Keep UBSan failures loud: abort instead of printing and continuing.
+    add_compile_options(-fno-sanitize-recover=all)
+    add_link_options(-fno-sanitize-recover=all)
+  endif()
+endif()
+
+if(SPAMMASS_ANALYZE)
+  find_program(SPAMMASS_CLANG_TIDY_EXE clang-tidy)
+  if(SPAMMASS_CLANG_TIDY_EXE)
+    message(STATUS "clang-tidy enabled: ${SPAMMASS_CLANG_TIDY_EXE}")
+    # Configuration lives in .clang-tidy at the repo root.
+    set(CMAKE_CXX_CLANG_TIDY "${SPAMMASS_CLANG_TIDY_EXE}")
+    set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+  else()
+    message(WARNING
+        "SPAMMASS_ANALYZE=ON but clang-tidy was not found; building "
+        "without analysis")
+  endif()
+endif()
+
+if(SPAMMASS_WERROR)
+  add_compile_options(-Werror)
+endif()

@@ -34,7 +34,8 @@ uint64_t LabelStore::CountLabel(NodeLabel label) const {
 
 double LabelStore::GoodFraction() const {
   if (labels_.empty()) return 0;
-  return static_cast<double>(CountLabel(NodeLabel::kGood)) / labels_.size();
+  return static_cast<double>(CountLabel(NodeLabel::kGood)) /
+         static_cast<double>(labels_.size());
 }
 
 }  // namespace spammass::core

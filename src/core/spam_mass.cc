@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "pagerank/contribution.h"
+#include "pagerank/solver_validate.h"
+#include "util/debug.h"
 #include "util/logging.h"
 
 namespace spammass::core {
@@ -63,6 +65,9 @@ Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
   est.pagerank = std::move(p.value().scores);
   est.core_pagerank = std::move(p_prime.value().scores);
   FillFromGoodContribution(est.pagerank, est.core_pagerank, &est);
+  // Section 4 consistency p = p′ + M̃, entrywise. O(n), debug only.
+  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
+      est.pagerank, est.core_pagerank, est.absolute_mass)));
   return est;
 }
 
@@ -97,6 +102,8 @@ Result<MassEstimates> EstimateSpamMassFromSpamCore(
                                ? est.absolute_mass[i] / est.pagerank[i]
                                : 0.0;
   }
+  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
+      est.pagerank, est.core_pagerank, est.absolute_mass)));
   return est;
 }
 
@@ -121,6 +128,8 @@ MassEstimates CombineEstimates(const MassEstimates& from_good_core,
                                ? est.absolute_mass[i] / est.pagerank[i]
                                : 0.0;
   }
+  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
+      est.pagerank, est.core_pagerank, est.absolute_mass)));
   return est;
 }
 
@@ -149,6 +158,8 @@ Result<MassEstimates> ComputeActualSpamMass(
                                   ? actual.absolute_mass[i] / actual.pagerank[i]
                                   : 0.0;
   }
+  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
+      actual.pagerank, actual.core_pagerank, actual.absolute_mass)));
   return actual;
 }
 

@@ -52,9 +52,11 @@ std::vector<RocPoint> ComputeRoc(const std::vector<ScoredExample>& examples) {
     RocPoint point;
     point.threshold = p.sorted[i].score;
     point.true_positive_rate =
-        p.positives ? static_cast<double>(tp) / p.positives : 0;
+        p.positives ? static_cast<double>(tp) / static_cast<double>(p.positives)
+                    : 0;
     point.false_positive_rate =
-        p.negatives ? static_cast<double>(fp) / p.negatives : 0;
+        p.negatives ? static_cast<double>(fp) / static_cast<double>(p.negatives)
+                    : 0;
     curve.push_back(point);
   }
   return curve;
@@ -90,9 +92,10 @@ std::vector<PrPoint> ComputePrCurve(const std::vector<ScoredExample>& examples) 
     PrPoint point;
     point.threshold = p.sorted[i].score;
     point.flagged = flagged;
-    point.precision = static_cast<double>(tp) / flagged;
+    point.precision = static_cast<double>(tp) / static_cast<double>(flagged);
     point.recall =
-        p.positives ? static_cast<double>(tp) / p.positives : 0;
+        p.positives ? static_cast<double>(tp) / static_cast<double>(p.positives)
+                    : 0;
     curve.push_back(point);
   }
   return curve;

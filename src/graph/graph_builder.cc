@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "graph/graph_validate.h"
+#include "util/debug.h"
 #include "util/logging.h"
 
 namespace spammass::graph {
@@ -45,6 +47,7 @@ WebGraph GraphBuilder::Build() {
   host_names_.clear();
   any_names_ = false;
   num_nodes_ = 0;
+  DCHECK_OK(ValidateGraph(g));
   return g;
 }
 

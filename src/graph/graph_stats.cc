@@ -17,8 +17,9 @@ GraphStats ComputeGraphStats(const WebGraph& graph) {
     s.max_indegree = std::max(s.max_indegree, in);
     s.max_outdegree = std::max(s.max_outdegree, out);
   }
-  s.mean_indegree =
-      s.num_nodes ? static_cast<double>(s.num_edges) / s.num_nodes : 0;
+  s.mean_indegree = s.num_nodes ? static_cast<double>(s.num_edges) /
+                                      static_cast<double>(s.num_nodes)
+                                : 0;
   return s;
 }
 

@@ -25,13 +25,19 @@ struct GraphStats {
   uint32_t max_outdegree = 0;
   double mean_indegree = 0;   // == mean outdegree == edges / nodes
   double FractionNoInlinks() const {
-    return num_nodes ? static_cast<double>(no_inlinks) / num_nodes : 0;
+    return num_nodes
+               ? static_cast<double>(no_inlinks) / static_cast<double>(num_nodes)
+               : 0;
   }
   double FractionNoOutlinks() const {
-    return num_nodes ? static_cast<double>(no_outlinks) / num_nodes : 0;
+    return num_nodes
+               ? static_cast<double>(no_outlinks) / static_cast<double>(num_nodes)
+               : 0;
   }
   double FractionIsolated() const {
-    return num_nodes ? static_cast<double>(isolated) / num_nodes : 0;
+    return num_nodes
+               ? static_cast<double>(isolated) / static_cast<double>(num_nodes)
+               : 0;
   }
 };
 

@@ -1,0 +1,105 @@
+#include "graph/graph_validate.h"
+
+#include <algorithm>
+#include <string>
+
+namespace spammass::graph {
+
+using util::Status;
+
+namespace {
+
+std::string RowContext(const char* direction, NodeId row) {
+  return std::string(direction) + "-adjacency row " + std::to_string(row);
+}
+
+}  // namespace
+
+Status ValidateCsr(NodeId num_nodes, std::span<const uint64_t> offsets,
+                   std::span<const NodeId> adjacency, const char* direction) {
+  if (offsets.size() != static_cast<size_t>(num_nodes) + 1) {
+    return Status::FailedPrecondition(
+        std::string(direction) + "-offsets size " +
+        std::to_string(offsets.size()) + " != num_nodes + 1 = " +
+        std::to_string(static_cast<size_t>(num_nodes) + 1));
+  }
+  if (offsets.front() != 0) {
+    return Status::FailedPrecondition(
+        std::string(direction) + "-offsets must start at 0, got " +
+        std::to_string(offsets.front()));
+  }
+  if (offsets.back() != adjacency.size()) {
+    return Status::FailedPrecondition(
+        std::string(direction) + "-offsets end at " +
+        std::to_string(offsets.back()) + " but adjacency holds " +
+        std::to_string(adjacency.size()) + " entries");
+  }
+  for (NodeId row = 0; row < num_nodes; ++row) {
+    const uint64_t begin = offsets[row];
+    const uint64_t end = offsets[row + 1];
+    if (begin > end) {
+      return Status::FailedPrecondition(
+          RowContext(direction, row) + ": offsets decrease (" +
+          std::to_string(begin) + " > " + std::to_string(end) + ")");
+    }
+    for (uint64_t i = begin; i < end; ++i) {
+      const NodeId neighbor = adjacency[i];
+      if (neighbor >= num_nodes) {
+        return Status::FailedPrecondition(
+            RowContext(direction, row) + ": neighbor " +
+            std::to_string(neighbor) + " out of range [0, " +
+            std::to_string(num_nodes) + ")");
+      }
+      if (neighbor == row) {
+        return Status::FailedPrecondition(
+            RowContext(direction, row) +
+            ": self-loop (disallowed by the graph model, Section 2.1)");
+      }
+      if (i > begin && adjacency[i - 1] >= neighbor) {
+        return Status::FailedPrecondition(
+            RowContext(direction, row) + ": entries not strictly ascending (" +
+            std::to_string(adjacency[i - 1]) + " then " +
+            std::to_string(neighbor) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateGraph(const WebGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  SPAMMASS_RETURN_NOT_OK(
+      ValidateCsr(n, graph.OutOffsets(), graph.Targets(), "out"));
+  SPAMMASS_RETURN_NOT_OK(
+      ValidateCsr(n, graph.InOffsets(), graph.Sources(), "in"));
+
+  if (graph.Targets().size() != graph.Sources().size()) {
+    return Status::FailedPrecondition(
+        "forward holds " + std::to_string(graph.Targets().size()) +
+        " edges but transpose holds " +
+        std::to_string(graph.Sources().size()));
+  }
+  // Every forward edge (x, y) must appear in the transpose. Rows are sorted
+  // (verified above), so membership is a binary search; combined with equal
+  // edge counts this makes the two directions exactly equivalent.
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y : graph.OutNeighbors(x)) {
+      auto in = graph.InNeighbors(y);
+      if (!std::binary_search(in.begin(), in.end(), x)) {
+        return Status::FailedPrecondition(
+            "edge (" + std::to_string(x) + ", " + std::to_string(y) +
+            ") present in out-adjacency but missing from in-adjacency");
+      }
+    }
+  }
+
+  if (!graph.host_names().empty() &&
+      graph.host_names().size() != static_cast<size_t>(n)) {
+    return Status::FailedPrecondition(
+        "host_names holds " + std::to_string(graph.host_names().size()) +
+        " entries for " + std::to_string(n) + " nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace spammass::graph

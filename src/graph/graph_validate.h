@@ -1,0 +1,46 @@
+// Debug-mode invariant validation for the CSR web graph.
+//
+// WebGraph's documented invariants (Section 2.1 of the paper plus the CSR
+// layout contract in web_graph.h) are cheap to violate silently — an
+// unsorted adjacency row breaks HasEdge's binary search, a transpose
+// mismatch corrupts every PageRank sweep that scans in-neighbors, and a
+// self-loop invalidates the paper's graph model. Vigna's "Stanford Matrix
+// Considered Harmful" documents how exactly this class of silently broken
+// matrix invariant corrupts published PageRank numbers; these validators
+// exist so refactors of the builders and kernels fail fast instead.
+//
+// Call sites inside the library run under `#ifndef NDEBUG` (via DCHECK_OK /
+// SPAMMASS_DEBUG_ONLY), so release builds pay nothing. All functions are
+// also public API: callers ingesting untrusted serialized graphs can invoke
+// Validate() explicitly in any build mode.
+
+#ifndef SPAMMASS_GRAPH_GRAPH_VALIDATE_H_
+#define SPAMMASS_GRAPH_GRAPH_VALIDATE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass::graph {
+
+/// Validates one CSR direction given raw arrays: `offsets` must have
+/// `num_nodes + 1` entries, start at 0, be non-decreasing, and end at
+/// `adjacency.size()`; every row must be strictly ascending (sorted, no
+/// duplicates) with entries in [0, num_nodes) and — because the graph model
+/// forbids self-links — no entry equal to its own row index.
+/// `direction` names the arrays in error messages ("out" / "in").
+util::Status ValidateCsr(NodeId num_nodes, std::span<const uint64_t> offsets,
+                         std::span<const NodeId> adjacency,
+                         const char* direction = "out");
+
+/// Full structural validation of a WebGraph: both CSR directions via
+/// ValidateCsr, forward/transpose consistency (every edge (x, y) in the
+/// out-adjacency appears as x in InNeighbors(y), and the edge counts
+/// match), and host-name table sizing.
+util::Status ValidateGraph(const WebGraph& graph);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_GRAPH_VALIDATE_H_

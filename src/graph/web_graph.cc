@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/graph_validate.h"
+#include "util/debug.h"
 #include "util/logging.h"
 
 namespace spammass::graph {
@@ -27,6 +29,7 @@ WebGraph WebGraph::FromSortedEdges(
     g.out_offsets_[i] += g.out_offsets_[i - 1];
   }
   g.BuildTranspose();
+  DCHECK_OK(ValidateGraph(g));
   return g;
 }
 
@@ -60,6 +63,7 @@ WebGraph WebGraph::Transposed() const {
   g.in_offsets_ = out_offsets_;
   g.sources_ = targets_;
   g.host_names_ = host_names_;
+  DCHECK_OK(ValidateGraph(g));
   return g;
 }
 

@@ -77,6 +77,14 @@ class WebGraph {
   /// Returns the transposed graph (every edge reversed) as a new graph.
   WebGraph Transposed() const;
 
+  /// Raw CSR views (offset arrays have num_nodes()+1 entries). Exposed for
+  /// the invariant validators (graph_validate.h) and bulk kernels that scan
+  /// the arrays directly.
+  std::span<const uint64_t> OutOffsets() const { return out_offsets_; }
+  std::span<const NodeId> Targets() const { return targets_; }
+  std::span<const uint64_t> InOffsets() const { return in_offsets_; }
+  std::span<const NodeId> Sources() const { return sources_; }
+
   /// Optional per-node host names (empty when unset). When set, the vector
   /// has exactly num_nodes() entries.
   const std::vector<std::string>& host_names() const { return host_names_; }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "pagerank/solver_validate.h"
+#include "util/debug.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -233,20 +235,32 @@ Result<PageRankResult> ComputePageRank(const WebGraph& graph,
     return Status::InvalidArgument(
         "jump vector norm must satisfy 0 < ||v|| <= 1");
   }
+  // Entry invariants beyond the cheap argument checks above: the jump
+  // vector must be entrywise non-negative and finite. O(n), debug only.
+  DCHECK_OK(ValidateJumpVector(jump));
+
+  PageRankResult result;
   switch (options.method) {
     case Method::kJacobi:
-      return SolveJacobi(graph, jump, options);
+      result = SolveJacobi(graph, jump, options);
+      break;
     case Method::kGaussSeidel:
-      return SolveGaussSeidel(graph, jump, options, /*omega=*/1.0);
+      result = SolveGaussSeidel(graph, jump, options, /*omega=*/1.0);
+      break;
     case Method::kSor:
       if (!(options.sor_omega > 0.0) || !(options.sor_omega < 2.0)) {
         return Status::InvalidArgument("sor_omega must lie in (0, 2)");
       }
-      return SolveGaussSeidel(graph, jump, options, options.sor_omega);
+      result = SolveGaussSeidel(graph, jump, options, options.sor_omega);
+      break;
     case Method::kPowerIteration:
-      return SolvePowerIteration(graph, jump, options);
+      result = SolvePowerIteration(graph, jump, options);
+      break;
   }
-  return Status::Internal("unknown method");
+  if (result.scores.empty()) return Status::Internal("unknown method");
+  // Post-conditions (non-negativity, mass conservation). O(n), debug only.
+  DCHECK_OK(ValidateSolverResult(graph, jump, options, result));
+  return result;
 }
 
 Result<PageRankResult> ComputeUniformPageRank(const WebGraph& graph,

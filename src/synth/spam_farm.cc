@@ -37,8 +37,9 @@ FarmInfo BuildSpamFarm(GraphBuilder* builder, const FarmSpec& spec,
     } else {
       // Large farms: sample the expected number of interlinks instead of
       // testing all k² ordered pairs (duplicates collapse in the builder).
-      uint64_t expected = static_cast<uint64_t>(
-          spec.interlink_prob * static_cast<double>(k) * (k - 1));
+      uint64_t expected =
+          static_cast<uint64_t>(spec.interlink_prob * static_cast<double>(k) *
+                                static_cast<double>(k - 1));
       for (uint64_t i = 0; i < expected; ++i) {
         NodeId a = farm.boosters[rng->UniformIndex(k)];
         NodeId b = farm.boosters[rng->UniformIndex(k)];

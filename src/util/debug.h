@@ -1,0 +1,48 @@
+// Debug-build detection and helpers for debug-only invariant validation.
+// The DCHECK macro family itself lives next to CHECK in util/logging.h
+// (included below); this header adds the build-mode predicate and a wrapper
+// for statements that should exist only in debug builds — typically calls
+// into the O(V+E) validators (graph/graph_validate.h,
+// pagerank/solver_validate.h) that are far too heavy for release hot paths.
+
+#ifndef SPAMMASS_UTIL_DEBUG_H_
+#define SPAMMASS_UTIL_DEBUG_H_
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+/// True when invariant validation is compiled in (NDEBUG not defined).
+/// Usable in `if constexpr` to keep both branches compiling.
+#ifdef NDEBUG
+inline constexpr bool kDebugBuild = false;
+#else
+inline constexpr bool kDebugBuild = true;
+#endif
+
+}  // namespace spammass::util
+
+/// 1 when DCHECK/SPAMMASS_DEBUG_ONLY are active, 0 in release builds.
+/// Preprocessor-visible counterpart of kDebugBuild for conditional includes
+/// or declarations.
+#ifdef NDEBUG
+#define SPAMMASS_DCHECK_IS_ON() 0
+#else
+#define SPAMMASS_DCHECK_IS_ON() 1
+#endif
+
+/// Executes `statement` in debug builds only; compiles to nothing (the
+/// statement is not even parsed into the TU's code) in release builds.
+///   SPAMMASS_DEBUG_ONLY(CHECK_OK(ValidateGraph(g)));
+#if SPAMMASS_DCHECK_IS_ON()
+#define SPAMMASS_DEBUG_ONLY(statement) \
+  do {                                 \
+    statement;                         \
+  } while (false)
+#else
+#define SPAMMASS_DEBUG_ONLY(statement) \
+  do {                                 \
+  } while (false)
+#endif
+
+#endif  // SPAMMASS_UTIL_DEBUG_H_

@@ -36,7 +36,8 @@ std::vector<HistogramBin> LogHistogram::bins() const {
     bin.lower = lower;
     bin.upper = lower * ratio;
     bin.count = c;
-    bin.fraction = total_ > 0 ? static_cast<double>(c) / total_ : 0.0;
+    bin.fraction =
+        total_ > 0 ? static_cast<double>(c) / static_cast<double>(total_) : 0.0;
     bin.center = std::sqrt(bin.lower * bin.upper);
     out.push_back(bin);
     lower = bin.upper;

@@ -77,4 +77,40 @@ class NullStream {
     CHECK(_st.ok()) << _st.ToString();                                 \
   } while (false)
 
+/// Debug-only siblings of the CHECK family. In debug builds (NDEBUG not
+/// defined) they are exactly CHECK; in release builds they compile to
+/// nothing — the condition is type-checked but never evaluated, so DCHECKs
+/// are free to sit inside hot loops and to call O(n) validators.
+#ifndef NDEBUG
+
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#define DCHECK_OK(expr) CHECK_OK(expr)
+
+#else  // NDEBUG
+
+// `false && (condition)` keeps the expression visible to the compiler (so a
+// release build still rejects DCHECKs that reference renamed symbols) while
+// guaranteeing it is never executed; NullStream swallows streamed detail.
+#define DCHECK(condition)       \
+  while (false && (condition))  \
+  ::spammass::util::internal::NullStream()
+
+#define DCHECK_OP(a, b, op) DCHECK((a)op(b))
+#define DCHECK_EQ(a, b) DCHECK_OP(a, b, ==)
+#define DCHECK_NE(a, b) DCHECK_OP(a, b, !=)
+#define DCHECK_LT(a, b) DCHECK_OP(a, b, <)
+#define DCHECK_LE(a, b) DCHECK_OP(a, b, <=)
+#define DCHECK_GT(a, b) DCHECK_OP(a, b, >)
+#define DCHECK_GE(a, b) DCHECK_OP(a, b, >=)
+
+#define DCHECK_OK(expr) DCHECK((expr).ok())
+
+#endif  // NDEBUG
+
 #endif  // SPAMMASS_UTIL_LOGGING_H_

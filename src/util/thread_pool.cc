@@ -41,15 +41,39 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(
     uint64_t total, const std::function<void(uint64_t, uint64_t)>& body) {
   if (total == 0) return;
-  uint64_t chunks = std::min<uint64_t>(num_threads(), total);
-  uint64_t per_chunk = (total + chunks - 1) / chunks;
-  for (uint64_t c = 0; c < chunks; ++c) {
-    uint64_t begin = c * per_chunk;
-    uint64_t end = std::min(begin + per_chunk, total);
-    if (begin >= end) break;
-    Submit([&body, begin, end] { body(begin, end); });
+  const uint64_t chunks = std::min<uint64_t>(num_threads(), total);
+  const uint64_t per_chunk = (total + chunks - 1) / chunks;
+  if (chunks == 1) {
+    // Nothing to shard; skip the cross-thread hop.
+    body(0, total);
+    return;
   }
-  Wait();
+
+  // Per-call completion latch. Waiting on the pool-global in_flight_
+  // counter (the old scheme) made one caller's ParallelFor block on
+  // *other* callers' tasks — and on Submits racing in between chunk
+  // submission and the wait. The latch counts exactly this call's chunks.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    uint64_t remaining;
+  } latch;
+
+  latch.remaining = (total + per_chunk - 1) / per_chunk;
+  CHECK_LE(latch.remaining, chunks);
+  for (uint64_t c = 0; c * per_chunk < total; ++c) {
+    const uint64_t begin = c * per_chunk;
+    const uint64_t end = std::min(begin + per_chunk, total);
+    Submit([&body, &latch, begin, end] {
+      body(begin, end);
+      // Notify while holding the lock: the waiter cannot wake, observe
+      // remaining == 0, and destroy the latch before we are done with it.
+      std::lock_guard<std::mutex> lk(latch.m);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lk(latch.m);
+  latch.cv.wait(lk, [&latch] { return latch.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -2,6 +2,14 @@
 // over CSR rows are embarrassingly parallel in the Jacobi scheme (each
 // output entry reads only the previous iterate), so the solver shards the
 // node range across workers.
+//
+// Thread-safety: Submit, Wait, and ParallelFor may all be called
+// concurrently from multiple caller threads. ParallelFor tracks its own
+// chunks through a per-call latch, so two overlapping ParallelFor calls (or
+// a ParallelFor racing unrelated Submits) each return as soon as *their*
+// work finishes — they never wait on each other's tasks. Wait() is the
+// global variant: it blocks until the pool is fully drained, including
+// tasks submitted by other threads while waiting.
 
 #ifndef SPAMMASS_UTIL_THREAD_POOL_H_
 #define SPAMMASS_UTIL_THREAD_POOL_H_
@@ -21,6 +29,9 @@ class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains every queued task, then joins the workers. Submitting from a
+  /// task while the destructor runs is a programming error (CHECK).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,11 +44,13 @@ class ThreadPool {
   /// Enqueues a task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until the pool is idle: every task submitted before or during
+  /// the wait (by any thread) has finished.
   void Wait();
 
   /// Splits [0, total) into roughly equal chunks (one per worker) and runs
-  /// `body(begin, end)` on each concurrently; returns when all are done.
+  /// `body(begin, end)` on each concurrently; returns when all chunks are
+  /// done. Only waits on its own chunks, never on concurrent callers'.
   void ParallelFor(uint64_t total,
                    const std::function<void(uint64_t, uint64_t)>& body);
 
@@ -49,7 +62,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  uint64_t in_flight_ = 0;
+  uint64_t in_flight_ = 0;  // queued + currently executing tasks
   bool shutdown_ = false;
 };
 

@@ -1,0 +1,139 @@
+// Tests of the CSR/graph invariant validators (graph/graph_validate.h):
+// well-formed graphs pass, and each deliberately corrupted CSR input is
+// rejected with a FailedPrecondition naming the violation.
+
+#include "graph/graph_validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/web_graph.h"
+#include "util/status.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::ValidateCsr;
+using graph::ValidateGraph;
+using graph::WebGraph;
+using util::StatusCode;
+
+WebGraph MakeDiamond() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 0);
+  return b.Build();
+}
+
+TEST(ValidateGraphTest, WellFormedGraphPasses) {
+  WebGraph g = MakeDiamond();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, EmptyGraphPasses) {
+  WebGraph g;
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, TransposedGraphPasses) {
+  WebGraph g = MakeDiamond().Transposed();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, BuilderOutputWithNamesPasses) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("a.example.com");
+  NodeId c = b.AddNode("c.example.com");
+  b.AddEdge(a, c);
+  WebGraph g = b.Build();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateCsrTest, AcceptsWellFormedArrays) {
+  // 3 nodes: 0 -> {1, 2}, 1 -> {2}, 2 -> {}.
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {1, 2, 2};
+  EXPECT_TRUE(ValidateCsr(3, offsets, adjacency).ok());
+}
+
+TEST(ValidateCsrTest, RejectsWrongOffsetsSize) {
+  std::vector<uint64_t> offsets = {0, 2, 3};  // needs 4 entries for 3 nodes
+  std::vector<NodeId> adjacency = {1, 2, 2};
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("num_nodes + 1"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsOffsetsNotStartingAtZero) {
+  std::vector<uint64_t> offsets = {1, 2, 3, 3};
+  std::vector<NodeId> adjacency = {1, 2, 2};
+  EXPECT_FALSE(ValidateCsr(3, offsets, adjacency).ok());
+}
+
+TEST(ValidateCsrTest, RejectsOffsetsNotCoveringAdjacency) {
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {1, 2, 2, 0};  // one extra entry
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("adjacency"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsDecreasingOffsets) {
+  std::vector<uint64_t> offsets = {0, 2, 1, 3};
+  std::vector<NodeId> adjacency = {1, 2, 0};
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("decrease"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsOutOfRangeNeighbor) {
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {1, 7, 2};  // 7 >= num_nodes
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("out of range"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsSelfLoop) {
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {0, 1, 2};  // row 0 contains 0
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("self-loop"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsUnsortedRow) {
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {2, 1, 2};  // row 0 = {2, 1}
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ascending"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsDuplicateNeighbors) {
+  std::vector<uint64_t> offsets = {0, 2, 3, 3};
+  std::vector<NodeId> adjacency = {1, 1, 2};  // row 0 = {1, 1}
+  auto st = ValidateCsr(3, offsets, adjacency);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ascending"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, ReportsDirectionInMessage) {
+  std::vector<uint64_t> offsets = {0, 1, 1};
+  std::vector<NodeId> adjacency = {0};  // self-loop in row 0
+  auto st = ValidateCsr(2, offsets, adjacency, "in");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("in-adjacency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spammass

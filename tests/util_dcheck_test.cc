@@ -1,0 +1,96 @@
+// Tests of the DCHECK family (util/logging.h) and the debug-build helpers
+// (util/debug.h). The suite is compiled into both debug and release test
+// runs: in debug builds DCHECK must die exactly like CHECK, in release
+// builds it must vanish — including not evaluating its arguments.
+
+#include "util/debug.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace spammass {
+namespace {
+
+using util::Status;
+
+TEST(DCheckTest, PassingConditionsAreSilent) {
+  // Must be a no-op in every build mode.
+  DCHECK(true);
+  DCHECK(1 + 1 == 2) << "basic arithmetic";
+  DCHECK_EQ(4, 4);
+  DCHECK_NE(4, 5);
+  DCHECK_LT(1, 2);
+  DCHECK_LE(2, 2);
+  DCHECK_GT(3, 2);
+  DCHECK_GE(3, 3);
+  DCHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(DCheckTest, StreamedDetailCompilesInBothModes) {
+  int x = 7;
+  DCHECK_EQ(x, 7) << "x was " << x;
+  DCHECK(x > 0) << "positive " << x;
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+
+TEST(DCheckDeathTest, FailingDCheckDiesInDebugBuilds) {
+  EXPECT_DEATH(DCHECK(false) << "boom", "Check failed: false");
+  EXPECT_DEATH(DCHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(DCHECK_GE(1, 2), "Check failed");
+  EXPECT_DEATH(DCHECK_OK(Status::Internal("bad")), "bad");
+}
+
+TEST(DCheckTest, EvaluatesConditionInDebugBuilds) {
+  int calls = 0;
+  auto touch = [&calls] {
+    ++calls;
+    return true;
+  };
+  DCHECK(touch());
+  EXPECT_EQ(calls, 1);
+}
+
+#else  // NDEBUG
+
+TEST(DCheckTest, FailingDCheckIsANoOpInReleaseBuilds) {
+  DCHECK(false) << "never printed, never fatal";
+  DCHECK_EQ(1, 2);
+  DCHECK_OK(Status::Internal("ignored"));
+  SUCCEED();
+}
+
+TEST(DCheckTest, DoesNotEvaluateConditionInReleaseBuilds) {
+  int calls = 0;
+  auto touch = [&calls] {
+    ++calls;
+    return true;
+  };
+  DCHECK(touch());
+  DCHECK_EQ(touch(), true);
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // NDEBUG
+
+TEST(DebugBuildTest, KDebugBuildMatchesNdebug) {
+#ifdef NDEBUG
+  EXPECT_FALSE(util::kDebugBuild);
+  EXPECT_EQ(SPAMMASS_DCHECK_IS_ON(), 0);
+#else
+  EXPECT_TRUE(util::kDebugBuild);
+  EXPECT_EQ(SPAMMASS_DCHECK_IS_ON(), 1);
+#endif
+}
+
+TEST(DebugBuildTest, DebugOnlyRunsIffDebug) {
+  int calls = 0;
+  SPAMMASS_DEBUG_ONLY(++calls);
+  EXPECT_EQ(calls, util::kDebugBuild ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Repo-convention linter for the spammass tree.
+
+Rules (each printed as file:line: [rule] message):
+
+  include-guard   Headers carry #ifndef/#define/#endif guards named after
+                  their path: src/graph/web_graph.h -> SPAMMASS_GRAPH_
+                  WEB_GRAPH_H_ (bench/foo.h -> SPAMMASS_BENCH_FOO_H_, etc.).
+  banned-function rand/srand/atoi are forbidden everywhere (seedable
+                  determinism and error-checked parsing matter for
+                  reproducibility); std::random_device only inside
+                  src/util/random.* so every other random draw goes through
+                  the seeded util::Rng.
+  using-namespace `using namespace std` is forbidden everywhere; any other
+                  `using namespace` is forbidden in headers.
+  include-hygiene Project includes use quotes with the full path from src/
+                  (never <> for project headers); a .cc/.cpp file includes
+                  its own header first; no duplicate includes in one file.
+
+Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
+Run locally:  python3 tools/spammass_lint.py --root .
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+# rand( / srand( / atoi( as whole identifiers, allowing std:: / :: prefixes.
+BANNED_CALL_RE = re.compile(r"(?<![\w:.])(?:std::|::)?(rand|srand|atoi)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+([\w:]+)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+
+# Allowed exceptions: file path (relative, slash-normalized) -> set of rules
+# that are suppressed for it. Keep this list short and justified.
+EXEMPT = {
+    # The seeded RNG wrapper is the one legitimate random_device user.
+    "src/util/random.h": {"banned-random-device"},
+    "src/util/random.cc": {"banned-random-device"},
+    # The linter itself spells the banned tokens in strings.
+    "tools/spammass_lint.py": {"banned-function", "banned-random-device"},
+}
+
+
+def is_exempt(relpath, rule):
+    return rule in EXEMPT.get(relpath, set())
+
+
+def expected_guard(relpath):
+    """SPAMMASS_<PATH>_H_ with the leading src/ stripped."""
+    path = relpath
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    token = re.sub(r"[^A-Za-z0-9]", "_", path)
+    return "SPAMMASS_" + token.upper() + "_"
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Removes // and /* */ comments and string/char literal contents so the
+    content rules don't fire on prose. Returns (code, still_in_block)."""
+    out = []
+    i = 0
+    n = len(line)
+    in_string = None
+    while i < n:
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if ch == "*" and nxt == "/":
+                in_block_comment = False
+                i += 2
+                continue
+            i += 1
+            continue
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            break
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch in "\"'":
+            in_string = ch
+            out.append(ch)  # keep the quote as a boundary token
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.violations = []
+
+    def report(self, relpath, line_no, rule, message):
+        self.violations.append((relpath, line_no, rule, message))
+
+    def lint_file(self, relpath):
+        path = os.path.join(self.root, relpath)
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+        except (OSError, UnicodeDecodeError) as e:
+            self.report(relpath, 0, "io", f"unreadable: {e}")
+            return
+
+        is_header = relpath.endswith(".h")
+        code_lines = []
+        in_block = False
+        for line in raw_lines:
+            code, in_block = strip_comments_and_strings(line, in_block)
+            code_lines.append(code)
+
+        self.check_content_rules(relpath, code_lines, is_header)
+        # Includes are parsed from the raw lines: the comment/string
+        # stripper above removes quoted include targets.
+        self.check_includes(relpath, raw_lines)
+        if is_header:
+            self.check_include_guard(relpath, code_lines, raw_lines)
+
+    def check_content_rules(self, relpath, code_lines, is_header):
+        for i, code in enumerate(code_lines, start=1):
+            m = BANNED_CALL_RE.search(code)
+            if m and not is_exempt(relpath, "banned-function"):
+                self.report(
+                    relpath, i, "banned-function",
+                    f"{m.group(1)}() is banned: use util/random.h for "
+                    "randomness and util/string_util.h (or std::from_chars) "
+                    "for parsing")
+            if RANDOM_DEVICE_RE.search(code) and not is_exempt(
+                    relpath, "banned-random-device"):
+                self.report(
+                    relpath, i, "banned-function",
+                    "std::random_device outside src/util/random is banned: "
+                    "draw through the seeded util::Rng so runs stay "
+                    "reproducible")
+            m = USING_NAMESPACE_RE.match(code)
+            if m:
+                ns = m.group(1)
+                if ns == "std" or ns.startswith("std::"):
+                    self.report(
+                        relpath, i, "using-namespace",
+                        "`using namespace std` is banned (spell out std::)")
+                elif is_header:
+                    self.report(
+                        relpath, i, "using-namespace",
+                        f"`using namespace {ns}` in a header leaks into "
+                        "every includer; move it into a .cc or drop it")
+
+    def check_includes(self, relpath, raw_lines):
+        seen = {}
+        first_include = None
+        for i, code in enumerate(raw_lines, start=1):
+            m = INCLUDE_RE.match(code)
+            if not m:
+                continue
+            style, target = m.groups()
+            if first_include is None:
+                first_include = (i, style, target)
+            if target in seen:
+                self.report(
+                    relpath, i, "include-hygiene",
+                    f'duplicate #include "{target}" (first at line '
+                    f"{seen[target]})")
+            else:
+                seen[target] = i
+            is_project = os.path.exists(
+                os.path.join(self.root, "src", target)) or os.path.exists(
+                    os.path.join(self.root, os.path.dirname(relpath), target))
+            if style == "<" and os.path.exists(
+                    os.path.join(self.root, "src", target)):
+                self.report(
+                    relpath, i, "include-hygiene",
+                    f"project header <{target}> must use quotes")
+            if style == '"' and not is_project:
+                self.report(
+                    relpath, i, "include-hygiene",
+                    f'"{target}" does not resolve against src/ or the '
+                    "including directory; use the full path from src/ for "
+                    "project headers (or <> for system headers)")
+
+        # A .cc/.cpp implementing src/<pkg>/<name>.h includes it first so the
+        # header is verified self-contained.
+        if relpath.endswith((".cc", ".cpp")) and relpath.startswith("src/"):
+            own = os.path.splitext(relpath[len("src/"):])[0] + ".h"
+            if os.path.exists(os.path.join(self.root, "src", own)):
+                if first_include is None or first_include[2] != own:
+                    got = first_include[2] if first_include else "nothing"
+                    self.report(
+                        relpath, first_include[0] if first_include else 1,
+                        "include-hygiene",
+                        f'own header "{own}" must be the first include '
+                        f"(found {got})")
+
+    def check_include_guard(self, relpath, code_lines, raw_lines):
+        want = expected_guard(relpath)
+        ifndef = None
+        for i, code in enumerate(code_lines, start=1):
+            m = GUARD_IFNDEF_RE.match(code)
+            if m:
+                ifndef = (i, m.group(1))
+                break
+        if ifndef is None:
+            self.report(relpath, 1, "include-guard",
+                        f"missing include guard (expected {want})")
+            return
+        line_no, name = ifndef
+        if name != want:
+            self.report(relpath, line_no, "include-guard",
+                        f"guard {name} should be {want}")
+            return
+        define_ok = any(
+            GUARD_DEFINE_RE.match(code) and
+            GUARD_DEFINE_RE.match(code).group(1) == want
+            for code in code_lines[line_no - 1:line_no + 2])
+        if not define_ok:
+            self.report(relpath, line_no, "include-guard",
+                        f"#define {want} must directly follow the #ifndef")
+        # The closing #endif conventionally carries the guard name.
+        for line in reversed(raw_lines):
+            if line.strip():
+                if line.strip().startswith("#endif") and want not in line:
+                    self.report(
+                        relpath, len(raw_lines), "include-guard",
+                        f"closing #endif should carry the comment "
+                        f"// {want}")
+                break
+
+
+def collect_files(root):
+    files = []
+    for top in SOURCE_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(rel.replace(os.sep, "/"))
+    return sorted(files)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: whole tree)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"spammass_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    files = [f.replace(os.sep, "/") for f in args.files] or collect_files(root)
+    linter = Linter(root)
+    for relpath in files:
+        linter.lint_file(relpath)
+
+    for relpath, line_no, rule, message in linter.violations:
+        print(f"{relpath}:{line_no}: [{rule}] {message}")
+    if linter.violations:
+        print(f"spammass_lint: {len(linter.violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"spammass_lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
