@@ -46,7 +46,7 @@ Result<bool> SecondLabelingScheme(const WebGraph& graph,
     if (!pr.ok()) return pr.status();
     const std::vector<double>& p = pr.value().scores;
     for (NodeId y : graph.InNeighbors(x)) {
-      double contrib = solver.damping * p[y] / graph.OutDegree(y);
+      double contrib = solver.damping * p[y] * graph.InvOutDegree(y);
       if (labels.IsSpam(y)) {
         spam_contribution += contrib;
       } else if (labels.IsGood(y)) {
@@ -68,15 +68,26 @@ std::vector<bool> FirstLabelingSchemeAll(const WebGraph& graph,
 
 Result<std::vector<bool>> SecondLabelingSchemeAll(
     const WebGraph& graph, const LabelStore& labels,
-    const pagerank::SolverOptions& solver) {
-  auto pr = pagerank::ComputeUniformPageRank(graph, solver);
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace) {
+  auto pr = pagerank::ComputeUniformPageRank(graph, solver, workspace);
   if (!pr.ok()) return pr.status();
-  const std::vector<double>& p = pr.value().scores;
+  return SecondLabelingSchemeAll(graph, labels, solver.damping,
+                                 pr.value().scores);
+}
+
+Result<std::vector<bool>> SecondLabelingSchemeAll(
+    const WebGraph& graph, const LabelStore& labels, double damping,
+    const std::vector<double>& pagerank) {
+  if (pagerank.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "pagerank vector dimension does not match the graph");
+  }
   std::vector<bool> out(graph.num_nodes(), false);
   for (NodeId x = 0; x < graph.num_nodes(); ++x) {
     double spam_contribution = 0, good_contribution = 0;
     for (NodeId y : graph.InNeighbors(x)) {
-      double contrib = solver.damping * p[y] / graph.OutDegree(y);
+      double contrib = damping * pagerank[y] * graph.InvOutDegree(y);
       if (labels.IsSpam(y)) {
         spam_contribution += contrib;
       } else if (labels.IsGood(y)) {

@@ -49,10 +49,18 @@ std::vector<bool> FirstLabelingSchemeAll(const graph::WebGraph& graph,
                                          const LabelStore& labels);
 
 /// Applies scheme 2 (first-order mode) to every node, reusing one PageRank
-/// computation.
+/// computation (run through `workspace` when given).
 util::Result<std::vector<bool>> SecondLabelingSchemeAll(
     const graph::WebGraph& graph, const LabelStore& labels,
-    const pagerank::SolverOptions& solver);
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace = nullptr);
+
+/// As above but with the regular PageRank scores already in hand (e.g. the
+/// `pagerank` vector of a MassEstimates from the same pipeline) — no solve
+/// at all, just the first-order link weighting c·p_y·inv_out(y).
+util::Result<std::vector<bool>> SecondLabelingSchemeAll(
+    const graph::WebGraph& graph, const LabelStore& labels, double damping,
+    const std::vector<double>& pagerank);
 
 }  // namespace spammass::core
 

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "pagerank/contribution.h"
 #include "pagerank/solver_validate.h"
 #include "util/debug.h"
 #include "util/logging.h"
@@ -37,7 +36,8 @@ void FillFromGoodContribution(const std::vector<double>& p,
 
 Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
                                        const std::vector<NodeId>& good_core,
-                                       const SpamMassOptions& options) {
+                                       const SpamMassOptions& options,
+                                       pagerank::SolverWorkspace* workspace) {
   if (good_core.empty()) {
     return Status::InvalidArgument("good core must not be empty");
   }
@@ -50,20 +50,24 @@ Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
     return Status::InvalidArgument("gamma must lie in (0, 1]");
   }
 
-  auto p = pagerank::ComputeUniformPageRank(graph, options.solver);
-  if (!p.ok()) return p.status();
-
-  JumpVector w =
-      options.scale_core_jump
-          ? JumpVector::ScaledCore(graph.num_nodes(), good_core, options.gamma)
-          : JumpVector::Core(graph.num_nodes(), good_core);
-  auto p_prime = pagerank::ComputePageRank(graph, w, options.solver);
-  if (!p_prime.ok()) return p_prime.status();
+  // One fused multi-vector stream for p = PR(v) and p′ = PR(w): both
+  // vectors advance through the same CSR traversal per sweep (§4.2's two
+  // solves at roughly the memory-traffic price of one under kJacobi).
+  std::vector<JumpVector> jumps;
+  jumps.reserve(2);
+  jumps.push_back(JumpVector::Uniform(graph.num_nodes()));
+  jumps.push_back(options.scale_core_jump
+                      ? JumpVector::ScaledCore(graph.num_nodes(), good_core,
+                                               options.gamma)
+                      : JumpVector::Core(graph.num_nodes(), good_core));
+  auto solves = pagerank::ComputePageRankMulti(graph, jumps, options.solver,
+                                               workspace);
+  if (!solves.ok()) return solves.status();
 
   MassEstimates est;
   est.damping = options.solver.damping;
-  est.pagerank = std::move(p.value().scores);
-  est.core_pagerank = std::move(p_prime.value().scores);
+  est.pagerank = std::move(solves.value()[0].scores);
+  est.core_pagerank = std::move(solves.value()[1].scores);
   FillFromGoodContribution(est.pagerank, est.core_pagerank, &est);
   // Section 4 consistency p = p′ + M̃, entrywise. O(n), debug only.
   SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
@@ -73,7 +77,7 @@ Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
 
 Result<MassEstimates> EstimateSpamMassFromSpamCore(
     const WebGraph& graph, const std::vector<NodeId>& spam_core,
-    const SpamMassOptions& options) {
+    const SpamMassOptions& options, pagerank::SolverWorkspace* workspace) {
   if (spam_core.empty()) {
     return Status::InvalidArgument("spam core must not be empty");
   }
@@ -82,17 +86,20 @@ Result<MassEstimates> EstimateSpamMassFromSpamCore(
       return Status::InvalidArgument("spam-core node id out of range");
     }
   }
-  auto p = pagerank::ComputeUniformPageRank(graph, options.solver);
-  if (!p.ok()) return p.status();
-  // M̂ = PR(v^Ṽ⁻): the spam contribution is estimated directly.
-  auto m_hat =
-      pagerank::ComputeSetContribution(graph, spam_core, options.solver);
-  if (!m_hat.ok()) return m_hat.status();
+  // M̂ = PR(v^Ṽ⁻): the spam contribution is estimated directly; fused with
+  // the regular-PageRank solve as one multi-vector stream.
+  std::vector<JumpVector> jumps;
+  jumps.reserve(2);
+  jumps.push_back(JumpVector::Uniform(graph.num_nodes()));
+  jumps.push_back(JumpVector::Core(graph.num_nodes(), spam_core));
+  auto solves = pagerank::ComputePageRankMulti(graph, jumps, options.solver,
+                                               workspace);
+  if (!solves.ok()) return solves.status();
 
   MassEstimates est;
   est.damping = options.solver.damping;
-  est.pagerank = std::move(p.value().scores);
-  est.absolute_mass = std::move(m_hat.value().scores);
+  est.pagerank = std::move(solves.value()[0].scores);
+  est.absolute_mass = std::move(solves.value()[1].scores);
   const size_t n = est.pagerank.size();
   est.core_pagerank.resize(n);
   est.relative_mass.resize(n);
@@ -135,20 +142,32 @@ MassEstimates CombineEstimates(const MassEstimates& from_good_core,
 
 Result<MassEstimates> ComputeActualSpamMass(
     const WebGraph& graph, const LabelStore& labels,
-    const pagerank::SolverOptions& solver) {
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace) {
   if (labels.num_nodes() != graph.num_nodes()) {
     return Status::InvalidArgument("label store does not match the graph");
   }
-  auto p = pagerank::ComputeUniformPageRank(graph, solver);
-  if (!p.ok()) return p.status();
-  auto q_spam =
-      pagerank::ComputeSetContribution(graph, labels.SpamNodes(), solver);
-  if (!q_spam.ok()) return q_spam.status();
-
+  const std::vector<NodeId> spam_nodes = labels.SpamNodes();
   MassEstimates actual;
   actual.damping = solver.damping;
-  actual.pagerank = std::move(p.value().scores);
-  actual.absolute_mass = std::move(q_spam.value().scores);
+  if (spam_nodes.empty()) {
+    // The contribution of the empty spam set is identically zero; only the
+    // regular PageRank needs solving.
+    auto p = pagerank::ComputeUniformPageRank(graph, solver, workspace);
+    if (!p.ok()) return p.status();
+    actual.pagerank = std::move(p.value().scores);
+    actual.absolute_mass.assign(actual.pagerank.size(), 0.0);
+  } else {
+    std::vector<JumpVector> jumps;
+    jumps.reserve(2);
+    jumps.push_back(JumpVector::Uniform(graph.num_nodes()));
+    jumps.push_back(JumpVector::Core(graph.num_nodes(), spam_nodes));
+    auto solves =
+        pagerank::ComputePageRankMulti(graph, jumps, solver, workspace);
+    if (!solves.ok()) return solves.status();
+    actual.pagerank = std::move(solves.value()[0].scores);
+    actual.absolute_mass = std::move(solves.value()[1].scores);
+  }
   const size_t n = actual.pagerank.size();
   actual.core_pagerank.resize(n);
   actual.relative_mass.resize(n);

@@ -51,17 +51,24 @@ struct MassEstimates {
 };
 
 /// Estimates spam mass from a good core Ṽ⁺ (Definition 3 + Section 3.5).
-/// Fails if the core is empty or references out-of-range nodes.
+/// Fails if the core is empty or references out-of-range nodes. The two
+/// required solves (p = PR(v) and p′ = PR(w)) run as ONE fused multi-vector
+/// Jacobi stream when the solver method allows it, paying the graph's
+/// memory traffic once per sweep instead of twice. Pass a `workspace` to
+/// additionally reuse the thread pool and scratch across repeated
+/// estimates (eval loops, benches); null keeps per-call scratch.
 util::Result<MassEstimates> EstimateSpamMass(const graph::WebGraph& graph,
                                              const std::vector<graph::NodeId>& good_core,
-                                             const SpamMassOptions& options);
+                                             const SpamMassOptions& options,
+                                             pagerank::SolverWorkspace* workspace = nullptr);
 
 /// Alternative estimator when a spam core Ṽ⁻ is available (Section 3.4):
 /// M̂ = PR(v^Ṽ⁻). Returns absolute/relative estimates against the regular
 /// PageRank.
 util::Result<MassEstimates> EstimateSpamMassFromSpamCore(
     const graph::WebGraph& graph, const std::vector<graph::NodeId>& spam_core,
-    const SpamMassOptions& options);
+    const SpamMassOptions& options,
+    pagerank::SolverWorkspace* workspace = nullptr);
 
 /// Combines a good-core estimate and a spam-core estimate by (weighted)
 /// averaging of the absolute masses, `weight` ∈ [0,1] on the good-core
@@ -77,7 +84,8 @@ MassEstimates CombineEstimates(const MassEstimates& from_good_core,
 /// Table 1 does exactly this on the Figure 2 graph).
 util::Result<MassEstimates> ComputeActualSpamMass(
     const graph::WebGraph& graph, const LabelStore& labels,
-    const pagerank::SolverOptions& solver);
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace = nullptr);
 
 }  // namespace spammass::core
 

@@ -15,13 +15,13 @@ using util::Result;
 using util::Status;
 
 Result<std::vector<NodeId>> SelectSeedsByInversePageRank(
-    const WebGraph& graph, uint32_t k,
-    const pagerank::SolverOptions& solver) {
+    const WebGraph& graph, uint32_t k, const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("empty graph");
   }
   WebGraph reversed = graph.Transposed();
-  auto pr = pagerank::ComputeUniformPageRank(reversed, solver);
+  auto pr = pagerank::ComputeUniformPageRank(reversed, solver, workspace);
   if (!pr.ok()) return pr.status();
   const std::vector<double>& scores = pr.value().scores;
   std::vector<NodeId> order(graph.num_nodes());
@@ -38,7 +38,8 @@ Result<std::vector<NodeId>> SelectSeedsByInversePageRank(
 
 Result<std::vector<double>> ComputeTrustRank(
     const WebGraph& graph, const std::vector<NodeId>& seeds,
-    const pagerank::SolverOptions& solver) {
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace) {
   if (seeds.empty()) {
     return Status::InvalidArgument("TrustRank needs a non-empty seed set");
   }
@@ -49,19 +50,25 @@ Result<std::vector<double>> ComputeTrustRank(
   }
   // Uniform jump over the seeds with total mass 1.
   JumpVector v = JumpVector::ScaledCore(graph.num_nodes(), seeds, 1.0);
-  auto pr = pagerank::ComputePageRank(graph, v, solver);
+  auto pr = pagerank::ComputePageRank(graph, v, solver, workspace);
   if (!pr.ok()) return pr.status();
   return std::move(pr.value().scores);
 }
 
 Result<TrustRankResult> RunTrustRank(const WebGraph& graph,
                                      const LabelStore& labels,
-                                     const TrustRankOptions& options) {
+                                     const TrustRankOptions& options,
+                                     pagerank::SolverWorkspace* workspace) {
   if (labels.num_nodes() != graph.num_nodes()) {
     return Status::InvalidArgument("label store does not match the graph");
   }
+  // One workspace (pool + scratch) backs both the inverse-PageRank seed
+  // solve and the forward trust solve; workspaces are graph-agnostic, so
+  // the transposed and forward graphs can share it.
+  pagerank::SolverWorkspace local;
+  pagerank::SolverWorkspace* ws = workspace != nullptr ? workspace : &local;
   auto candidates = SelectSeedsByInversePageRank(
-      graph, options.seed_candidates, options.solver);
+      graph, options.seed_candidates, options.solver, ws);
   if (!candidates.ok()) return candidates.status();
 
   TrustRankResult result;
@@ -74,7 +81,7 @@ Result<TrustRankResult> RunTrustRank(const WebGraph& graph,
     return Status::FailedPrecondition(
         "oracle rejected every seed candidate; enlarge seed_candidates");
   }
-  auto trust = ComputeTrustRank(graph, result.seeds, options.solver);
+  auto trust = ComputeTrustRank(graph, result.seeds, options.solver, ws);
   if (!trust.ok()) return trust.status();
   result.trust = std::move(trust.value());
   return result;

@@ -40,19 +40,24 @@ struct TrustRankResult {
 /// reachable. Returns the top `k` nodes (k clamped to n).
 util::Result<std::vector<graph::NodeId>> SelectSeedsByInversePageRank(
     const graph::WebGraph& graph, uint32_t k,
-    const pagerank::SolverOptions& solver);
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace = nullptr);
 
 /// Computes TrustRank with the given explicit seed set: a biased PageRank
 /// whose random jump is uniform over the seeds with total mass 1.
 util::Result<std::vector<double>> ComputeTrustRank(
     const graph::WebGraph& graph, const std::vector<graph::NodeId>& seeds,
-    const pagerank::SolverOptions& solver);
+    const pagerank::SolverOptions& solver,
+    pagerank::SolverWorkspace* workspace = nullptr);
 
 /// Full pipeline: inverse-PageRank seed selection, oracle filtering against
-/// `labels`, then trust propagation.
+/// `labels`, then trust propagation. The two PageRank solves (inverse and
+/// forward) share one solver workspace — pass `workspace` to extend the
+/// reuse across repeated TrustRank runs.
 util::Result<TrustRankResult> RunTrustRank(const graph::WebGraph& graph,
                                            const LabelStore& labels,
-                                           const TrustRankOptions& options);
+                                           const TrustRankOptions& options,
+                                           pagerank::SolverWorkspace* workspace = nullptr);
 
 /// Demotion-style ranking signal: orders nodes by trust (descending).
 /// Spam-mass detection can be compared against "everything below trust

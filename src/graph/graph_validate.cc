@@ -66,12 +66,65 @@ Status ValidateCsr(NodeId num_nodes, std::span<const uint64_t> offsets,
   return Status::OK();
 }
 
+Status ValidateDerivedArrays(NodeId num_nodes,
+                             std::span<const uint64_t> out_offsets,
+                             std::span<const double> inv_out_degrees,
+                             std::span<const NodeId> dangling_nodes) {
+  if (out_offsets.size() != static_cast<size_t>(num_nodes) + 1) {
+    return Status::FailedPrecondition(
+        "out-offsets size " + std::to_string(out_offsets.size()) +
+        " != num_nodes + 1 = " +
+        std::to_string(static_cast<size_t>(num_nodes) + 1));
+  }
+  if (inv_out_degrees.size() != static_cast<size_t>(num_nodes)) {
+    return Status::FailedPrecondition(
+        "inv-out-degree array holds " +
+        std::to_string(inv_out_degrees.size()) + " entries for " +
+        std::to_string(num_nodes) + " nodes");
+  }
+  size_t dangling_cursor = 0;
+  for (NodeId x = 0; x < num_nodes; ++x) {
+    const uint64_t degree = out_offsets[x + 1] - out_offsets[x];
+    if (degree == 0) {
+      if (dangling_cursor >= dangling_nodes.size() ||
+          dangling_nodes[dangling_cursor] != x) {
+        return Status::FailedPrecondition(
+            "dangling node " + std::to_string(x) +
+            " missing from the dangling list (or list out of order)");
+      }
+      ++dangling_cursor;
+      if (inv_out_degrees[x] != 0.0) {
+        return Status::FailedPrecondition(
+            "dangling node " + std::to_string(x) +
+            " carries nonzero inverse out-degree " +
+            std::to_string(inv_out_degrees[x]));
+      }
+    } else if (inv_out_degrees[x] != 1.0 / static_cast<double>(degree)) {
+      // Exact comparison on purpose: the cached weight must be the very
+      // IEEE quotient the kernels would otherwise compute per edge.
+      return Status::FailedPrecondition(
+          "node " + std::to_string(x) + ": inverse out-degree " +
+          std::to_string(inv_out_degrees[x]) + " != 1/" +
+          std::to_string(degree));
+    }
+  }
+  if (dangling_cursor != dangling_nodes.size()) {
+    return Status::FailedPrecondition(
+        "dangling list holds " + std::to_string(dangling_nodes.size()) +
+        " entries but only " + std::to_string(dangling_cursor) +
+        " nodes are dangling");
+  }
+  return Status::OK();
+}
+
 Status ValidateGraph(const WebGraph& graph) {
   const NodeId n = graph.num_nodes();
   SPAMMASS_RETURN_NOT_OK(
       ValidateCsr(n, graph.OutOffsets(), graph.Targets(), "out"));
   SPAMMASS_RETURN_NOT_OK(
       ValidateCsr(n, graph.InOffsets(), graph.Sources(), "in"));
+  SPAMMASS_RETURN_NOT_OK(ValidateDerivedArrays(
+      n, graph.OutOffsets(), graph.InvOutDegrees(), graph.DanglingNodes()));
 
   if (graph.Targets().size() != graph.Sources().size()) {
     return Status::FailedPrecondition(

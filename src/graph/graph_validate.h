@@ -35,10 +35,22 @@ util::Status ValidateCsr(NodeId num_nodes, std::span<const uint64_t> offsets,
                          std::span<const NodeId> adjacency,
                          const char* direction = "out");
 
+/// Validates the derived solver-support arrays against the forward CSR
+/// offsets: `inv_out_degrees` must hold num_nodes entries with
+/// inv_out_degrees[x] == 1.0/outdeg(x) exactly (bitwise, the same IEEE
+/// division the kernels rely on) for non-dangling x and exactly 0.0 for
+/// dangling x; `dangling_nodes` must be precisely the ascending list of
+/// nodes with outdeg == 0.
+util::Status ValidateDerivedArrays(NodeId num_nodes,
+                                   std::span<const uint64_t> out_offsets,
+                                   std::span<const double> inv_out_degrees,
+                                   std::span<const NodeId> dangling_nodes);
+
 /// Full structural validation of a WebGraph: both CSR directions via
 /// ValidateCsr, forward/transpose consistency (every edge (x, y) in the
 /// out-adjacency appears as x in InNeighbors(y), and the edge counts
-/// match), and host-name table sizing.
+/// match), the derived inverse-out-degree / dangling-list arrays via
+/// ValidateDerivedArrays, and host-name table sizing.
 util::Status ValidateGraph(const WebGraph& graph);
 
 }  // namespace spammass::graph

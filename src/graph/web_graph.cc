@@ -29,6 +29,7 @@ WebGraph WebGraph::FromSortedEdges(
     g.out_offsets_[i] += g.out_offsets_[i - 1];
   }
   g.BuildTranspose();
+  g.BuildDerivedArrays();
   DCHECK_OK(ValidateGraph(g));
   return g;
 }
@@ -50,6 +51,19 @@ void WebGraph::BuildTranspose() {
   // in-neighbor list comes out sorted already.
 }
 
+void WebGraph::BuildDerivedArrays() {
+  inv_out_degree_.assign(num_nodes_, 0.0);
+  dangling_nodes_.clear();
+  for (NodeId x = 0; x < num_nodes_; ++x) {
+    const uint32_t d = OutDegree(x);
+    if (d == 0) {
+      dangling_nodes_.push_back(x);
+    } else {
+      inv_out_degree_[x] = 1.0 / d;
+    }
+  }
+}
+
 bool WebGraph::HasEdge(NodeId x, NodeId y) const {
   auto nbrs = OutNeighbors(x);
   return std::binary_search(nbrs.begin(), nbrs.end(), y);
@@ -63,6 +77,7 @@ WebGraph WebGraph::Transposed() const {
   g.in_offsets_ = out_offsets_;
   g.sources_ = targets_;
   g.host_names_ = host_names_;
+  g.BuildDerivedArrays();
   DCHECK_OK(ValidateGraph(g));
   return g;
 }

@@ -85,6 +85,23 @@ class WebGraph {
   std::span<const uint64_t> InOffsets() const { return in_offsets_; }
   std::span<const NodeId> Sources() const { return sources_; }
 
+  /// Precomputed 1/outdeg(x) per node, exactly 0.0 for dangling nodes.
+  /// Built once at construction so PageRank sweeps replace the per-edge
+  /// division p[x]/outdeg(x) with a multiply (pagerank/kernel.h).
+  std::span<const double> InvOutDegrees() const { return inv_out_degree_; }
+
+  /// 1/outdeg(x), or 0.0 when x is dangling.
+  double InvOutDegree(NodeId x) const { return inv_out_degree_[x]; }
+
+  /// Ascending list of all dangling nodes (outdeg == 0), built once at
+  /// construction so per-sweep dangling-mass sums scan |dangling| entries
+  /// instead of all n nodes.
+  std::span<const NodeId> DanglingNodes() const { return dangling_nodes_; }
+
+  uint32_t num_dangling() const {
+    return static_cast<uint32_t>(dangling_nodes_.size());
+  }
+
   /// Optional per-node host names (empty when unset). When set, the vector
   /// has exactly num_nodes() entries.
   const std::vector<std::string>& host_names() const { return host_names_; }
@@ -104,9 +121,14 @@ class WebGraph {
   // CSR transposed.
   std::vector<uint64_t> in_offsets_{0};
   std::vector<NodeId> sources_;
+  // Derived solver-support arrays, kept consistent with the CSR arrays by
+  // construction (graph_validate re-checks in debug builds).
+  std::vector<double> inv_out_degree_;
+  std::vector<NodeId> dangling_nodes_;
   std::vector<std::string> host_names_;
 
   void BuildTranspose();
+  void BuildDerivedArrays();
 };
 
 }  // namespace spammass::graph

@@ -12,7 +12,7 @@ using util::Status;
 
 Result<PageRankResult> ComputeSetContribution(
     const WebGraph& graph, const std::vector<NodeId>& set,
-    const SolverOptions& options) {
+    const SolverOptions& options, SolverWorkspace* workspace) {
   if (set.empty()) {
     // The contribution of the empty set is identically zero.
     PageRankResult r;
@@ -21,19 +21,20 @@ Result<PageRankResult> ComputeSetContribution(
     return r;
   }
   return ComputePageRank(graph, JumpVector::Core(graph.num_nodes(), set),
-                         options);
+                         options, workspace);
 }
 
 Result<PageRankResult> ComputeNodeContribution(const WebGraph& graph,
                                                NodeId x,
-                                               const SolverOptions& options) {
+                                               const SolverOptions& options,
+                                               SolverWorkspace* workspace) {
   if (x >= graph.num_nodes()) {
     return Status::InvalidArgument("node id out of range");
   }
   return ComputePageRank(
       graph,
       JumpVector::SingleNode(graph.num_nodes(), x, 1.0 / graph.num_nodes()),
-      options);
+      options, workspace);
 }
 
 Result<double> LinkContribution(const WebGraph& graph, NodeId from, NodeId to,

@@ -20,12 +20,13 @@ namespace spammass::pagerank {
 /// members of U and 0 elsewhere.
 util::Result<PageRankResult> ComputeSetContribution(
     const graph::WebGraph& graph, const std::vector<graph::NodeId>& set,
-    const SolverOptions& options);
+    const SolverOptions& options, SolverWorkspace* workspace = nullptr);
 
-/// Contribution vector qˣ = PR(vˣ) of a single node x.
+/// Contribution vector qˣ = PR(vˣ) of a single node x. Repeated per-node
+/// contribution scans should pass a shared `workspace`.
 util::Result<PageRankResult> ComputeNodeContribution(
     const graph::WebGraph& graph, graph::NodeId x,
-    const SolverOptions& options);
+    const SolverOptions& options, SolverWorkspace* workspace = nullptr);
 
 /// Link contribution used by the paper's second naive labeling scheme
 /// (Section 3.1): the amount of PageRank that the single link (x, y)

@@ -1,9 +1,10 @@
 #include "pagerank/solver.h"
 
-#include <atomic>
+#include <algorithm>
+#include <array>
 #include <cmath>
-#include <memory>
 
+#include "pagerank/kernel.h"
 #include "pagerank/solver_validate.h"
 #include "util/debug.h"
 #include "util/logging.h"
@@ -34,94 +35,150 @@ std::vector<double> ScaledScores(const std::vector<double>& scores,
 
 namespace {
 
-/// Sum of scores over dangling nodes.
+/// Sum of scores over dangling nodes. Scans the graph's precomputed
+/// dangling-node list (ascending, so the addition order matches the seed
+/// full-scan version bit for bit) instead of testing all n nodes.
 double DanglingSum(const WebGraph& graph, const std::vector<double>& p) {
   double sum = 0;
-  for (NodeId x = 0; x < graph.num_nodes(); ++x) {
-    if (graph.IsDangling(x)) sum += p[x];
-  }
+  for (NodeId x : graph.DanglingNodes()) sum += p[x];
   return sum;
 }
 
-/// One Jacobi sweep over node range [begin, end): out = c·Tᵀ·p (+ the
-/// dangling redistribution term) + (1−c)·v. Returns the range's L1
-/// difference contribution.
-double JacobiSweepRange(const WebGraph& graph, const JumpVector& jump,
-                        double c, double dangling,
-                        const std::vector<double>& p,
-                        std::vector<double>* out, NodeId begin, NodeId end) {
-  double diff = 0;
-  for (NodeId y = begin; y < end; ++y) {
-    double in_sum = 0;
-    for (NodeId x : graph.InNeighbors(y)) {
-      in_sum += p[x] / graph.OutDegree(x);
-    }
-    double vy = jump[y];
-    double next = c * (in_sum + vy * dangling) + (1.0 - c) * vy;
-    diff += std::abs(next - p[y]);
-    (*out)[y] = next;
-  }
-  return diff;
+/// Extracts lane `j` of the interleaved (n × k) buffer `flat` into `out`.
+void ExtractLane(const std::vector<double>& flat, uint64_t n, uint32_t k,
+                 uint32_t j, std::vector<double>* out) {
+  out->resize(n);
+  for (uint64_t x = 0; x < n; ++x) (*out)[x] = flat[x * k + j];
 }
 
-/// Full-graph Jacobi sweep, optionally sharded over a thread pool.
-double JacobiSweep(const WebGraph& graph, const JumpVector& jump,
-                   const SolverOptions& opt, const std::vector<double>& p,
-                   std::vector<double>* out, util::ThreadPool* pool) {
-  const double c = opt.damping;
-  double dangling = 0;
-  if (opt.dangling == DanglingPolicy::kRedistributeToJump) {
-    dangling = DanglingSum(graph, p);
+/// Removes the columns NOT listed in `keep` (ascending) from the
+/// interleaved (n × k) buffer, packing the survivors to width keep.size().
+void CompactLanes(std::vector<double>* flat, uint64_t n, uint32_t k,
+                  const std::vector<uint32_t>& keep) {
+  const auto kk = static_cast<uint32_t>(keep.size());
+  for (uint64_t x = 0; x < n; ++x) {
+    const double* in = flat->data() + x * k;
+    double* out = flat->data() + x * kk;
+    for (uint32_t j = 0; j < kk; ++j) out[j] = in[keep[j]];
   }
-  if (pool == nullptr) {
-    return JacobiSweepRange(graph, jump, c, dangling, p, out, 0,
-                            graph.num_nodes());
+}
+
+/// Fused Jacobi solve (Algorithm 1) for a batch of 1..kMaxVectorsPerSweep
+/// jump vectors: all in-flight lanes advance through one CSR traversal per
+/// sweep. Each lane converges independently; a converged lane's scores are
+/// extracted immediately and the lane is compacted out of the interleaved
+/// working set, so finished vectors cost nothing while the rest keep
+/// sweeping. Lane arithmetic is independent of the lane count, so lane j's
+/// output is bit-identical to a standalone solve with jumps[j].
+std::vector<PageRankResult> SolveJacobiBatch(
+    const WebGraph& graph, const std::vector<const JumpVector*>& jumps,
+    const SolverOptions& opt, SolverWorkspace* ws) {
+  const auto k = static_cast<uint32_t>(jumps.size());
+  const uint64_t n = graph.num_nodes();
+  util::ThreadPool* pool = ws->EnsurePool(opt.num_threads);
+
+  std::vector<double>& cur = ws->iterate();
+  std::vector<double>& next = ws->next();
+  std::vector<double>& scaled = ws->scaled();
+  std::vector<double>& scaled_next = ws->scaled_next();
+  std::vector<double>& vflat = ws->jump_flat();
+  cur.resize(n * k);
+  next.resize(n * k);
+  scaled.resize(n * k);
+  scaled_next.resize(n * k);
+  vflat.resize(n * k);
+
+  for (uint64_t x = 0; x < n; ++x) {
+    for (uint32_t j = 0; j < k; ++j) {
+      vflat[x * k + j] = (*jumps[j])[static_cast<NodeId>(x)];
+    }
   }
-  std::vector<double> partial(pool->num_threads() + 1, 0.0);
-  std::atomic<size_t> slot{0};
-  pool->ParallelFor(graph.num_nodes(), [&](uint64_t begin, uint64_t end) {
-    size_t my_slot = slot.fetch_add(1);
-    partial[my_slot] = JacobiSweepRange(graph, jump, c, dangling, p, out,
-                                        static_cast<NodeId>(begin),
-                                        static_cast<NodeId>(end));
-  });
-  double diff = 0;
-  for (double d : partial) diff += d;
-  return diff;
+  // Algorithm 1: p[0] <- v.
+  std::copy(vflat.begin(), vflat.end(), cur.begin());
+
+  const bool redistribute =
+      opt.dangling == DanglingPolicy::kRedistributeToJump;
+  std::array<double, kernel::kMaxVectorsPerSweep> dangling{};
+  std::array<double, kernel::kMaxVectorsPerSweep> diffs{};
+
+  std::vector<PageRankResult> results(k);
+  // lane_ids[j] = index into `results` of in-flight lane j.
+  std::vector<uint32_t> lane_ids(k);
+  for (uint32_t j = 0; j < k; ++j) lane_ids[j] = j;
+
+  uint32_t live = k;
+  // Seed the scaled iterate once; each sweep then emits next_scaled
+  // alongside next (same values ScaleByInvOutDegree would produce), so the
+  // full-pass rescale never runs again.
+  kernel::ScaleByInvOutDegree(graph, live, cur.data(), scaled.data(), pool);
+  if (!redistribute) dangling.fill(0.0);
+  for (int i = 0; i < opt.max_iterations && live > 0; ++i) {
+    if (redistribute) {
+      kernel::DanglingSums(graph, live, cur.data(), &ws->dangling_partials(),
+                           dangling.data(), pool);
+    }
+    kernel::WeightedJacobiSweepMulti(graph, live, vflat.data(), opt.damping,
+                                     dangling.data(), cur.data(),
+                                     scaled.data(), next.data(),
+                                     scaled_next.data(),
+                                     &ws->node_partials(), diffs.data(),
+                                     pool);
+    cur.swap(next);
+    scaled.swap(scaled_next);
+
+    std::vector<uint32_t> keep;
+    keep.reserve(live);
+    for (uint32_t j = 0; j < live; ++j) {
+      PageRankResult& r = results[lane_ids[j]];
+      r.iterations = i + 1;
+      r.residual = diffs[j];
+      if (opt.track_residuals) r.residual_history.push_back(diffs[j]);
+      if (diffs[j] < opt.tolerance) {
+        r.converged = true;
+        ExtractLane(cur, n, live, j, &r.scores);
+      } else {
+        keep.push_back(j);
+      }
+    }
+    if (keep.size() < live) {
+      // Compact the surviving lanes; the dropped ones stop costing sweeps.
+      CompactLanes(&cur, n, live, keep);
+      CompactLanes(&scaled, n, live, keep);
+      CompactLanes(&vflat, n, live, keep);
+      for (uint32_t j = 0; j < keep.size(); ++j) {
+        lane_ids[j] = lane_ids[keep[j]];
+      }
+      live = static_cast<uint32_t>(keep.size());
+    }
+  }
+  // Lanes that hit the iteration cap without converging.
+  for (uint32_t j = 0; j < live; ++j) {
+    ExtractLane(cur, n, live, j, &results[lane_ids[j]].scores);
+  }
+  ws->RecordSolve();
+  return results;
 }
 
 PageRankResult SolveJacobi(const WebGraph& graph, const JumpVector& jump,
-                           const SolverOptions& opt) {
-  PageRankResult result;
-  // Algorithm 1: p[0] <- v.
-  result.scores = jump.values();
-  std::vector<double> next(result.scores.size(), 0.0);
-  std::unique_ptr<util::ThreadPool> pool;
-  if (opt.num_threads > 1) {
-    pool = std::make_unique<util::ThreadPool>(opt.num_threads);
-  }
-  for (int i = 0; i < opt.max_iterations; ++i) {
-    double diff =
-        JacobiSweep(graph, jump, opt, result.scores, &next, pool.get());
-    result.scores.swap(next);
-    result.iterations = i + 1;
-    result.residual = diff;
-    if (opt.track_residuals) result.residual_history.push_back(diff);
-    if (diff < opt.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  return result;
+                           const SolverOptions& opt, SolverWorkspace* ws) {
+  std::vector<const JumpVector*> jumps = {&jump};
+  std::vector<PageRankResult> results =
+      SolveJacobiBatch(graph, jumps, opt, ws);
+  return std::move(results.front());
 }
 
-/// Gauss-Seidel / SOR sweeps (omega == 1 is plain Gauss-Seidel).
+/// Gauss-Seidel / SOR sweeps (omega == 1 is plain Gauss-Seidel). In-place
+/// updates force a sequential sweep, but the inner gather still uses the
+/// cached inverse out-degrees (multiply instead of divide) and the initial
+/// dangling sum scans the cached dangling list.
 PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
-                                const SolverOptions& opt, double omega) {
+                                const SolverOptions& opt, double omega,
+                                SolverWorkspace* ws) {
   PageRankResult result;
   result.scores = jump.values();
   std::vector<double>& p = result.scores;
   const double c = opt.damping;
+  const auto inv_out = graph.InvOutDegrees();
   const bool redistribute =
       opt.dangling == DanglingPolicy::kRedistributeToJump;
   double dangling = redistribute ? DanglingSum(graph, p) : 0.0;
@@ -130,7 +187,7 @@ PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
     for (NodeId y = 0; y < graph.num_nodes(); ++y) {
       double in_sum = 0;
       for (NodeId x : graph.InNeighbors(y)) {
-        in_sum += p[x] / graph.OutDegree(x);
+        in_sum += p[x] * inv_out[x];
       }
       const double vy = jump[y];
       double next;
@@ -164,41 +221,76 @@ PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
       break;
     }
   }
+  ws->RecordSolve();
   return result;
 }
 
 /// Power iteration on the stochasticized matrix T″ (Eq. 1). Requires a
 /// normalizable jump vector; the result is the stationary distribution
-/// (‖p‖₁ = 1) of the random walk with teleportation to v/‖v‖.
+/// (‖p‖₁ = 1) of the random walk with teleportation to v/‖v‖. The sweep,
+/// the dangling sum, the norm guard, and the residual all run through the
+/// deterministic kernel, so the method parallelizes with bit-identical
+/// output for every thread count.
 PageRankResult SolvePowerIteration(const WebGraph& graph,
                                    const JumpVector& jump,
-                                   const SolverOptions& opt) {
+                                   const SolverOptions& opt,
+                                   SolverWorkspace* ws) {
   PageRankResult result;
   const uint32_t n = graph.num_nodes();
   const double c = opt.damping;
+  util::ThreadPool* pool = ws->EnsurePool(opt.num_threads);
+
   // Normalize the jump distribution.
-  std::vector<double> v = jump.values();
+  std::vector<double>& v = ws->jump_flat();
+  v = jump.values();
   double vnorm = 0;
   for (double x : v) vnorm += x;
   for (double& x : v) x /= vnorm;
 
-  std::vector<double> p(n, 1.0 / n);
-  std::vector<double> next(n, 0.0);
+  std::vector<double>& p = ws->iterate();
+  std::vector<double>& next = ws->next();
+  std::vector<double>& scaled = ws->scaled();
+  p.assign(n, 1.0 / n);
+  next.assign(n, 0.0);
+  scaled.resize(n);
+
   for (int i = 0; i < opt.max_iterations; ++i) {
-    double dangling = DanglingSum(graph, p);
+    kernel::ScaleByInvOutDegree(graph, 1, p.data(), scaled.data(), pool);
+    double dangling = 0;
+    kernel::DanglingSums(graph, 1, p.data(), &ws->dangling_partials(),
+                         &dangling, pool);
     // ‖p‖ stays 1, so the teleport term is (1−c)·v·1ᵀp = (1−c)·v.
-    double diff = 0;
-    for (NodeId y = 0; y < n; ++y) {
-      double in_sum = 0;
-      for (NodeId x : graph.InNeighbors(y)) {
-        in_sum += p[x] / graph.OutDegree(x);
-      }
-      next[y] = c * (in_sum + v[y] * dangling) + (1.0 - c) * v[y];
-    }
+    double sweep_diff = 0;  // pre-normalization; the residual below is used
+    kernel::WeightedJacobiSweepMulti(graph, 1, v.data(), c, &dangling,
+                                     p.data(), scaled.data(), next.data(),
+                                     /*next_scaled=*/nullptr,
+                                     &ws->node_partials(), &sweep_diff, pool);
     // Guard against numerical drift of the norm.
-    double norm = L1Norm(next);
-    for (double& x : next) x /= norm;
-    for (NodeId y = 0; y < n; ++y) diff += std::abs(next[y] - p[y]);
+    const double norm = kernel::DeterministicSum(
+        pool, n,
+        [&next](uint64_t begin, uint64_t end) {
+          double s = 0;
+          for (uint64_t x = begin; x < end; ++x) s += std::abs(next[x]);
+          return s;
+        },
+        &ws->reduce_partials());
+    kernel::ForEachChunk(pool, n,
+                         [&next, norm](uint64_t, uint64_t begin,
+                                       uint64_t end) {
+                           for (uint64_t x = begin; x < end; ++x) {
+                             next[x] /= norm;
+                           }
+                         });
+    const double diff = kernel::DeterministicSum(
+        pool, n,
+        [&next, &p](uint64_t begin, uint64_t end) {
+          double s = 0;
+          for (uint64_t x = begin; x < end; ++x) {
+            s += std::abs(next[x] - p[x]);
+          }
+          return s;
+        },
+        &ws->reduce_partials());
     p.swap(next);
     result.iterations = i + 1;
     result.residual = diff;
@@ -208,27 +300,36 @@ PageRankResult SolvePowerIteration(const WebGraph& graph,
       break;
     }
   }
-  result.scores = std::move(p);
+  // Copy (not move): p aliases the workspace's reusable iterate buffer.
+  result.scores.assign(p.begin(), p.end());
+  ws->RecordSolve();
   return result;
 }
 
-}  // namespace
-
-Result<PageRankResult> ComputePageRank(const WebGraph& graph,
-                                       const JumpVector& jump,
-                                       const SolverOptions& options) {
+/// Argument checks shared by the single- and multi-vector entry points.
+Status CheckGraphAndOptions(const WebGraph& graph,
+                            const SolverOptions& options) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("PageRank on an empty graph");
-  }
-  if (jump.n() != graph.num_nodes()) {
-    return Status::InvalidArgument(
-        "jump vector dimension does not match the graph");
   }
   if (!(options.damping > 0.0) || !(options.damping < 1.0)) {
     return Status::InvalidArgument("damping factor must lie in (0, 1)");
   }
   if (options.tolerance < 0.0 || options.max_iterations <= 0) {
     return Status::InvalidArgument("bad tolerance or iteration cap");
+  }
+  if (options.method == Method::kSor &&
+      (!(options.sor_omega > 0.0) || !(options.sor_omega < 2.0))) {
+    return Status::InvalidArgument("sor_omega must lie in (0, 2)");
+  }
+  return Status::OK();
+}
+
+/// Per-jump-vector argument checks.
+Status CheckJump(const WebGraph& graph, const JumpVector& jump) {
+  if (jump.n() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "jump vector dimension does not match the graph");
   }
   double norm = jump.Norm();
   if (norm <= 0.0 || norm > 1.0 + 1e-9) {
@@ -238,38 +339,106 @@ Result<PageRankResult> ComputePageRank(const WebGraph& graph,
   // Entry invariants beyond the cheap argument checks above: the jump
   // vector must be entrywise non-negative and finite. O(n), debug only.
   DCHECK_OK(ValidateJumpVector(jump));
+  return Status::OK();
+}
 
-  PageRankResult result;
+/// Dispatches one validated solve through `ws` (never null here).
+PageRankResult SolveDispatch(const WebGraph& graph, const JumpVector& jump,
+                             const SolverOptions& options,
+                             SolverWorkspace* ws) {
   switch (options.method) {
     case Method::kJacobi:
-      result = SolveJacobi(graph, jump, options);
-      break;
+      return SolveJacobi(graph, jump, options, ws);
     case Method::kGaussSeidel:
-      result = SolveGaussSeidel(graph, jump, options, /*omega=*/1.0);
-      break;
+      return SolveGaussSeidel(graph, jump, options, /*omega=*/1.0, ws);
     case Method::kSor:
-      if (!(options.sor_omega > 0.0) || !(options.sor_omega < 2.0)) {
-        return Status::InvalidArgument("sor_omega must lie in (0, 2)");
-      }
-      result = SolveGaussSeidel(graph, jump, options, options.sor_omega);
-      break;
+      return SolveGaussSeidel(graph, jump, options, options.sor_omega, ws);
     case Method::kPowerIteration:
-      result = SolvePowerIteration(graph, jump, options);
-      break;
+      return SolvePowerIteration(graph, jump, options, ws);
   }
+  return PageRankResult{};
+}
+
+}  // namespace
+
+Result<PageRankResult> ComputePageRank(const WebGraph& graph,
+                                       const JumpVector& jump,
+                                       const SolverOptions& options,
+                                       SolverWorkspace* workspace) {
+  SolverWorkspace local;
+  SolverWorkspace* ws = workspace != nullptr ? workspace : &local;
+  SPAMMASS_RETURN_NOT_OK(CheckGraphAndOptions(graph, options));
+  SPAMMASS_RETURN_NOT_OK(CheckJump(graph, jump));
+  PageRankResult result = SolveDispatch(graph, jump, options, ws);
   if (result.scores.empty()) return Status::Internal("unknown method");
   // Post-conditions (non-negativity, mass conservation). O(n), debug only.
   DCHECK_OK(ValidateSolverResult(graph, jump, options, result));
   return result;
 }
 
+Result<PageRankResult> ComputePageRank(const WebGraph& graph,
+                                       const JumpVector& jump,
+                                       const SolverOptions& options) {
+  return ComputePageRank(graph, jump, options, nullptr);
+}
+
+Result<std::vector<PageRankResult>> ComputePageRankMulti(
+    const WebGraph& graph, const std::vector<JumpVector>& jumps,
+    const SolverOptions& options, SolverWorkspace* workspace) {
+  if (jumps.empty()) {
+    return Status::InvalidArgument("multi-solve needs at least one jump");
+  }
+  SolverWorkspace local;
+  SolverWorkspace* ws = workspace != nullptr ? workspace : &local;
+  SPAMMASS_RETURN_NOT_OK(CheckGraphAndOptions(graph, options));
+  for (const JumpVector& jump : jumps) {
+    SPAMMASS_RETURN_NOT_OK(CheckJump(graph, jump));
+  }
+
+  std::vector<PageRankResult> results;
+  results.reserve(jumps.size());
+  if (options.method == Method::kJacobi) {
+    // Fused multi-RHS path, in batches of at most kMaxVectorsPerSweep.
+    for (size_t base = 0; base < jumps.size();
+         base += kernel::kMaxVectorsPerSweep) {
+      const size_t batch_end =
+          std::min(base + kernel::kMaxVectorsPerSweep, jumps.size());
+      std::vector<const JumpVector*> batch;
+      batch.reserve(batch_end - base);
+      for (size_t j = base; j < batch_end; ++j) batch.push_back(&jumps[j]);
+      std::vector<PageRankResult> batch_results =
+          SolveJacobiBatch(graph, batch, options, ws);
+      for (PageRankResult& r : batch_results) {
+        results.push_back(std::move(r));
+      }
+    }
+  } else {
+    // Sequential-dependency methods: solve one at a time, still sharing
+    // the workspace (pool + scratch reuse).
+    for (const JumpVector& jump : jumps) {
+      results.push_back(SolveDispatch(graph, jump, options, ws));
+    }
+  }
+  for (size_t j = 0; j < results.size(); ++j) {
+    if (results[j].scores.empty()) return Status::Internal("unknown method");
+    DCHECK_OK(ValidateSolverResult(graph, jumps[j], options, results[j]));
+  }
+  return results;
+}
+
 Result<PageRankResult> ComputeUniformPageRank(const WebGraph& graph,
-                                              const SolverOptions& options) {
+                                              const SolverOptions& options,
+                                              SolverWorkspace* workspace) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("PageRank on an empty graph");
   }
   return ComputePageRank(graph, JumpVector::Uniform(graph.num_nodes()),
-                         options);
+                         options, workspace);
+}
+
+Result<PageRankResult> ComputeUniformPageRank(const WebGraph& graph,
+                                              const SolverOptions& options) {
+  return ComputeUniformPageRank(graph, options, nullptr);
 }
 
 }  // namespace spammass::pagerank

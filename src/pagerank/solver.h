@@ -22,6 +22,7 @@
 
 #include "graph/web_graph.h"
 #include "pagerank/jump_vector.h"
+#include "pagerank/workspace.h"
 #include "util/status.h"
 
 namespace spammass::pagerank {
@@ -53,9 +54,12 @@ struct SolverOptions {
   DanglingPolicy dangling = DanglingPolicy::kLeak;
   /// Relaxation factor for kSor; must lie in (0, 2). Ignored otherwise.
   double sor_omega = 1.1;
-  /// Worker threads for the Jacobi sweep (each output entry depends only
-  /// on the previous iterate, so rows shard cleanly). 1 = serial. Only
-  /// kJacobi parallelizes; the sequential-dependency methods ignore this.
+  /// Worker threads for the out-of-place sweeps (each output entry depends
+  /// only on the previous iterate, so rows shard cleanly). 1 = serial.
+  /// kJacobi and kPowerIteration parallelize — with bit-identical scores
+  /// AND residuals for every thread count (deterministic chunked
+  /// reductions, pagerank/kernel.h); the sequential-dependency
+  /// Gauss-Seidel/SOR sweeps ignore this.
   uint32_t num_threads = 1;
   /// When true, PageRankResult::residual_history records the L1 residual of
   /// every iteration (for convergence studies).
@@ -78,9 +82,37 @@ util::Result<PageRankResult> ComputePageRank(const graph::WebGraph& graph,
                                              const JumpVector& jump,
                                              const SolverOptions& options);
 
+/// As above, reusing `workspace` for the thread pool and scratch buffers —
+/// the fast path for repeated solves over one graph (workspace.h). A null
+/// workspace falls back to per-call scratch. Results are bit-identical to
+/// the workspace-free overload.
+util::Result<PageRankResult> ComputePageRank(const graph::WebGraph& graph,
+                                             const JumpVector& jump,
+                                             const SolverOptions& options,
+                                             SolverWorkspace* workspace);
+
+/// Solves PageRank for several jump vectors over one graph. With
+/// Method::kJacobi the solve is fused: up to kernel::kMaxVectorsPerSweep
+/// vectors advance through ONE CSR traversal per sweep (multi-RHS), paying
+/// the graph's memory traffic once instead of once per vector — the spam
+/// mass p/p′ pair is the canonical k = 2 caller. Each vector converges
+/// independently (a converged vector is compacted out of the working set
+/// and stops costing sweeps), so results[j] is bit-identical to a
+/// standalone ComputePageRank with jumps[j]. Other methods solve
+/// sequentially through the shared workspace. Fails on the first invalid
+/// jump vector.
+util::Result<std::vector<PageRankResult>> ComputePageRankMulti(
+    const graph::WebGraph& graph, const std::vector<JumpVector>& jumps,
+    const SolverOptions& options, SolverWorkspace* workspace = nullptr);
+
 /// Convenience: regular PageRank p = PR(v) with uniform v.
 util::Result<PageRankResult> ComputeUniformPageRank(
     const graph::WebGraph& graph, const SolverOptions& options);
+
+/// Workspace-reusing variant of ComputeUniformPageRank.
+util::Result<PageRankResult> ComputeUniformPageRank(
+    const graph::WebGraph& graph, const SolverOptions& options,
+    SolverWorkspace* workspace);
 
 /// Rescales scores by n/(1−c), the paper's presentation scaling under which
 /// a node with no inlinks has score exactly 1 (Section 3.4).

@@ -43,29 +43,52 @@ void ThreadPool::ParallelFor(
   if (total == 0) return;
   const uint64_t chunks = std::min<uint64_t>(num_threads(), total);
   const uint64_t per_chunk = (total + chunks - 1) / chunks;
-  if (chunks == 1) {
+  ParallelForChunked(total, per_chunk,
+                    [&body](uint64_t, uint64_t begin, uint64_t end) {
+                      body(begin, end);
+                    });
+}
+
+void ThreadPool::ParallelForChunked(
+    uint64_t total, uint64_t chunk_size,
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& body) {
+  if (total == 0) return;
+  CHECK_GT(chunk_size, 0u);
+  const uint64_t num_chunks = (total + chunk_size - 1) / chunk_size;
+  if (num_chunks == 1) {
     // Nothing to shard; skip the cross-thread hop.
-    body(0, total);
+    body(0, 0, total);
     return;
   }
 
   // Per-call completion latch. Waiting on the pool-global in_flight_
   // counter (the old scheme) made one caller's ParallelFor block on
   // *other* callers' tasks — and on Submits racing in between chunk
-  // submission and the wait. The latch counts exactly this call's chunks.
+  // submission and the wait. The latch counts exactly this call's chunks,
+  // however many that is — chunk counts above num_threads() just queue.
   struct Latch {
     std::mutex m;
     std::condition_variable cv;
     uint64_t remaining;
   } latch;
 
-  latch.remaining = (total + per_chunk - 1) / per_chunk;
-  CHECK_LE(latch.remaining, chunks);
-  for (uint64_t c = 0; c * per_chunk < total; ++c) {
-    const uint64_t begin = c * per_chunk;
-    const uint64_t end = std::min(begin + per_chunk, total);
-    Submit([&body, &latch, begin, end] {
-      body(begin, end);
+  // Bundle chunks into at most one task per worker. The chunk decomposition
+  // (and therefore every body(c, begin, end) call) is unchanged — only the
+  // grouping of chunks into queue entries varies with the worker count, so
+  // callers relying on chunk-indexed determinism are unaffected, while the
+  // queue-mutex traffic per call drops from num_chunks to num_tasks.
+  const uint64_t num_tasks = std::min<uint64_t>(num_chunks, num_threads());
+  const uint64_t chunks_per_task = (num_chunks + num_tasks - 1) / num_tasks;
+  latch.remaining = num_tasks;
+  for (uint64_t t = 0; t < num_tasks; ++t) {
+    const uint64_t first = t * chunks_per_task;
+    const uint64_t last = std::min(first + chunks_per_task, num_chunks);
+    Submit([&body, &latch, chunk_size, total, first, last] {
+      for (uint64_t c = first; c < last; ++c) {
+        const uint64_t begin = c * chunk_size;
+        const uint64_t end = std::min(begin + chunk_size, total);
+        body(c, begin, end);
+      }
       // Notify while holding the lock: the waiter cannot wake, observe
       // remaining == 0, and destroy the latch before we are done with it.
       std::lock_guard<std::mutex> lk(latch.m);

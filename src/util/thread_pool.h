@@ -54,6 +54,19 @@ class ThreadPool {
   void ParallelFor(uint64_t total,
                    const std::function<void(uint64_t, uint64_t)>& body);
 
+  /// Runs `body(chunk_index, begin, end)` over [0, total) split into fixed
+  /// `chunk_size` pieces: chunk c covers [c·chunk_size, min((c+1)·chunk_size,
+  /// total)). The decomposition depends only on (total, chunk_size) — never
+  /// on the worker count — so callers that accumulate per-chunk partial
+  /// results indexed by `chunk_index` and reduce them in chunk order get
+  /// bit-identical floating-point sums for every thread count (the
+  /// deterministic-reduction contract the PageRank kernels rely on). Chunks
+  /// may execute in any order and more chunks than workers is fine; the
+  /// call returns when all of its own chunks are done.
+  void ParallelForChunked(
+      uint64_t total, uint64_t chunk_size,
+      const std::function<void(uint64_t, uint64_t, uint64_t)>& body);
+
  private:
   void WorkerLoop();
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -133,6 +134,61 @@ TEST(ValidateCsrTest, ReportsDirectionInMessage) {
   auto st = ValidateCsr(2, offsets, adjacency, "in");
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.message().find("in-adjacency"), std::string::npos);
+}
+
+// Derived solver-support arrays (inverse out-degrees + dangling list).
+// 3 nodes: 0 -> {1, 2}, 1 -> {2}, 2 -> {} (node 2 dangling).
+class ValidateDerivedArraysTest : public ::testing::Test {
+ protected:
+  std::vector<uint64_t> offsets_ = {0, 2, 3, 3};
+  std::vector<double> inv_ = {0.5, 1.0, 0.0};
+  std::vector<NodeId> dangling_ = {2};
+};
+
+TEST_F(ValidateDerivedArraysTest, AcceptsConsistentArrays) {
+  EXPECT_TRUE(
+      graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_).ok());
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsWrongInverseSize) {
+  inv_.push_back(0.0);
+  auto st = graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsInexactReciprocal) {
+  // Close is not enough: the cached weight must be the exact IEEE quotient.
+  inv_[0] = std::nextafter(0.5, 1.0);
+  auto st = graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("inverse out-degree"), std::string::npos);
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsNonzeroInverseOnDangling) {
+  inv_[2] = 1.0;
+  auto st = graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dangling"), std::string::npos);
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsMissingDanglingEntry) {
+  dangling_.clear();
+  EXPECT_FALSE(
+      graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_).ok());
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsSpuriousDanglingEntry) {
+  dangling_ = {1, 2};  // node 1 has outdegree 1
+  EXPECT_FALSE(
+      graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_).ok());
+}
+
+TEST_F(ValidateDerivedArraysTest, RejectsTrailingDanglingEntries) {
+  dangling_ = {2, 2};  // duplicate beyond the real list
+  auto st = graph::ValidateDerivedArrays(3, offsets_, inv_, dangling_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dangling list"), std::string::npos);
 }
 
 }  // namespace

@@ -104,6 +104,45 @@ TEST(WebGraphTest, IsolatedNode) {
   EXPECT_FALSE(g.IsIsolated(1));
 }
 
+TEST(WebGraphTest, DerivedArraysMatchDegrees) {
+  // 0 -> {1, 2}, 2 -> {1}, 3 -> {0}; node 1 is dangling.
+  WebGraph g = WebGraph::FromSortedEdges(4, {{0, 1}, {0, 2}, {2, 1}, {3, 0}});
+  ASSERT_EQ(g.InvOutDegrees().size(), 4u);
+  EXPECT_EQ(g.InvOutDegree(0), 0.5);
+  EXPECT_EQ(g.InvOutDegree(1), 0.0);  // dangling: exactly zero
+  EXPECT_EQ(g.InvOutDegree(2), 1.0);
+  EXPECT_EQ(g.InvOutDegree(3), 1.0);
+  ASSERT_EQ(g.num_dangling(), 1u);
+  EXPECT_EQ(g.DanglingNodes()[0], 1u);
+}
+
+TEST(WebGraphTest, DerivedArraysOnTransposedGraph) {
+  WebGraph g = WebGraph::FromSortedEdges(4, {{0, 1}, {0, 2}, {2, 1}, {3, 0}});
+  WebGraph t = g.Transposed();
+  // In the transpose, out-degrees are the original in-degrees: node 3 has
+  // no inlinks in g, so it is dangling in t.
+  ASSERT_EQ(t.num_dangling(), 1u);
+  EXPECT_EQ(t.DanglingNodes()[0], 3u);
+  EXPECT_EQ(t.InvOutDegree(1), 0.5);  // in-degree 2 in g
+  EXPECT_EQ(t.InvOutDegree(3), 0.0);
+}
+
+TEST(WebGraphTest, DanglingListIsAscendingAndComplete) {
+  GraphBuilder b(8);
+  b.AddEdge(1, 0);
+  b.AddEdge(3, 2);
+  b.AddEdge(6, 5);
+  WebGraph g = b.Build();
+  std::vector<NodeId> want;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    if (g.IsDangling(x)) want.push_back(x);
+  }
+  auto got = g.DanglingNodes();
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
 TEST(WebGraphTest, HostNames) {
   GraphBuilder b;
   NodeId a = b.AddNode("www.example.com");

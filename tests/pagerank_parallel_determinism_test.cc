@@ -1,10 +1,13 @@
-// TSan-targeted test: the multi-threaded Jacobi solver must produce
-// bit-identical scores to the single-threaded path. Each Jacobi output
-// entry depends only on the previous iterate, so sharding rows across
-// threads must not change a single bit — any discrepancy means a data race
-// or a floating-point reassociation snuck into the parallel sweep. The CI
-// thread-sanitizer job runs this suite together with the thread-pool
-// stress tests.
+// TSan-targeted test: the multi-threaded solvers must produce bit-identical
+// output to the single-threaded path — scores, residual histories, AND
+// iteration counts. Each Jacobi output entry depends only on the previous
+// iterate, so sharding rows across threads must not change a single bit;
+// the reductions (residuals, dangling sums, power-iteration norms) go
+// through the deterministic chunked scheme of pagerank/kernel.h whose
+// decomposition depends only on the element count, never the thread count.
+// Any discrepancy means a data race or a floating-point reassociation snuck
+// into the parallel path. The CI thread-sanitizer job runs this suite
+// together with the thread-pool stress tests.
 
 #include <gtest/gtest.h>
 
@@ -112,8 +115,70 @@ TEST_P(ParallelJacobiDeterminismTest, CoreJumpVectorBitIdentical) {
   ExpectBitIdentical(a.value().scores, b.value().scores);
 }
 
+TEST_P(ParallelJacobiDeterminismTest, ResidualHistoryBitIdentical) {
+  // Residuals feed the convergence test, so bit-identical scores with
+  // drifting residuals would still let iteration counts diverge across
+  // thread counts. The deterministic chunked reduction pins both.
+  WebGraph g = MakeSyntheticGraph(700, 3500, /*seed=*/91);
+  SolverOptions serial;
+  serial.tolerance = 1e-12;
+  serial.max_iterations = 2000;
+  serial.track_residuals = true;
+  SolverOptions parallel = serial;
+  parallel.num_threads = GetParam();
+
+  auto a = pagerank::ComputeUniformPageRank(g, serial);
+  auto b = pagerank::ComputeUniformPageRank(g, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().iterations, b.value().iterations);
+  ExpectBitIdentical(a.value().residual_history,
+                     b.value().residual_history);
+  ExpectBitIdentical(a.value().scores, b.value().scores);
+}
+
+TEST_P(ParallelJacobiDeterminismTest, MultiVectorSolveBitIdentical) {
+  WebGraph g = MakeSyntheticGraph(600, 3000, /*seed=*/71);
+  std::vector<pagerank::JumpVector> jumps;
+  jumps.push_back(pagerank::JumpVector::Uniform(g.num_nodes()));
+  jumps.push_back(pagerank::JumpVector::ScaledCore(
+      g.num_nodes(), {3, 11, 42, 250}, /*gamma=*/0.85));
+
+  SolverOptions serial;
+  serial.tolerance = 1e-12;
+  serial.max_iterations = 2000;
+  SolverOptions parallel = serial;
+  parallel.num_threads = GetParam();
+
+  auto a = pagerank::ComputePageRankMulti(g, jumps, serial);
+  auto b = pagerank::ComputePageRankMulti(g, jumps, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t j = 0; j < jumps.size(); ++j) {
+    ASSERT_EQ(a.value()[j].iterations, b.value()[j].iterations);
+    ExpectBitIdentical(a.value()[j].scores, b.value()[j].scores);
+  }
+}
+
+TEST_P(ParallelJacobiDeterminismTest, PowerIterationBitIdentical) {
+  // Power iteration shares the deterministic kernels (sweep, dangling sum,
+  // norm guard, residual), so it carries the same guarantee.
+  WebGraph g = MakeSyntheticGraph(500, 2500, /*seed=*/83);
+  SolverOptions serial;
+  serial.method = pagerank::Method::kPowerIteration;
+  serial.tolerance = 1e-12;
+  serial.max_iterations = 2000;
+  SolverOptions parallel = serial;
+  parallel.num_threads = GetParam();
+
+  auto a = pagerank::ComputeUniformPageRank(g, serial);
+  auto b = pagerank::ComputeUniformPageRank(g, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().iterations, b.value().iterations);
+  ExpectBitIdentical(a.value().scores, b.value().scores);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelJacobiDeterminismTest,
-                         ::testing::Values(2u, 4u, 8u));
+                         ::testing::Values(1u, 2u, 4u, 8u));
 
 }  // namespace
 }  // namespace spammass

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Run the solver perf benchmarks and collect one merged JSON report.
+
+Each google-benchmark binary is run with --benchmark_out=<tmp>.json
+(--benchmark_format JSON), the per-benchmark entries are merged, and the
+seed-vs-kernel speedup ratios the PR's acceptance criteria track are
+derived from the paired entries:
+
+  * jacobi_single_thread_speedup:
+        BM_SeedJacobiBaseline / BM_WeightedJacobi
+  * spam_mass_two_solve_speedup (on the shared synthetic web):
+        BM_SeedMassEstimationSharedWeb / BM_FusedMassEstimationSharedWeb
+  * spam_mass_two_solve_speedup_large (200k-node random web):
+        BM_SeedMassEstimationBaseline / BM_FusedMassEstimation
+  * parallel_pool_reuse_speedup_T<k>:
+        BM_ParallelJacobiFreshPool/<k> / BM_ParallelJacobiWorkspace/<k>
+  * multi_solve_amortization_k<k>:
+        BM_IndependentSolves/<k> / BM_FusedMultiSolve/<k>
+
+Usage:
+    tools/bench_to_json.py --bench-dir build/bench --out BENCH_solver.json \
+        [--min-time 0.1]
+
+The CI perf-smoke job uploads the resulting file as an artifact; no
+thresholds are enforced here (machine variance makes hard gates flaky) —
+the ratios are recorded for human inspection and trend tracking.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_BINARIES = ["bench_solver_perf", "bench_multi_solve"]
+
+RATIO_PAIRS = [
+    ("jacobi_single_thread_speedup", "BM_SeedJacobiBaseline",
+     "BM_WeightedJacobi"),
+    ("spam_mass_two_solve_speedup", "BM_SeedMassEstimationSharedWeb",
+     "BM_FusedMassEstimationSharedWeb"),
+    ("spam_mass_two_solve_speedup_large", "BM_SeedMassEstimationBaseline",
+     "BM_FusedMassEstimation"),
+    ("parallel_pool_reuse_speedup_T2", "BM_ParallelJacobiFreshPool/2",
+     "BM_ParallelJacobiWorkspace/2"),
+    ("parallel_pool_reuse_speedup_T4", "BM_ParallelJacobiFreshPool/4",
+     "BM_ParallelJacobiWorkspace/4"),
+    ("multi_solve_amortization_k2", "BM_IndependentSolves/2",
+     "BM_FusedMultiSolve/2"),
+    ("multi_solve_amortization_k4", "BM_IndependentSolves/4",
+     "BM_FusedMultiSolve/4"),
+    ("multi_solve_amortization_k8", "BM_IndependentSolves/8",
+     "BM_FusedMultiSolve/8"),
+]
+
+
+def run_bench(binary, min_time):
+    """Runs one benchmark binary, returns its parsed JSON report."""
+    fd, out_path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        cmd = [
+            binary,
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+        ]
+        if min_time:
+            cmd.append(f"--benchmark_min_time={min_time}")
+        subprocess.run(cmd, check=True)
+        with open(out_path, encoding="utf-8") as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def real_time_ms(entry):
+    unit = entry.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    return entry["real_time"] * scale
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory holding the built bench binaries")
+    parser.add_argument("--out", required=True,
+                        help="path of the merged JSON report")
+    parser.add_argument("--min-time", default=None,
+                        help="forwarded as --benchmark_min_time in seconds (e.g. 0.1)")
+    args = parser.parse_args()
+
+    merged = {"context": None, "benchmarks": [], "speedups": {}}
+    times = {}
+    for name in BENCH_BINARIES:
+        binary = os.path.join(args.bench_dir, name)
+        if not os.path.exists(binary):
+            print(f"error: {binary} not built", file=sys.stderr)
+            return 1
+        report = run_bench(binary, args.min_time)
+        if merged["context"] is None:
+            merged["context"] = report.get("context")
+        for entry in report.get("benchmarks", []):
+            entry["binary"] = name
+            merged["benchmarks"].append(entry)
+            times[entry["name"]] = real_time_ms(entry)
+
+    for label, baseline, optimized in RATIO_PAIRS:
+        if baseline in times and optimized in times and times[optimized] > 0:
+            merged["speedups"][label] = times[baseline] / times[optimized]
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for label, ratio in merged["speedups"].items():
+        print(f"  {label}: {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
