@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   host_table.SetHeader({"host", "m~ before", "m~ after"});
   for (size_t i = 0; i < mall_hosts.size() && i < 8; ++i) {
     graph::NodeId x = mall_hosts[i];
-    host_table.AddRow({r.web.graph.HostName(x),
+    host_table.AddRow({std::string(r.web.graph.HostName(x)),
                        util::FormatDouble(r.estimates.relative_mass[x], 4),
                        util::FormatDouble(fixed.relative_mass[x], 4)});
   }

@@ -79,7 +79,8 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < top_k; ++i) {
     if (r.web.labels.IsGood(order[i])) ++good_in_top;
     if (i < 10) {
-      table.AddRow({std::to_string(i + 1), r.web.graph.HostName(order[i]),
+      table.AddRow({std::to_string(i + 1),
+                    std::string(r.web.graph.HostName(order[i])),
                     core::NodeLabelToString(r.web.labels.Get(order[i]))});
     }
   }

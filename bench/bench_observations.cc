@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     if (est.relative_mass[center] > 0.9) ++high_mass;
     if (q < 6) {
       clique_table.AddRow(
-          {r.web.graph.HostName(center),
+          {std::string(r.web.graph.HostName(center)),
            std::to_string(r.web.isolated_cliques[q].size()),
            util::FormatDouble(est.pagerank[center] * scale, 1),
            util::FormatDouble(est.relative_mass[center], 3)});
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     graph::NodeId t = r.web.expired_domain_targets[i];
     max_mass = std::max(max_mass, est.relative_mass[t]);
     if (i < 6) {
-      expired_table.AddRow({r.web.graph.HostName(t),
+      expired_table.AddRow({std::string(r.web.graph.HostName(t)),
                             std::to_string(r.web.graph.InDegree(t)),
                             util::FormatDouble(est.pagerank[t] * scale, 1),
                             util::FormatDouble(est.relative_mass[t], 3)});
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   core_table.SetHeader({"core member", "scaled abs mass", "relative mass"});
   for (size_t i = 0; i < by_mass.size() && i < 6; ++i) {
     graph::NodeId x = by_mass[i];
-    core_table.AddRow({r.web.graph.HostName(x),
+    core_table.AddRow({std::string(r.web.graph.HostName(x)),
                        util::FormatDouble(est.absolute_mass[x] * scale, 1),
                        util::FormatDouble(est.relative_mass[x], 2)});
   }

@@ -52,7 +52,8 @@ int main() {
   util::TextTable table;
   table.SetHeader({"host", "PageRank", "core PR", "est. mass", "rel. mass"});
   for (graph::NodeId x = 0; x < web.num_nodes(); ++x) {
-    table.AddRow({web.HostName(x), util::FormatDouble(scaled_p[x], 3),
+    table.AddRow({std::string(web.HostName(x)),
+                  util::FormatDouble(scaled_p[x], 3),
                   util::FormatDouble(scaled_p0[x], 3),
                   util::FormatDouble(scaled_mass[x], 3),
                   util::FormatDouble(estimates.value().relative_mass[x], 2)});
@@ -70,7 +71,7 @@ int main() {
               config.relative_mass_threshold);
   for (const auto& c : candidates) {
     std::printf("  %-18s  scaled PR %-6s  relative mass %s\n",
-                web.HostName(c.node).c_str(),
+                std::string(web.HostName(c.node)).c_str(),
                 util::FormatDouble(c.scaled_pagerank, 2).c_str(),
                 util::FormatDouble(c.relative_mass, 2).c_str());
   }

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
       {"rank", "host", "scaled PR", "rel. mass", "ground truth"});
   for (size_t i = 0; i < candidates.size() && i < 20; ++i) {
     const auto& c = candidates[i];
-    table.AddRow({std::to_string(i + 1), r.web.graph.HostName(c.node),
+    table.AddRow({std::to_string(i + 1),
+                  std::string(r.web.graph.HostName(c.node)),
                   util::FormatDouble(c.scaled_pagerank, 1),
                   util::FormatDouble(c.relative_mass, 4),
                   core::NodeLabelToString(r.web.labels.Get(c.node))});

@@ -1,11 +1,15 @@
 #include "graph/graph_io.h"
 
+#include <charconv>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_builder.h"
+#include "graph/graph_validate.h"
+#include "util/checksum.h"
 #include "util/string_util.h"
 
 namespace spammass::graph {
@@ -13,23 +17,52 @@ namespace spammass::graph {
 using util::Result;
 using util::Status;
 
+namespace {
+
+// Text output is assembled in a buffer and flushed in slabs; the seed
+// streamed one operator<< per field, which bottoms out in one virtual
+// streambuf call per number.
+constexpr size_t kTextFlushThreshold = 1u << 20;
+
+void AppendUint(std::string* buf, uint64_t value) {
+  char tmp[20];
+  auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), value);
+  (void)ec;  // Cannot fail: 20 chars hold any uint64.
+  buf->append(tmp, static_cast<size_t>(ptr - tmp));
+}
+
+}  // namespace
+
 util::Status WriteEdgeListText(const WebGraph& graph,
                                const std::string& path) {
-  std::ofstream f(path);
+  std::ofstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open for writing: " + path);
-  f << "# spammass edge list\n";
-  f << "# nodes: " << graph.num_nodes() << "\n";
-  f << "# edges: " << graph.num_edges() << "\n";
+  std::string buf;
+  buf.reserve(kTextFlushThreshold + 64);
+  buf += "# spammass edge list\n# nodes: ";
+  AppendUint(&buf, graph.num_nodes());
+  buf += "\n# edges: ";
+  AppendUint(&buf, graph.num_edges());
+  buf += '\n';
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (NodeId v : graph.OutNeighbors(u)) {
-      f << u << ' ' << v << '\n';
+      AppendUint(&buf, u);
+      buf += ' ';
+      AppendUint(&buf, v);
+      buf += '\n';
+      if (buf.size() >= kTextFlushThreshold) {
+        f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+        buf.clear();
+      }
     }
   }
+  f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   if (!f) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
-util::Result<WebGraph> ReadEdgeListText(const std::string& path) {
+util::Result<WebGraph> ReadEdgeListText(const std::string& path,
+                                        util::ThreadPool* pool) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open: " + path);
   GraphBuilder builder;
@@ -44,29 +77,34 @@ util::Result<WebGraph> ReadEdgeListText(const std::string& path) {
       // survive a round trip.
       constexpr std::string_view kNodesPrefix = "# nodes:";
       if (sv.substr(0, kNodesPrefix.size()) == kNodesPrefix) {
-        auto fields = util::SplitWhitespace(sv.substr(kNodesPrefix.size()));
-        if (!fields.empty()) {
-          builder.EnsureNodes(static_cast<NodeId>(
-              std::strtoull(fields[0].c_str(), nullptr, 10)));
+        std::string_view rest = sv.substr(kNodesPrefix.size());
+        uint64_t declared = 0;
+        if (util::ParseUint64(util::NextField(&rest), &declared) &&
+            declared < kInvalidNode) {
+          builder.EnsureNodes(static_cast<NodeId>(declared));
         }
       }
       continue;
     }
-    auto fields = util::SplitWhitespace(sv);
-    if (fields.size() != 2) {
+    std::string_view rest = sv;
+    std::string_view source_field = util::NextField(&rest);
+    std::string_view target_field = util::NextField(&rest);
+    if (source_field.empty() || target_field.empty() ||
+        !util::NextField(&rest).empty()) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
                                      ": expected 'source target'");
     }
-    char* end = nullptr;
-    unsigned long long u = std::strtoull(fields[0].c_str(), &end, 10);
-    if (*end != '\0') {
+    uint64_t u = 0;
+    if (!util::ParseUint64(source_field, &u)) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
-                                     ": bad source id '" + fields[0] + "'");
+                                     ": bad source id '" +
+                                     std::string(source_field) + "'");
     }
-    unsigned long long v = std::strtoull(fields[1].c_str(), &end, 10);
-    if (*end != '\0') {
+    uint64_t v = 0;
+    if (!util::ParseUint64(target_field, &v)) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
-                                     ": bad target id '" + fields[1] + "'");
+                                     ": bad target id '" +
+                                     std::string(target_field) + "'");
     }
     if (u >= kInvalidNode || v >= kInvalidNode) {
       return Status::OutOfRange(path + ":" + std::to_string(lineno) +
@@ -76,13 +114,15 @@ util::Result<WebGraph> ReadEdgeListText(const std::string& path) {
     builder.EnsureNodes(max_id + 1);
     builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  return builder.Build();
+  return builder.Build(pool);
 }
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'M', 'W', 'G'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersionCurrent = 2;
+constexpr uint32_t kFlagHostNames = 1u << 0;
 
 template <typename T>
 void WritePod(std::ofstream& f, const T& v) {
@@ -95,35 +135,44 @@ bool ReadPod(std::ifstream& f, T* v) {
   return static_cast<bool>(f);
 }
 
-}  // namespace
+/// Forwards every write into the running whole-file checksum. The digest
+/// itself is written with WritePod (it must not hash itself).
+class ChecksummingWriter {
+ public:
+  explicit ChecksummingWriter(std::ofstream& f) : f_(f) {}
 
-util::Status WriteBinary(const WebGraph& graph, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return Status::IoError("cannot open for writing: " + path);
-  f.write(kMagic, sizeof(kMagic));
-  WritePod(f, kVersion);
-  WritePod(f, static_cast<uint64_t>(graph.num_nodes()));
-  WritePod(f, graph.num_edges());
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    WritePod(f, static_cast<uint64_t>(graph.OutDegree(u)));
-    for (NodeId v : graph.OutNeighbors(u)) WritePod(f, v);
+  void Write(const void* data, size_t size) {
+    hasher_.Update(data, size);
+    f_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
   }
-  if (!f) return Status::IoError("write failed: " + path);
-  return Status::OK();
+
+  template <typename T>
+  void WriteValue(const T& v) {
+    Write(&v, sizeof(v));
+  }
+
+  uint64_t digest() const { return hasher_.digest(); }
+
+ private:
+  std::ofstream& f_;
+  util::Fnv1a64x8 hasher_;
+};
+
+/// Bulk-reads `count` elements into a vector and feeds them to `hasher`.
+template <typename T>
+bool ReadArray(std::ifstream& f, util::Fnv1a64x8* hasher, uint64_t count,
+               std::vector<T>* out) {
+  out->resize(count);
+  const size_t bytes = static_cast<size_t>(count) * sizeof(T);
+  f.read(reinterpret_cast<char*>(out->data()),
+         static_cast<std::streamsize>(bytes));
+  if (!f) return false;
+  hasher->Update(out->data(), bytes);
+  return true;
 }
 
-util::Result<WebGraph> ReadBinary(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return Status::IoError("cannot open: " + path);
-  char magic[4];
-  f.read(magic, sizeof(magic));
-  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + ": not a spammass binary graph");
-  }
-  uint32_t version = 0;
-  if (!ReadPod(f, &version) || version != kVersion) {
-    return Status::InvalidArgument(path + ": unsupported version");
-  }
+Result<WebGraph> ReadBinaryV1(std::ifstream& f, const std::string& path) {
   uint64_t num_nodes = 0, num_edges = 0;
   if (!ReadPod(f, &num_nodes) || !ReadPod(f, &num_edges)) {
     return Status::IoError(path + ": truncated header");
@@ -151,12 +200,218 @@ util::Result<WebGraph> ReadBinary(const std::string& path) {
   return WebGraph::FromSortedEdges(static_cast<NodeId>(num_nodes), edges);
 }
 
-util::Status WriteHostNames(const WebGraph& graph, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IoError("cannot open for writing: " + path);
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    f << u << '\t' << graph.HostName(u) << '\n';
+Result<WebGraph> ReadBinaryV2(std::ifstream& f, const std::string& path,
+                              uint64_t file_size, util::Fnv1a64x8 hasher,
+                              util::ThreadPool* pool) {
+  // Fixed-width header tail: flags, reserved, node count, edge count.
+  char head[24];
+  f.read(head, sizeof(head));
+  if (!f) return Status::IoError(path + ": truncated header");
+  hasher.Update(head, sizeof(head));
+  uint32_t flags = 0, reserved = 0;
+  uint64_t num_nodes = 0, num_edges = 0;
+  std::memcpy(&flags, head, sizeof(flags));
+  std::memcpy(&reserved, head + 4, sizeof(reserved));
+  std::memcpy(&num_nodes, head + 8, sizeof(num_nodes));
+  std::memcpy(&num_edges, head + 16, sizeof(num_edges));
+  if ((flags & ~kFlagHostNames) != 0 || reserved != 0) {
+    return Status::InvalidArgument(path + ": unknown header flags");
   }
+  if (num_nodes >= kInvalidNode) {
+    return Status::OutOfRange(path + ": node count exceeds 32-bit range");
+  }
+  const bool has_names = (flags & kFlagHostNames) != 0;
+
+  // Size sanity before any allocation: the declared arrays plus trailer
+  // must fit the actual file exactly (names add a variable-length blob,
+  // bounded below). The per-element bounds also keep the size arithmetic
+  // below from overflowing on garbage counts. Both adjacency directions
+  // are stored, hence the doubled per-node / per-edge footprints.
+  if (num_nodes > file_size / 16 || num_edges > file_size / 8) {
+    return Status::IoError(path + ": truncated");
+  }
+  const uint64_t csr_end = 32 + 2 * ((num_nodes + 1) * 8 + num_edges * 4);
+  const uint64_t min_size =
+      csr_end + (has_names ? 8 + (num_nodes + 1) * 8 : 0) + 8;
+  if (file_size < min_size) return Status::IoError(path + ": truncated");
+  if (!has_names && file_size != min_size) {
+    return Status::InvalidArgument(path + ": trailing bytes after payload");
+  }
+
+  std::vector<uint64_t> out_offsets;
+  std::vector<NodeId> targets;
+  std::vector<uint64_t> in_offsets;
+  std::vector<NodeId> sources;
+  if (!ReadArray(f, &hasher, num_nodes + 1, &out_offsets) ||
+      !ReadArray(f, &hasher, num_edges, &targets) ||
+      !ReadArray(f, &hasher, num_nodes + 1, &in_offsets) ||
+      !ReadArray(f, &hasher, num_edges, &sources)) {
+    return Status::IoError(path + ": truncated");
+  }
+
+  std::vector<std::string> names;
+  if (has_names) {
+    char blob_header[8];
+    f.read(blob_header, sizeof(blob_header));
+    if (!f) return Status::IoError(path + ": truncated");
+    hasher.Update(blob_header, sizeof(blob_header));
+    uint64_t blob_size = 0;
+    std::memcpy(&blob_size, blob_header, sizeof(blob_size));
+    if (file_size != min_size + blob_size) {
+      return Status::InvalidArgument(path + ": host-name blob size mismatch");
+    }
+    std::vector<uint64_t> name_offsets;
+    std::vector<char> blob;
+    if (!ReadArray(f, &hasher, num_nodes + 1, &name_offsets) ||
+        !ReadArray(f, &hasher, blob_size, &blob)) {
+      return Status::IoError(path + ": truncated");
+    }
+    if (name_offsets.front() != 0 || name_offsets.back() != blob_size) {
+      return Status::InvalidArgument(path + ": bad host-name offsets");
+    }
+    names.reserve(num_nodes);
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      if (name_offsets[i] > name_offsets[i + 1]) {
+        return Status::InvalidArgument(path + ": bad host-name offsets");
+      }
+      names.emplace_back(blob.data() + name_offsets[i],
+                         name_offsets[i + 1] - name_offsets[i]);
+    }
+  }
+
+  uint64_t stored_digest = 0;
+  if (!ReadPod(f, &stored_digest)) {
+    return Status::IoError(path + ": truncated");
+  }
+  if (stored_digest != hasher.digest()) {
+    return Status::InvalidArgument(path + ": checksum mismatch");
+  }
+
+  // The bytes are intact; now check each direction is a well-formed CSR
+  // before adopting (this is the only structural pass — no edge-pair
+  // vector, no re-sort, no transpose rebuild). Well-formedness bounds
+  // every index the algorithms will follow; that the in-arrays really are
+  // the transpose of the out-arrays is an integrity property covered by
+  // the checksum (and fully cross-checked in debug builds, see
+  // WebGraph::FromCsrPair).
+  Status csr = ValidateCsr(static_cast<NodeId>(num_nodes), out_offsets,
+                           targets, "out");
+  if (!csr.ok()) return Status(csr.code(), path + ": " + csr.message());
+  csr = ValidateCsr(static_cast<NodeId>(num_nodes), in_offsets, sources,
+                    "in");
+  if (!csr.ok()) return Status(csr.code(), path + ": " + csr.message());
+
+  WebGraph g = WebGraph::FromCsrPair(
+      static_cast<NodeId>(num_nodes), std::move(out_offsets),
+      std::move(targets), std::move(in_offsets), std::move(sources), pool);
+  if (has_names) g.set_host_names(std::move(names));
+  return g;
+}
+
+}  // namespace
+
+util::Status WriteBinary(const WebGraph& graph, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  ChecksummingWriter out(f);
+  out.Write(kMagic, sizeof(kMagic));
+  out.WriteValue(kVersionCurrent);
+  const bool has_names = !graph.host_names().empty();
+  const uint32_t flags = has_names ? kFlagHostNames : 0;
+  out.WriteValue(flags);
+  out.WriteValue(uint32_t{0});  // reserved
+  out.WriteValue(static_cast<uint64_t>(graph.num_nodes()));
+  out.WriteValue(graph.num_edges());
+  const auto offsets = graph.OutOffsets();
+  const auto targets = graph.Targets();
+  const auto in_offsets = graph.InOffsets();
+  const auto sources = graph.Sources();
+  out.Write(offsets.data(), offsets.size_bytes());
+  out.Write(targets.data(), targets.size_bytes());
+  out.Write(in_offsets.data(), in_offsets.size_bytes());
+  out.Write(sources.data(), sources.size_bytes());
+  if (has_names) {
+    const auto& names = graph.host_names();
+    std::vector<uint64_t> name_offsets;
+    name_offsets.reserve(names.size() + 1);
+    uint64_t blob_size = 0;
+    name_offsets.push_back(0);
+    for (const std::string& name : names) {
+      blob_size += name.size();
+      name_offsets.push_back(blob_size);
+    }
+    out.WriteValue(blob_size);
+    out.Write(name_offsets.data(), name_offsets.size() * sizeof(uint64_t));
+    std::string blob;
+    blob.reserve(blob_size);
+    for (const std::string& name : names) blob += name;
+    out.Write(blob.data(), blob.size());
+  }
+  WritePod(f, out.digest());
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Status WriteBinaryV1(const WebGraph& graph, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  f.write(kMagic, sizeof(kMagic));
+  WritePod(f, kVersionLegacy);
+  WritePod(f, static_cast<uint64_t>(graph.num_nodes()));
+  WritePod(f, graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    WritePod(f, static_cast<uint64_t>(graph.OutDegree(u)));
+    for (NodeId v : graph.OutNeighbors(u)) WritePod(f, v);
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<WebGraph> ReadBinary(const std::string& path,
+                                  util::ThreadPool* pool) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open: " + path);
+  f.seekg(0, std::ios::end);
+  const auto end_pos = f.tellg();
+  if (end_pos < 0) return Status::IoError(path + ": cannot determine size");
+  const uint64_t file_size = static_cast<uint64_t>(end_pos);
+  f.seekg(0, std::ios::beg);
+
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a spammass binary graph");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(f, &version)) {
+    return Status::IoError(path + ": truncated header");
+  }
+  if (version == kVersionLegacy) return ReadBinaryV1(f, path);
+  if (version != kVersionCurrent) {
+    return Status::InvalidArgument(path + ": unsupported version");
+  }
+  util::Fnv1a64x8 hasher;
+  hasher.Update(magic, sizeof(magic));
+  hasher.Update(&version, sizeof(version));
+  return ReadBinaryV2(f, path, file_size, hasher, pool);
+}
+
+util::Status WriteHostNames(const WebGraph& graph, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  std::string buf;
+  buf.reserve(kTextFlushThreshold + 64);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    AppendUint(&buf, u);
+    buf += '\t';
+    buf += graph.HostName(u);
+    buf += '\n';
+    if (buf.size() >= kTextFlushThreshold) {
+      f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   if (!f) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
@@ -176,9 +431,9 @@ util::Status ReadHostNames(const std::string& path, WebGraph* graph) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
                                      ": expected '<id>\\t<host>'");
     }
-    char* end = nullptr;
-    unsigned long long id = std::strtoull(line.c_str(), &end, 10);
-    if (end != line.c_str() + tab || id >= graph->num_nodes()) {
+    uint64_t id = 0;
+    if (!util::ParseUint64(std::string_view(line).substr(0, tab), &id) ||
+        id >= graph->num_nodes()) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
                                      ": bad node id");
     }

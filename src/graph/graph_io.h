@@ -1,9 +1,16 @@
 // Graph (de)serialization. Two formats:
 //   * Text edge list — one "source target" pair per line, '#' comments,
 //     interoperable with common web-graph dumps (e.g. WebGraph/SNAP style).
-//   * Binary — little-endian CSR dump with a magic header, for fast reloads
-//     of large synthetic crawls.
-// Host names travel in a companion "<id>\t<host>" text map.
+//   * Binary — little-endian container (magic "SMWG"). Version 2 dumps
+//     both CSR directions (forward offsets/targets, transposed
+//     offsets/sources, optional host-name blob) as a handful of bulk
+//     writes with a trailing interleaved-FNV checksum, and loads them back
+//     into WebGraph without re-materializing an edge-pair list, re-sorting,
+//     or rebuilding the transpose; see docs/graph_format.md for the byte
+//     layout. Version 1 (per-row records, no checksum, no names) is still
+//     readable for migration.
+// Host names travel inside the v2 binary when present; the companion
+// "<id>\t<host>" text map remains available for the text format.
 
 #ifndef SPAMMASS_GRAPH_GRAPH_IO_H_
 #define SPAMMASS_GRAPH_GRAPH_IO_H_
@@ -13,21 +20,40 @@
 #include "graph/web_graph.h"
 #include "util/status.h"
 
+namespace spammass::util {
+class ThreadPool;
+}  // namespace spammass::util
+
 namespace spammass::graph {
 
-/// Writes "u v" lines (plus a size header comment).
+/// Writes "u v" lines (plus a size header comment). Output is assembled in
+/// a large buffer via std::to_chars and flushed in ~1 MiB slabs.
 util::Status WriteEdgeListText(const WebGraph& graph, const std::string& path);
 
 /// Parses an edge list. Lines starting with '#' and blank lines are skipped;
 /// node count is max id + 1 unless a "# nodes: N" header raises it.
-/// Duplicate edges and self-loops in the file are normalized away.
-util::Result<WebGraph> ReadEdgeListText(const std::string& path);
+/// Duplicate edges and self-loops in the file are normalized away. `pool`
+/// parallelizes the final sort/dedup/CSR build for large inputs.
+util::Result<WebGraph> ReadEdgeListText(const std::string& path,
+                                        util::ThreadPool* pool = nullptr);
 
-/// Writes the CSR arrays in a binary container (magic "SMWG", version 1).
+/// Writes the current binary container (magic "SMWG", version 2): both CSR
+/// directions and, when the graph carries host names, the name blob, ending
+/// in a whole-file checksum.
 util::Status WriteBinary(const WebGraph& graph, const std::string& path);
 
-/// Reads a binary graph written by WriteBinary.
-util::Result<WebGraph> ReadBinary(const std::string& path);
+/// Writes the legacy version-1 container (per-row degree + target records,
+/// no checksum, no host names). Kept only as a fixture for migration
+/// tests and the v1-vs-v2 load benchmarks; new code writes v2.
+util::Status WriteBinaryV1(const WebGraph& graph, const std::string& path);
+
+/// Reads a binary graph written by WriteBinary (v2) or WriteBinaryV1.
+/// Version 2 payloads are checksum-verified and structurally validated
+/// (ValidateCsr on both directions), then adopted directly as the graph's
+/// CSR arrays; only the cheap derived solver arrays are rebuilt — in
+/// parallel when `pool` is non-null.
+util::Result<WebGraph> ReadBinary(const std::string& path,
+                                  util::ThreadPool* pool = nullptr);
 
 /// Writes "<id>\t<host_name>" lines for every node.
 util::Status WriteHostNames(const WebGraph& graph, const std::string& path);

@@ -11,9 +11,9 @@ namespace spammass::graph {
 using util::Result;
 using util::Status;
 
-std::string NormalizeHostName(const std::string& host,
+std::string NormalizeHostName(std::string_view host,
                               const HostNormalizeOptions& options) {
-  std::string out = host;
+  std::string out(host);
   if (options.case_fold) {
     std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
       return static_cast<char>(std::tolower(c));

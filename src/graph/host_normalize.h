@@ -9,6 +9,7 @@
 #define SPAMMASS_GRAPH_HOST_NORMALIZE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/web_graph.h"
@@ -31,7 +32,7 @@ struct HostNormalizeOptions {
 };
 
 /// Canonicalizes one host name.
-std::string NormalizeHostName(const std::string& host,
+std::string NormalizeHostName(std::string_view host,
                               const HostNormalizeOptions& options);
 
 /// Result of merging aliases.

@@ -32,22 +32,25 @@ bool IsSecondLevelSuffix(std::string_view suffix) {
 
 }  // namespace
 
-std::string RegisteredDomain(const std::string& host) {
+std::string RegisteredDomain(std::string_view host) {
   // Collect label boundaries from the right.
   size_t last_dot = host.rfind('.');
-  if (last_dot == std::string::npos) return host;
+  if (last_dot == std::string_view::npos) return std::string(host);
   size_t second_dot = last_dot > 0 ? host.rfind('.', last_dot - 1)
-                                   : std::string::npos;
-  if (second_dot == std::string::npos) return host;  // already two labels
-  std::string_view two_label =
-      std::string_view(host).substr(second_dot + 1);
-  size_t third_dot = second_dot > 0 ? host.rfind('.', second_dot - 1)
-                                    : std::string::npos;
-  if (IsSecondLevelSuffix(two_label)) {
-    if (third_dot == std::string::npos) return host;  // e.g. "example.co.uk"
-    return host.substr(third_dot + 1);
+                                   : std::string_view::npos;
+  if (second_dot == std::string_view::npos) {
+    return std::string(host);  // already two labels
   }
-  return host.substr(second_dot + 1);
+  std::string_view two_label = host.substr(second_dot + 1);
+  size_t third_dot = second_dot > 0 ? host.rfind('.', second_dot - 1)
+                                    : std::string_view::npos;
+  if (IsSecondLevelSuffix(two_label)) {
+    if (third_dot == std::string_view::npos) {
+      return std::string(host);  // e.g. "example.co.uk"
+    }
+    return std::string(host.substr(third_dot + 1));
+  }
+  return std::string(host.substr(second_dot + 1));
 }
 
 Result<SiteAggregationResult> AggregateToSites(const WebGraph& graph) {

@@ -11,6 +11,7 @@
 #define SPAMMASS_GRAPH_SITE_AGGREGATION_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/web_graph.h"
@@ -23,7 +24,7 @@ namespace spammass::graph {
 /// registry ("co.uk", "com.br", "edu.pl", ...). Host names without a dot
 /// are returned unchanged. Comparison is case-insensitive (input should be
 /// normalized first; see host_normalize.h).
-std::string RegisteredDomain(const std::string& host);
+std::string RegisteredDomain(std::string_view host);
 
 /// Result of collapsing a host graph to sites.
 struct SiteAggregationResult {

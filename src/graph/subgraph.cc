@@ -14,7 +14,7 @@ Subgraph InducedSubgraph(const WebGraph& graph,
   GraphBuilder builder;
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     if (!keep[u]) continue;
-    NodeId nid = has_names ? builder.AddNode(graph.HostName(u))
+    NodeId nid = has_names ? builder.AddNode(std::string(graph.HostName(u)))
                            : builder.AddNode();
     out.to_sub[u] = nid;
     out.to_original.push_back(u);

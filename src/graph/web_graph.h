@@ -10,7 +10,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+namespace spammass::util {
+class ThreadPool;
+}  // namespace spammass::util
 
 namespace spammass::graph {
 
@@ -21,9 +26,9 @@ using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
 
 /// Immutable directed graph in compressed-sparse-row form. Construct via
-/// GraphBuilder (which normalizes edges) or FromSortedEdges for trusted
-/// input. Both the forward (out-neighbor) and the transposed (in-neighbor)
-/// adjacency are materialized.
+/// GraphBuilder (which normalizes edges), FromSortedEdges, or FromCsr for
+/// trusted input. Both the forward (out-neighbor) and the transposed
+/// (in-neighbor) adjacency are materialized.
 class WebGraph {
  public:
   /// Empty graph.
@@ -39,6 +44,33 @@ class WebGraph {
   /// CHECK-enforced (use GraphBuilder for untrusted edge streams).
   static WebGraph FromSortedEdges(NodeId num_nodes,
                                   const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Adopts already-built forward CSR arrays and derives the transpose and
+  /// the solver-support arrays from them, in parallel when `pool` is
+  /// non-null. The arrays must satisfy ValidateCsr (graph_validate.h):
+  /// offsets monotonically non-decreasing from 0 to targets.size(), every
+  /// row strictly ascending with in-range targets, no self-links. Trusted
+  /// input only — debug builds re-validate, release builds do not; callers
+  /// ingesting untrusted bytes (the binary loader) must run ValidateCsr
+  /// first. The derived arrays are bit-identical for every pool size,
+  /// including none.
+  static WebGraph FromCsr(NodeId num_nodes, std::vector<uint64_t> out_offsets,
+                          std::vector<NodeId> targets,
+                          util::ThreadPool* pool = nullptr);
+
+  /// Adopts BOTH adjacency directions — the forward CSR and its transpose
+  /// — and only derives the cheap solver-support arrays (inverse
+  /// out-degrees, dangling list). This is the zero-rebuild load path of
+  /// the v2 binary format: no edge scan, no counting sort. Both array
+  /// pairs must individually satisfy ValidateCsr and the in-arrays must be
+  /// the exact transpose of the out-arrays; debug builds CHECK the full
+  /// cross-consistency (ValidateGraph), release builds trust the caller.
+  static WebGraph FromCsrPair(NodeId num_nodes,
+                              std::vector<uint64_t> out_offsets,
+                              std::vector<NodeId> targets,
+                              std::vector<uint64_t> in_offsets,
+                              std::vector<NodeId> sources,
+                              util::ThreadPool* pool = nullptr);
 
   NodeId num_nodes() const { return num_nodes_; }
   uint64_t num_edges() const { return targets_.size(); }
@@ -75,7 +107,8 @@ class WebGraph {
   }
 
   /// Returns the transposed graph (every edge reversed) as a new graph.
-  WebGraph Transposed() const;
+  /// `pool` parallelizes the derived-array rebuild when non-null.
+  WebGraph Transposed(util::ThreadPool* pool = nullptr) const;
 
   /// Raw CSR views (offset arrays have num_nodes()+1 entries). Exposed for
   /// the invariant validators (graph_validate.h) and bulk kernels that scan
@@ -107,8 +140,12 @@ class WebGraph {
   const std::vector<std::string>& host_names() const { return host_names_; }
   void set_host_names(std::vector<std::string> names);
 
-  /// Host name of x, or "node<i>" when names are unset.
-  std::string HostName(NodeId x) const;
+  /// Host name of x, or "node<i>" when names are unset. When names are set
+  /// the view points into the graph's name table and stays valid for the
+  /// graph's lifetime; the synthesized fallback lives in a thread-local
+  /// buffer that the next fallback HostName call on the same thread
+  /// overwrites — copy it if it must outlive the expression.
+  std::string_view HostName(NodeId x) const;
 
  private:
   friend class GraphBuilder;
@@ -127,8 +164,12 @@ class WebGraph {
   std::vector<NodeId> dangling_nodes_;
   std::vector<std::string> host_names_;
 
-  void BuildTranspose();
-  void BuildDerivedArrays();
+  // Both builders produce output bit-identical to their serial versions
+  // for every pool size: all scatter positions are computed exactly from
+  // per-chunk counts, never raced, and per-chunk partial results are
+  // combined in chunk order.
+  void BuildTranspose(util::ThreadPool* pool = nullptr);
+  void BuildDerivedArrays(util::ThreadPool* pool = nullptr);
 };
 
 }  // namespace spammass::graph

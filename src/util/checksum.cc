@@ -1,0 +1,116 @@
+#include "util/checksum.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace spammass::util {
+
+void Fnv1a64::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kPrime;
+  }
+  state_ = h;
+}
+
+uint64_t Fnv1a64Digest(const void* data, size_t size) {
+  Fnv1a64 hasher;
+  hasher.Update(data, size);
+  return hasher.digest();
+}
+
+namespace {
+
+// Endianness-independent little-endian 64-bit load. Compilers recognise
+// the shift ladder and emit a single load on little-endian targets.
+inline uint64_t LoadLe64(const unsigned char* p) {
+  return static_cast<uint64_t>(p[0]) | static_cast<uint64_t>(p[1]) << 8 |
+         static_cast<uint64_t>(p[2]) << 16 | static_cast<uint64_t>(p[3]) << 24 |
+         static_cast<uint64_t>(p[4]) << 32 | static_cast<uint64_t>(p[5]) << 40 |
+         static_cast<uint64_t>(p[6]) << 48 | static_cast<uint64_t>(p[7]) << 56;
+}
+
+}  // namespace
+
+void Fnv1a64x8::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  total_bytes_ += size;
+  // Blocks are cut at absolute stream positions, so the digest is
+  // invariant under Update chunking: top up the partial block carried
+  // over from the previous call before touching the new data directly.
+  if (pending_fill_ > 0) {
+    const size_t take = std::min(size, kBlockBytes - pending_fill_);
+    std::memcpy(pending_ + pending_fill_, bytes, take);
+    pending_fill_ += take;
+    bytes += take;
+    size -= take;
+    if (pending_fill_ < kBlockBytes) return;
+    for (size_t k = 0; k < kLanes; ++k) {
+      lanes_[k] = (lanes_[k] ^ LoadLe64(pending_ + 8 * k)) * Fnv1a64::kPrime;
+    }
+    pending_fill_ = 0;
+  }
+  // Full blocks straight from the input: one multiply per lane per
+  // 64-byte block, eight independent chains the CPU can pipeline. Lanes
+  // live in locals for the duration of the loop — loads through `bytes`
+  // may alias the lanes_ member array, and the resulting per-block
+  // store/reload of every lane would serialize the chains; locals whose
+  // address never escapes cannot alias and stay in registers.
+  if (size >= kBlockBytes) {
+    uint64_t l0 = lanes_[0], l1 = lanes_[1], l2 = lanes_[2], l3 = lanes_[3];
+    uint64_t l4 = lanes_[4], l5 = lanes_[5], l6 = lanes_[6], l7 = lanes_[7];
+    size_t i = 0;
+    for (; i + kBlockBytes <= size; i += kBlockBytes) {
+      l0 = (l0 ^ LoadLe64(bytes + i + 0)) * Fnv1a64::kPrime;
+      l1 = (l1 ^ LoadLe64(bytes + i + 8)) * Fnv1a64::kPrime;
+      l2 = (l2 ^ LoadLe64(bytes + i + 16)) * Fnv1a64::kPrime;
+      l3 = (l3 ^ LoadLe64(bytes + i + 24)) * Fnv1a64::kPrime;
+      l4 = (l4 ^ LoadLe64(bytes + i + 32)) * Fnv1a64::kPrime;
+      l5 = (l5 ^ LoadLe64(bytes + i + 40)) * Fnv1a64::kPrime;
+      l6 = (l6 ^ LoadLe64(bytes + i + 48)) * Fnv1a64::kPrime;
+      l7 = (l7 ^ LoadLe64(bytes + i + 56)) * Fnv1a64::kPrime;
+    }
+    lanes_[0] = l0;
+    lanes_[1] = l1;
+    lanes_[2] = l2;
+    lanes_[3] = l3;
+    lanes_[4] = l4;
+    lanes_[5] = l5;
+    lanes_[6] = l6;
+    lanes_[7] = l7;
+    bytes += i;
+    size -= i;
+  }
+  if (size > 0) {
+    std::memcpy(pending_, bytes, size);
+    pending_fill_ = size;
+  }
+}
+
+uint64_t Fnv1a64x8::digest() const {
+  Fnv1a64 fold;
+  for (uint64_t lane : lanes_) {
+    unsigned char le[8];
+    for (int b = 0; b < 8; ++b) {
+      le[b] = static_cast<unsigned char>(lane >> (8 * b));
+    }
+    fold.Update(le, sizeof(le));
+  }
+  fold.Update(pending_, pending_fill_);
+  unsigned char le[8];
+  for (int b = 0; b < 8; ++b) {
+    le[b] = static_cast<unsigned char>(total_bytes_ >> (8 * b));
+  }
+  fold.Update(le, sizeof(le));
+  return fold.digest();
+}
+
+uint64_t Fnv1a64x8Digest(const void* data, size_t size) {
+  Fnv1a64x8 hasher;
+  hasher.Update(data, size);
+  return hasher.digest();
+}
+
+}  // namespace spammass::util

@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 
@@ -46,6 +47,28 @@ std::string_view Trim(std::string_view s) {
   size_t e = s.size();
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
+}
+
+std::string_view NextField(std::string_view* s) {
+  size_t b = 0;
+  while (b < s->size() && std::isspace(static_cast<unsigned char>((*s)[b]))) {
+    ++b;
+  }
+  size_t e = b;
+  while (e < s->size() && !std::isspace(static_cast<unsigned char>((*s)[e]))) {
+    ++e;
+  }
+  std::string_view field = s->substr(b, e - b);
+  s->remove_prefix(e);
+  return field;
+}
+
+bool ParseUint64(std::string_view field, uint64_t* out) {
+  if (field.empty()) return false;
+  const char* first = field.data();
+  const char* last = first + field.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out, 10);
+  return ec == std::errc() && ptr == last;
 }
 
 std::string StringPrintf(const char* fmt, ...) {

@@ -21,6 +21,18 @@ std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 /// Removes leading and trailing ASCII whitespace.
 std::string_view Trim(std::string_view s);
 
+/// Allocation-free field scanner: skips leading ASCII whitespace in `*s`,
+/// returns the next whitespace-delimited field as a view into the original
+/// buffer, and advances `*s` past it. Returns an empty view (and leaves `*s`
+/// empty) when no field remains. The graph I/O hot loops use this instead of
+/// SplitWhitespace, which allocates one std::string per field.
+std::string_view NextField(std::string_view* s);
+
+/// Parses a whole field as an unsigned 64-bit decimal via std::from_chars.
+/// Returns false when the field is empty, contains any non-digit (including
+/// sign characters or trailing junk), or overflows.
+bool ParseUint64(std::string_view field, uint64_t* out);
+
 /// printf-style formatting into a std::string.
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,13 +1,20 @@
-// Round-trip and error-path tests of graph (de)serialization.
+// Round-trip and error-path tests of graph (de)serialization, including
+// v1 -> v2 binary migration and corruption handling of the v2 container.
 
 #include "graph/graph_io.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "graph/graph_builder.h"
+#include "util/checksum.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace spammass {
 namespace {
@@ -146,6 +153,210 @@ TEST_F(GraphIoTest, HostNamesRoundTrip) {
   ASSERT_TRUE(graph::ReadHostNames(path, &g2).ok());
   EXPECT_EQ(g2.HostName(0), "alpha.example.com");
   EXPECT_EQ(g2.HostName(1), "beta.example.org");
+}
+
+TEST_F(GraphIoTest, BinaryV1MigrationStillReadable) {
+  WebGraph g = SampleGraph();
+  std::string path = TempPath("graph_v1.bin");
+  ASSERT_TRUE(graph::WriteBinaryV1(g, path).ok());
+  auto loaded = graph::ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStructure(g, loaded.value());
+}
+
+TEST_F(GraphIoTest, BinaryV1V2Equivalence) {
+  WebGraph g = SampleGraph();
+  std::string v1_path = TempPath("equiv_v1.bin");
+  std::string v2_path = TempPath("equiv_v2.bin");
+  ASSERT_TRUE(graph::WriteBinaryV1(g, v1_path).ok());
+  ASSERT_TRUE(graph::WriteBinary(g, v2_path).ok());
+  auto from_v1 = graph::ReadBinary(v1_path);
+  auto from_v2 = graph::ReadBinary(v2_path);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  ExpectSameStructure(from_v1.value(), from_v2.value());
+  ExpectSameStructure(g, from_v2.value());
+}
+
+TEST_F(GraphIoTest, BinaryV2HostNamesRoundTrip) {
+  GraphBuilder b;
+  NodeId x = b.AddNode("alpha.example.com");
+  NodeId y = b.AddNode("");  // Empty names must survive the blob encoding.
+  NodeId z = b.AddNode("gamma.example.org");
+  b.AddEdge(x, y);
+  b.AddEdge(y, z);
+  WebGraph g = b.Build();
+  std::string path = TempPath("named_v2.bin");
+  ASSERT_TRUE(graph::WriteBinary(g, path).ok());
+  auto loaded = graph::ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStructure(g, loaded.value());
+  EXPECT_EQ(loaded.value().HostName(x), "alpha.example.com");
+  EXPECT_EQ(loaded.value().HostName(y), "");
+  EXPECT_EQ(loaded.value().HostName(z), "gamma.example.org");
+}
+
+TEST_F(GraphIoTest, BinaryV2ParallelLoadMatchesSerial) {
+  util::Rng rng(123);
+  GraphBuilder b(5000);
+  for (int e = 0; e < 40000; ++e) {
+    auto u = static_cast<NodeId>(rng.UniformIndex(5000));
+    auto v = static_cast<NodeId>(rng.UniformIndex(5000));
+    if (u != v) b.AddEdge(u, v);
+  }
+  WebGraph g = b.Build();
+  std::string path = TempPath("parallel_load.bin");
+  ASSERT_TRUE(graph::WriteBinary(g, path).ok());
+  auto serial = graph::ReadBinary(path);
+  util::ThreadPool pool(4);
+  auto parallel = graph::ReadBinary(path, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameStructure(serial.value(), parallel.value());
+  ASSERT_EQ(serial.value().InOffsets().size(),
+            parallel.value().InOffsets().size());
+  EXPECT_TRUE(std::equal(serial.value().Sources().begin(),
+                         serial.value().Sources().end(),
+                         parallel.value().Sources().begin()));
+}
+
+TEST_F(GraphIoTest, BinaryV2RandomGraphRoundTripProperty) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const NodeId n = static_cast<NodeId>(20 + rng.UniformIndex(200));
+    GraphBuilder b(n);
+    const uint64_t edges = rng.UniformIndex(4 * n);
+    for (uint64_t e = 0; e < edges; ++e) {
+      auto u = static_cast<NodeId>(rng.UniformIndex(n));
+      auto v = static_cast<NodeId>(rng.UniformIndex(n));
+      if (u != v) b.AddEdge(u, v);
+    }
+    WebGraph g = b.Build();
+    std::string path = TempPath("prop.bin");
+    ASSERT_TRUE(graph::WriteBinary(g, path).ok());
+    auto loaded = graph::ReadBinary(path);
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": "
+                             << loaded.status().ToString();
+    ExpectSameStructure(g, loaded.value());
+  }
+}
+
+class GraphIoCorruptionTest : public GraphIoTest {
+ protected:
+  // Writes SampleGraph as v2 and returns the raw bytes.
+  std::string WriteSampleV2(const std::string& path) {
+    WebGraph g = SampleGraph();
+    EXPECT_TRUE(graph::WriteBinary(g, path).ok());
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Recomputes the trailing whole-file checksum so structural corruption
+  // is exercised separately from checksum detection.
+  void FixChecksum(std::string* bytes) {
+    ASSERT_GE(bytes->size(), 8u);
+    uint64_t digest =
+        util::Fnv1a64x8Digest(bytes->data(), bytes->size() - 8);
+    std::memcpy(bytes->data() + bytes->size() - 8, &digest, sizeof(digest));
+  }
+};
+
+TEST_F(GraphIoCorruptionTest, TruncationAtEveryRegionRejected) {
+  std::string path = TempPath("trunc_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  ASSERT_GT(bytes.size(), 40u);
+  // Cut inside the header, the offsets array, the targets array, and the
+  // checksum trailer.
+  const std::vector<size_t> cuts = {3,  9,  20, 40, bytes.size() - 9,
+                                    bytes.size() - 1};
+  for (size_t keep : cuts) {
+    WriteBytes(path, bytes.substr(0, keep));
+    EXPECT_FALSE(graph::ReadBinary(path).ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(GraphIoCorruptionTest, BadMagicRejected) {
+  std::string path = TempPath("magic_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  bytes[0] = 'X';
+  WriteBytes(path, bytes);
+  auto r = graph::ReadBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not a spammass binary"),
+            std::string::npos);
+}
+
+TEST_F(GraphIoCorruptionTest, UnsupportedVersionRejected) {
+  std::string path = TempPath("version_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  bytes[4] = 99;
+  WriteBytes(path, bytes);
+  auto r = graph::ReadBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsupported version"),
+            std::string::npos);
+}
+
+TEST_F(GraphIoCorruptionTest, FlippedPayloadByteFailsChecksum) {
+  std::string path = TempPath("flip_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  // Flip one bit inside the targets array (after the 32-byte header and
+  // the six uint64 offsets of the 5-node sample graph).
+  const size_t target_region = 32 + 6 * 8;
+  ASSERT_LT(target_region, bytes.size() - 8);
+  bytes[target_region] = static_cast<char>(bytes[target_region] ^ 0x10);
+  WriteBytes(path, bytes);
+  auto r = graph::ReadBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST_F(GraphIoCorruptionTest, OutOfRangeTargetWithValidChecksumRejected) {
+  std::string path = TempPath("range_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  // Overwrite the first target with an id far beyond num_nodes, then
+  // recompute the checksum — the structural validation must catch it.
+  const size_t target_region = 32 + 6 * 8;
+  const uint32_t bogus = 0xfffffff0u;
+  std::memcpy(bytes.data() + target_region, &bogus, sizeof(bogus));
+  FixChecksum(&bytes);
+  WriteBytes(path, bytes);
+  auto r = graph::ReadBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kFailedPrecondition)
+      << r.status().ToString();
+}
+
+TEST_F(GraphIoCorruptionTest, UnsortedRowWithValidChecksumRejected) {
+  // Node 0 of the sample graph has out-neighbors {1, 2}; swapping them
+  // breaks the strictly-ascending row invariant.
+  std::string path = TempPath("unsorted_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  const size_t target_region = 32 + 6 * 8;
+  uint32_t first = 0, second = 0;
+  std::memcpy(&first, bytes.data() + target_region, sizeof(first));
+  std::memcpy(&second, bytes.data() + target_region + 4, sizeof(second));
+  ASSERT_LT(first, second);
+  std::memcpy(bytes.data() + target_region, &second, sizeof(second));
+  std::memcpy(bytes.data() + target_region + 4, &first, sizeof(first));
+  FixChecksum(&bytes);
+  WriteBytes(path, bytes);
+  EXPECT_FALSE(graph::ReadBinary(path).ok());
+}
+
+TEST_F(GraphIoCorruptionTest, TrailingGarbageRejected) {
+  std::string path = TempPath("trailing_v2.bin");
+  std::string bytes = WriteSampleV2(path);
+  bytes += "extra";
+  WriteBytes(path, bytes);
+  EXPECT_FALSE(graph::ReadBinary(path).ok());
 }
 
 TEST_F(GraphIoTest, HostNamesMustCoverAllNodes) {

@@ -1,0 +1,174 @@
+// Determinism tests for the parallel ingest pipeline: the ThreadPool-driven
+// GraphBuilder::Build, transpose, and derived-array construction must
+// produce CSR arrays bit-identical to the serial build at every thread
+// count. Registered under the TSan CI suite (name matches the
+// 'ParallelGraphBuild' filter) so the scatter phases are also race-checked.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_validate.h"
+#include "graph/web_graph.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::WebGraph;
+
+// Large enough to clear the serial-fallback thresholds in both the builder
+// (pending edges) and the transpose/derived passes (nodes and edges).
+constexpr NodeId kNodes = 20000;
+constexpr uint64_t kEdges = 90000;
+
+// Fills `b` with a deterministic duplicate-heavy edge stream.
+void FillRandomEdges(GraphBuilder* b, uint64_t seed) {
+  util::Rng rng(seed);
+  for (uint64_t e = 0; e < kEdges; ++e) {
+    auto u = static_cast<NodeId>(rng.UniformIndex(kNodes));
+    auto v = static_cast<NodeId>(rng.UniformIndex(kNodes));
+    b->AddEdge(u, v);
+    if (e % 7 == 0) b->AddEdge(u, v);  // Exact duplicates must collapse.
+  }
+}
+
+template <typename T>
+void ExpectBitIdentical(std::span<const T> a, std::span<const T> b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (a.empty()) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0) << what;
+}
+
+void ExpectGraphsBitIdentical(const WebGraph& a, const WebGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ExpectBitIdentical(a.OutOffsets(), b.OutOffsets(), "out_offsets");
+  ExpectBitIdentical(a.Targets(), b.Targets(), "targets");
+  ExpectBitIdentical(a.InOffsets(), b.InOffsets(), "in_offsets");
+  ExpectBitIdentical(a.Sources(), b.Sources(), "sources");
+  // Doubles compared as raw bits: 1.0/d must round identically everywhere.
+  ExpectBitIdentical(a.InvOutDegrees(), b.InvOutDegrees(),
+                     "inv_out_degrees");
+  ExpectBitIdentical(a.DanglingNodes(), b.DanglingNodes(), "dangling");
+}
+
+TEST(ParallelGraphBuildTest, BitIdenticalAcrossThreadCounts) {
+  GraphBuilder serial_builder(kNodes);
+  FillRandomEdges(&serial_builder, 42);
+  WebGraph serial = serial_builder.Build();
+  ASSERT_TRUE(graph::ValidateGraph(serial).ok());
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    GraphBuilder builder(kNodes);
+    FillRandomEdges(&builder, 42);
+    WebGraph parallel = builder.Build(&pool);
+    ASSERT_TRUE(graph::ValidateGraph(parallel).ok()) << threads << " threads";
+    ExpectGraphsBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelGraphBuildTest, IsolatedTailNodesSurvive) {
+  // Trailing nodes past the last edge endpoint produce empty shards; the
+  // prefix sums must still cover them.
+  GraphBuilder serial_builder(kNodes);
+  FillRandomEdges(&serial_builder, 7);
+  serial_builder.EnsureNodes(kNodes + 1000);
+  WebGraph serial = serial_builder.Build();
+
+  util::ThreadPool pool(4);
+  GraphBuilder builder(kNodes);
+  FillRandomEdges(&builder, 7);
+  builder.EnsureNodes(kNodes + 1000);
+  WebGraph parallel = builder.Build(&pool);
+  ASSERT_EQ(parallel.num_nodes(), kNodes + 1000);
+  ExpectGraphsBitIdentical(serial, parallel);
+}
+
+TEST(ParallelGraphBuildTest, SkewedSourcesBitIdentical) {
+  // A power-law-ish worst case: most edges leave a handful of hub sources,
+  // so nearly all work lands in one shard.
+  auto fill = [](GraphBuilder* b) {
+    util::Rng rng(11);
+    for (uint64_t e = 0; e < kEdges; ++e) {
+      auto u = static_cast<NodeId>(rng.UniformIndex(8));
+      auto v = static_cast<NodeId>(rng.UniformIndex(kNodes));
+      b->AddEdge(u, v);
+    }
+  };
+  GraphBuilder serial_builder(kNodes);
+  fill(&serial_builder);
+  WebGraph serial = serial_builder.Build();
+
+  util::ThreadPool pool(4);
+  GraphBuilder builder(kNodes);
+  fill(&builder);
+  WebGraph parallel = builder.Build(&pool);
+  ExpectGraphsBitIdentical(serial, parallel);
+}
+
+TEST(ParallelGraphBuildTest, HostNamesPreserved) {
+  auto fill = [](GraphBuilder* b) {
+    for (NodeId x = 0; x < kNodes; ++x) {
+      b->AddNode("host" + std::to_string(x) + ".example.com");
+    }
+    util::Rng rng(3);
+    for (uint64_t e = 0; e < kEdges; ++e) {
+      b->AddEdge(static_cast<NodeId>(rng.UniformIndex(kNodes)),
+                 static_cast<NodeId>(rng.UniformIndex(kNodes)));
+    }
+  };
+  GraphBuilder serial_builder;
+  fill(&serial_builder);
+  WebGraph serial = serial_builder.Build();
+
+  util::ThreadPool pool(4);
+  GraphBuilder builder;
+  fill(&builder);
+  WebGraph parallel = builder.Build(&pool);
+  ExpectGraphsBitIdentical(serial, parallel);
+  ASSERT_EQ(parallel.host_names().size(), serial.host_names().size());
+  EXPECT_EQ(parallel.HostName(123), serial.HostName(123));
+}
+
+TEST(ParallelGraphBuildTest, FromCsrParallelMatchesSerial) {
+  GraphBuilder b(kNodes);
+  FillRandomEdges(&b, 99);
+  WebGraph g = b.Build();
+  std::vector<uint64_t> offsets(g.OutOffsets().begin(), g.OutOffsets().end());
+  std::vector<NodeId> targets(g.Targets().begin(), g.Targets().end());
+
+  WebGraph serial = WebGraph::FromCsr(g.num_nodes(), offsets, targets);
+  for (uint32_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    WebGraph parallel =
+        WebGraph::FromCsr(g.num_nodes(), offsets, targets, &pool);
+    ExpectGraphsBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelGraphBuildTest, SmallGraphsTakeSerialPathAndMatch) {
+  util::ThreadPool pool(4);
+  GraphBuilder a(10);
+  GraphBuilder b(10);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      if (u != v && (u + v) % 3 == 0) {
+        a.AddEdge(u, v);
+        b.AddEdge(u, v);
+      }
+    }
+  }
+  ExpectGraphsBitIdentical(a.Build(), b.Build(&pool));
+}
+
+}  // namespace
+}  // namespace spammass

@@ -89,7 +89,7 @@ TEST(GeneratedWebNamesTest, HostNamesAreUnique) {
   CHECK_OK(web.status());
   std::set<std::string> names;
   for (graph::NodeId x = 0; x < web.value().graph.num_nodes(); ++x) {
-    names.insert(web.value().graph.HostName(x));
+    names.insert(std::string(web.value().graph.HostName(x)));
   }
   EXPECT_EQ(names.size(), static_cast<size_t>(web.value().graph.num_nodes()));
 }

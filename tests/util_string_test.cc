@@ -9,6 +9,8 @@ namespace {
 
 using util::FormatWithCommas;
 using util::Join;
+using util::NextField;
+using util::ParseUint64;
 using util::Split;
 using util::SplitWhitespace;
 using util::StringPrintf;
@@ -45,6 +47,52 @@ TEST(StringPrintfTest, Formats) {
   EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
   EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(NextFieldTest, WalksWhitespaceSeparatedFields) {
+  std::string_view s = "  12 \t 34\n 56  ";
+  EXPECT_EQ(NextField(&s), "12");
+  EXPECT_EQ(NextField(&s), "34");
+  EXPECT_EQ(NextField(&s), "56");
+  EXPECT_EQ(NextField(&s), "");
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NextFieldTest, EmptyAndAllWhitespace) {
+  std::string_view empty = "";
+  EXPECT_EQ(NextField(&empty), "");
+  std::string_view ws = " \t\n ";
+  EXPECT_EQ(NextField(&ws), "");
+  EXPECT_TRUE(ws.empty());
+}
+
+TEST(NextFieldTest, SingleFieldNoWhitespace) {
+  std::string_view s = "alone";
+  EXPECT_EQ(NextField(&s), "alone");
+  EXPECT_EQ(NextField(&s), "");
+}
+
+TEST(ParseUint64Test, ParsesValidNumbers) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("x", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));    // Trailing junk.
+  EXPECT_FALSE(ParseUint64(" 12", &v));    // No leading whitespace.
+  EXPECT_FALSE(ParseUint64("-1", &v));     // Negatives are not unsigned.
+  EXPECT_FALSE(ParseUint64("+1", &v));     // from_chars rejects '+'.
+  EXPECT_FALSE(ParseUint64("1.5", &v));
+  EXPECT_FALSE(ParseUint64("0x10", &v));   // No hex.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // Overflow.
 }
 
 TEST(FormatWithCommasTest, GroupsThousands) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Run the solver perf benchmarks and collect one merged JSON report.
+"""Run a perf benchmark suite and collect one merged JSON report.
 
-Each google-benchmark binary is run with --benchmark_out=<tmp>.json
-(--benchmark_format JSON), the per-benchmark entries are merged, and the
-seed-vs-kernel speedup ratios the PR's acceptance criteria track are
-derived from the paired entries:
+Each google-benchmark binary of the selected suite is run with
+--benchmark_out=<tmp>.json (--benchmark_format JSON), the per-benchmark
+entries are merged, and the baseline-vs-optimized speedup ratios the PRs'
+acceptance criteria track are derived from the paired entries.
+
+Suite `solver` (bench_solver_perf + bench_multi_solve):
 
   * jacobi_single_thread_speedup:
         BM_SeedJacobiBaseline / BM_WeightedJacobi
@@ -17,11 +19,20 @@ derived from the paired entries:
   * multi_solve_amortization_k<k>:
         BM_IndependentSolves/<k> / BM_FusedMultiSolve/<k>
 
+Suite `graph` (bench_graph_ops, 100k-node ingest fixtures):
+
+  * graph_build_parallel_speedup_T<k>:
+        BM_CsrBuildSerial / BM_CsrBuildParallel/<k>
+  * graph_transpose_parallel_speedup_T<k>:
+        BM_TransposeSerial / BM_TransposeParallel/<k>
+  * binary_load_v2_speedup:
+        BM_BinaryLoadV1 / BM_BinaryLoadV2
+
 Usage:
     tools/bench_to_json.py --bench-dir build/bench --out BENCH_solver.json \
-        [--min-time 0.1]
+        [--suite solver|graph] [--min-time 0.1]
 
-The CI perf-smoke job uploads the resulting file as an artifact; no
+The CI perf-smoke job uploads the resulting files as artifacts; no
 thresholds are enforced here (machine variance makes hard gates flaky) —
 the ratios are recorded for human inspection and trend tracking.
 """
@@ -33,9 +44,7 @@ import subprocess
 import sys
 import tempfile
 
-BENCH_BINARIES = ["bench_solver_perf", "bench_multi_solve"]
-
-RATIO_PAIRS = [
+SOLVER_RATIO_PAIRS = [
     ("jacobi_single_thread_speedup", "BM_SeedJacobiBaseline",
      "BM_WeightedJacobi"),
     ("spam_mass_two_solve_speedup", "BM_SeedMassEstimationSharedWeb",
@@ -53,6 +62,33 @@ RATIO_PAIRS = [
     ("multi_solve_amortization_k8", "BM_IndependentSolves/8",
      "BM_FusedMultiSolve/8"),
 ]
+
+GRAPH_RATIO_PAIRS = [
+    ("graph_build_parallel_speedup_T2", "BM_CsrBuildSerial",
+     "BM_CsrBuildParallel/2"),
+    ("graph_build_parallel_speedup_T4", "BM_CsrBuildSerial",
+     "BM_CsrBuildParallel/4"),
+    ("graph_build_parallel_speedup_T8", "BM_CsrBuildSerial",
+     "BM_CsrBuildParallel/8"),
+    ("graph_transpose_parallel_speedup_T2", "BM_TransposeSerial",
+     "BM_TransposeParallel/2"),
+    ("graph_transpose_parallel_speedup_T4", "BM_TransposeSerial",
+     "BM_TransposeParallel/4"),
+    ("graph_transpose_parallel_speedup_T8", "BM_TransposeSerial",
+     "BM_TransposeParallel/8"),
+    ("binary_load_v2_speedup", "BM_BinaryLoadV1", "BM_BinaryLoadV2"),
+]
+
+SUITES = {
+    "solver": {
+        "binaries": ["bench_solver_perf", "bench_multi_solve"],
+        "ratios": SOLVER_RATIO_PAIRS,
+    },
+    "graph": {
+        "binaries": ["bench_graph_ops"],
+        "ratios": GRAPH_RATIO_PAIRS,
+    },
+}
 
 
 def run_bench(binary, min_time):
@@ -86,13 +122,16 @@ def main():
                         help="directory holding the built bench binaries")
     parser.add_argument("--out", required=True,
                         help="path of the merged JSON report")
+    parser.add_argument("--suite", default="solver", choices=sorted(SUITES),
+                        help="which benchmark suite to run (default: solver)")
     parser.add_argument("--min-time", default=None,
                         help="forwarded as --benchmark_min_time in seconds (e.g. 0.1)")
     args = parser.parse_args()
+    suite = SUITES[args.suite]
 
     merged = {"context": None, "benchmarks": [], "speedups": {}}
     times = {}
-    for name in BENCH_BINARIES:
+    for name in suite["binaries"]:
         binary = os.path.join(args.bench_dir, name)
         if not os.path.exists(binary):
             print(f"error: {binary} not built", file=sys.stderr)
@@ -105,7 +144,7 @@ def main():
             merged["benchmarks"].append(entry)
             times[entry["name"]] = real_time_ms(entry)
 
-    for label, baseline, optimized in RATIO_PAIRS:
+    for label, baseline, optimized in suite["ratios"]:
         if baseline in times and optimized in times and times[optimized] > 0:
             merged["speedups"][label] = times[baseline] / times[optimized]
 

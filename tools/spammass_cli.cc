@@ -285,7 +285,7 @@ int CmdDetect(int argc, const char* const* argv) {
   size_t top = static_cast<size_t>(flags.GetInt("top"));
   for (size_t i = 0; i < candidates.size() && i < top; ++i) {
     const auto& c = candidates[i];
-    table.AddRow({std::to_string(c.node), web.HostName(c.node),
+    table.AddRow({std::to_string(c.node), std::string(web.HostName(c.node)),
                   util::FormatDouble(c.scaled_pagerank, 2),
                   util::FormatDouble(c.relative_mass, 4)});
   }
