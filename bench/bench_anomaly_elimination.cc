@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
               "(paper: 12 alibaba.com hub hosts such as china.alibaba.com)\n\n",
               hubs.size());
 
-  core::MassEstimates fixed;
-  auto fixed_sample = eval::ReestimateWithCore(
-      r, core::ExpandCore(r.good_core, hubs), options, &fixed);
-  CHECK_OK(fixed_sample.status());
+  auto reestimate = eval::ReestimateWithCore(
+      r, core::ExpandCore(r.good_core, hubs), options);
+  CHECK_OK(reestimate.status());
+  const core::MassEstimates& fixed = reestimate.value().estimates;
 
   // Mean relative mass of the community's high-PageRank hosts, before and
   // after, plus the collateral movement of everyone else.

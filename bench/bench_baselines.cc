@@ -2,8 +2,9 @@
 // the paper discusses — the two naive labeling schemes of Section 3.1
 // (which need oracle labels of every in-neighbor), TrustRank (Section 5:
 // demotion, not detection), and a Fetterly-style degree-outlier detector
-// (Section 5: catches regular farms, misses organic-looking spam) — all on
-// the same synthetic web, scored on the high-PageRank population T.
+// (Section 5: catches regular farms, misses organic-looking spam) — all
+// run as registered pipeline detectors over ONE shared context, so every
+// method scores the same artifacts and the base PageRank is solved once.
 
 #include <cstdio>
 
@@ -11,10 +12,10 @@
 
 #include "bench_common.h"
 #include "eval/metrics.h"
-#include "core/degree_outlier.h"
 #include "core/detector.h"
-#include "core/naive_schemes.h"
-#include "core/trustrank.h"
+#include "pipeline/context.h"
+#include "pipeline/detector.h"
+#include "pipeline/graph_source.h"
 #include "util/table.h"
 
 using namespace spammass;
@@ -52,81 +53,87 @@ Score Evaluate(const std::vector<graph::NodeId>& population,
 
 int main(int argc, char** argv) {
   auto options = bench::OptionsFromArgs(argc, argv, /*default_scale=*/0.25);
-  auto r = bench::MustRunPipeline(options);
-  const graph::WebGraph& web = r.web.graph;
-  const auto& population = r.filtered;
+
+  pipeline::GraphSource source =
+      pipeline::GraphSource::Scenario(options.scale, options.seed);
+  auto loaded = source.Load();
+  CHECK_OK(loaded.status());
+
+  pipeline::PipelineConfig config;
+  config.solver = options.mass.solver;
+  pipeline::PipelineContext context(loaded.value(), config);
+
+  // Prepare the union of every baseline's needs up front; the forward
+  // solves (base PageRank, core PageRank, trust propagation) fuse into one
+  // multi-RHS stream.
+  pipeline::ArtifactNeeds needs;
+  needs.mass_estimates = true;
+  needs.trustrank = true;
+  CHECK_OK(context.Prepare(needs));
+  const core::MassEstimates& estimates = context.MassEstimates();
+  const core::LabelStore& labels = loaded.value().labels();
+  const auto population = core::PageRankFilteredNodes(
+      estimates, config.detection.scaled_pagerank_threshold);
 
   util::TextTable table;
   table.SetHeader({"method", "flagged in T", "precision", "recall", "F1",
                    "oracle needed"});
-  auto add = [&](const char* name, const std::vector<bool>& flagged,
+  auto add = [&](const std::string& name, const std::vector<bool>& flagged,
                  const char* oracle) {
-    Score s = Evaluate(population, flagged, r.web.labels);
+    Score s = Evaluate(population, flagged, labels);
     table.AddRow({name, std::to_string(s.tp + s.fp),
                   util::FormatDouble(s.Precision(), 3),
                   util::FormatDouble(s.Recall(), 3),
                   util::FormatDouble(s.F1(), 3), oracle});
   };
 
-  // Spam mass at two thresholds.
-  for (double tau : {0.98, 0.85}) {
-    core::DetectorConfig config;
-    config.relative_mass_threshold = tau;
-    auto candidates = core::DetectSpamCandidates(r.estimates, config);
-    std::vector<bool> flagged(web.num_nodes(), false);
+  // Registered detectors over the shared context.
+  struct Baseline {
+    const char* detector;
+    const char* display;
+    const char* oracle;
+  };
+  const Baseline baselines[] = {
+      {"spam_mass", "spam mass tau=0.98", "good core only"},
+      {"naive_scheme1", "naive scheme 1 (majority)", "all in-neighbor labels"},
+      {"naive_scheme2", "naive scheme 2 (contribution)",
+       "all in-neighbor labels"},
+      {"trustrank", "trustrank lowest quartile", "good core only"},
+      {"degree_outlier", "degree outliers (Fetterly-style)", "none"},
+  };
+  for (const Baseline& b : baselines) {
+    auto detector = pipeline::DetectorRegistry::Global().Create(b.detector);
+    CHECK_OK(detector.status());
+    auto output = detector.value()->Run(context);
+    CHECK_OK(output.status());
+    add(b.display, output.value().flagged, b.oracle);
+  }
+
+  // Spam mass at a relaxed threshold (pure function over the cached
+  // estimates; no extra solve).
+  {
+    core::DetectorConfig relaxed = config.detection;
+    relaxed.relative_mass_threshold = 0.85;
+    auto candidates = core::DetectSpamCandidates(estimates, relaxed);
+    std::vector<bool> flagged(context.graph().num_nodes(), false);
     for (const auto& c : candidates) flagged[c.node] = true;
-    std::string name = "spam mass tau=" + util::FormatDouble(tau, 2);
-    add(name.c_str(), flagged, "good core only");
+    add("spam mass tau=0.85", flagged, "good core only");
   }
 
-  // Naive schemes with full oracle labels.
-  add("naive scheme 1 (majority)",
-      core::FirstLabelingSchemeAll(web, r.web.labels),
-      "all in-neighbor labels");
-  auto second =
-      core::SecondLabelingSchemeAll(web, r.web.labels, options.mass.solver);
-  CHECK_OK(second.status());
-  add("naive scheme 2 (contribution)", second.value(),
-      "all in-neighbor labels");
-
-  // TrustRank demotion retrofitted as detection: flag the lowest
-  // trust/PageRank quartile of T.
-  auto trust = core::ComputeTrustRank(web, r.good_core, options.mass.solver);
-  CHECK_OK(trust.status());
-  {
-    std::vector<graph::NodeId> by_ratio = population;
-    std::sort(by_ratio.begin(), by_ratio.end(),
-              [&](graph::NodeId a, graph::NodeId b) {
-                return trust.value()[a] / r.estimates.pagerank[a] <
-                       trust.value()[b] / r.estimates.pagerank[b];
-              });
-    std::vector<bool> flagged(web.num_nodes(), false);
-    for (size_t i = 0; i < by_ratio.size() / 4; ++i) {
-      flagged[by_ratio[i]] = true;
-    }
-    add("trustrank lowest quartile", flagged, "good core only");
-  }
-
-  // Degree-outlier baseline.
-  {
-    core::DegreeOutlierConfig config;
-    config.min_degree = 3;
-    config.min_bucket_size = 30;
-    auto outliers = core::DetectDegreeOutliers(web, config);
-    add("degree outliers (Fetterly-style)", outliers.suspected, "none");
-  }
-
-  std::printf("== Baseline comparison on T (scaled PR >= 10) ==\n\n%s\n",
-              table.ToString().c_str());
+  std::printf(
+      "== Baseline comparison on T (scaled PR >= 10) ==\n"
+      "   (%llu base PageRank solve shared by %zu methods)\n\n%s\n",
+      static_cast<unsigned long long>(context.base_pagerank_solves()),
+      sizeof(baselines) / sizeof(baselines[0]) + 1, table.ToString().c_str());
 
   // Threshold-free ranking quality for the two score-based signals.
+  const std::vector<double>& trust = context.TrustRank().trust;
   std::vector<eval::ScoredExample> mass_examples, trust_examples;
   for (graph::NodeId x : population) {
-    bool spam = r.web.labels.IsSpam(x);
-    mass_examples.push_back({r.estimates.relative_mass[x], spam});
+    bool spam = labels.IsSpam(x);
+    mass_examples.push_back({estimates.relative_mass[x], spam});
     // Lower trust/PageRank ratio = more suspicious; negate for scoring.
-    trust_examples.push_back(
-        {-trust.value()[x] / r.estimates.pagerank[x], spam});
+    trust_examples.push_back({-trust[x] / estimates.pagerank[x], spam});
   }
   std::printf("AUC over T: relative mass %.3f, negative trust ratio %.3f\n\n",
               eval::ComputeAuc(mass_examples),

@@ -50,9 +50,10 @@ int main(int argc, char** argv) {
       std::printf("skipping empty core variant '%s'\n", variant.name.c_str());
       continue;
     }
-    auto sample = eval::ReestimateWithCore(r, variant.core, options, nullptr);
+    auto sample = eval::ReestimateWithCore(r, variant.core, options);
     CHECK_OK(sample.status());
-    auto curve = eval::ComputePrecisionCurve(sample.value(), thresholds);
+    auto curve =
+        eval::ComputePrecisionCurve(sample.value().sample, thresholds);
     std::vector<std::string> row = {variant.name,
                                     std::to_string(variant.core.size())};
     for (const auto& point : curve) {

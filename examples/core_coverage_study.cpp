@@ -59,17 +59,17 @@ int main(int argc, char** argv) {
                                      it_region)});
   for (const auto& variant : variants) {
     if (variant.core.empty()) continue;
-    auto sample =
-        eval::ReestimateWithCore(r, variant.core, options, nullptr);
-    if (!sample.ok()) {
+    auto reestimate = eval::ReestimateWithCore(r, variant.core, options);
+    if (!reestimate.ok()) {
       std::fprintf(stderr, "core '%s' failed: %s\n", variant.name.c_str(),
-                   sample.status().ToString().c_str());
+                   reestimate.status().ToString().c_str());
       continue;
     }
+    const eval::EvaluationSample& sample = reestimate.value().sample;
     table.AddRow({variant.name, std::to_string(variant.core.size()),
-                  util::FormatDouble(PrecisionAt(sample.value(), 0.98), 3),
-                  util::FormatDouble(PrecisionAt(sample.value(), 0.5), 3),
-                  util::FormatDouble(PrecisionAt(sample.value(), 0.0), 3)});
+                  util::FormatDouble(PrecisionAt(sample, 0.98), 3),
+                  util::FormatDouble(PrecisionAt(sample, 0.5), 3),
+                  util::FormatDouble(PrecisionAt(sample, 0.0), 3)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
@@ -83,10 +83,10 @@ int main(int argc, char** argv) {
   for (graph::NodeId x = 0; x < r.web.graph.num_nodes(); ++x) {
     if (r.web.region_of_node[x] == mall && r.web.is_hub[x]) hubs.push_back(x);
   }
-  core::MassEstimates fixed_estimates;
-  auto fixed_sample = eval::ReestimateWithCore(
-      r, core::ExpandCore(r.good_core, hubs), options, &fixed_estimates);
-  if (!fixed_sample.ok()) return 1;
+  auto fixed = eval::ReestimateWithCore(
+      r, core::ExpandCore(r.good_core, hubs), options);
+  if (!fixed.ok()) return 1;
+  const core::MassEstimates& fixed_estimates = fixed.value().estimates;
 
   double before_mean = 0, after_mean = 0;
   uint64_t mall_hosts = 0;

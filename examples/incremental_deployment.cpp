@@ -88,11 +88,12 @@ int main(int argc, char** argv) {
                   util::FormatDouble(q.auc, 3)});
   };
 
-  // Stage 1: a 1% core — what a young deployment might have.
+  // Stage 1: a 1% core — what a young deployment might have. Re-estimation
+  // with a different core keeps the base run's γ (eval::ReestimateWithCore).
   auto tiny_core = core::SubsampleCore(r.good_core, 0.01, &rng);
-  auto stage1 = core::EstimateSpamMass(r.web.graph, tiny_core, mass);
+  auto stage1 = eval::ReestimateWithCore(r, tiny_core, options);
   if (!stage1.ok()) return 1;
-  report("1: tiny core (1%)", tiny_core.size(), stage1.value());
+  report("1: tiny core (1%)", tiny_core.size(), stage1.value().estimates);
 
   // Stage 2: the full assembled core (directory + gov + edu lists).
   report("2: full core", r.good_core.size(), r.estimates);
@@ -106,9 +107,9 @@ int main(int argc, char** argv) {
     if (r.web.region_of_node[x] == mall && r.web.is_hub[x]) hubs.push_back(x);
   }
   auto fixed_core = core::ExpandCore(r.good_core, hubs);
-  auto stage3 = core::EstimateSpamMass(r.web.graph, fixed_core, mass);
+  auto stage3 = eval::ReestimateWithCore(r, fixed_core, options);
   if (!stage3.ok()) return 1;
-  report("3: + anomaly hubs", fixed_core.size(), stage3.value());
+  report("3: + anomaly hubs", fixed_core.size(), stage3.value().estimates);
 
   // Stage 4: harvest a high-confidence spam core and combine (Section 3.4).
   core::BootstrapOptions bootstrap;

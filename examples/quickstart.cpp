@@ -1,5 +1,5 @@
-// Quickstart: build a tiny host graph, estimate spam mass from a good core,
-// and run the mass-based detector (Algorithm 2).
+// Quickstart: build a tiny host graph, run the spam-mass detector through
+// the pipeline, and inspect the per-host mass estimates (Algorithm 2).
 //
 //   $ ./quickstart
 //
@@ -8,47 +8,63 @@
 
 #include <cstdio>
 
-#include "core/detector.h"
-#include "core/spam_mass.h"
 #include "pagerank/solver.h"
+#include "pipeline/context.h"
+#include "pipeline/detector.h"
+#include "pipeline/graph_source.h"
 #include "synth/paper_graphs.h"
 #include "util/table.h"
 
 using namespace spammass;
 
 int main() {
-  // 1. A web graph. MakeFigure2Graph wires the 12-node example of the
-  //    paper; in a real deployment you would load an edge list with
-  //    graph::ReadEdgeListText or build one with graph::GraphBuilder.
+  // 1. A web graph wrapped in a GraphSource. MakeFigure2Graph wires the
+  //    12-node example of the paper; in a real deployment you would point
+  //    GraphSource::FromFile at an edge list or SMWG binary (the format is
+  //    sniffed automatically).
   synth::Figure2Graph fig = synth::MakeFigure2Graph();
-  const graph::WebGraph& web = fig.graph;
-  std::printf("graph: %u hosts, %llu links\n\n", web.num_nodes(),
-              static_cast<unsigned long long>(web.num_edges()));
-
+  pipeline::GraphSource source =
+      pipeline::GraphSource::FromGraph(std::move(fig.graph), "figure 2");
   // 2. A good core: nodes known to be reputable. The paper assembles one
   //    from a trusted directory plus governmental and educational hosts;
   //    here we use the example's core {g0, g1, g3}.
-  const std::vector<graph::NodeId>& good_core = fig.good_core;
-
-  // 3. Estimate spam mass: two PageRank computations (regular and
-  //    core-based), then M̃ = p − p′ and m̃ = 1 − p′/p.
-  core::SpamMassOptions options;
-  options.solver.tolerance = 1e-14;
-  options.solver.max_iterations = 2000;
-  options.scale_core_jump = false;  // the small example needs no γ scaling
-  auto estimates = core::EstimateSpamMass(web, good_core, options);
-  if (!estimates.ok()) {
-    std::fprintf(stderr, "mass estimation failed: %s\n",
-                 estimates.status().ToString().c_str());
+  source.WithGoodCore(fig.good_core);
+  auto loaded = source.Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const graph::WebGraph& web = loaded.value().graph();
+  std::printf("graph: %u hosts, %llu links\n\n", web.num_nodes(),
+              static_cast<unsigned long long>(web.num_edges()));
+
+  // 3. Configure and prepare the pipeline context. Preparing the
+  //    mass-estimates artifact runs the two PageRank computations (regular
+  //    and core-based) as one fused multi-RHS solve, then forms
+  //    M̃ = p − p′ and m̃ = 1 − p′/p.
+  pipeline::PipelineConfig config;
+  config.solver.tolerance = 1e-14;
+  config.solver.max_iterations = 2000;
+  config.scale_core_jump = false;  // the small example needs no γ scaling
+  config.detection.scaled_pagerank_threshold = 1.5;
+  config.detection.relative_mass_threshold = 0.5;
+
+  pipeline::PipelineContext context(loaded.value(), config);
+  pipeline::ArtifactNeeds needs;
+  needs.mass_estimates = true;
+  util::Status status = context.Prepare(needs);
+  if (!status.ok()) {
+    std::fprintf(stderr, "mass estimation failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const core::MassEstimates& estimates = context.MassEstimates();
 
   // 4. Inspect the per-host features (Table 1 of the paper).
-  auto scaled_p = pagerank::ScaledScores(estimates.value().pagerank, 0.85);
-  auto scaled_p0 =
-      pagerank::ScaledScores(estimates.value().core_pagerank, 0.85);
-  auto scaled_mass =
-      pagerank::ScaledScores(estimates.value().absolute_mass, 0.85);
+  auto scaled_p = pagerank::ScaledScores(estimates.pagerank, 0.85);
+  auto scaled_p0 = pagerank::ScaledScores(estimates.core_pagerank, 0.85);
+  auto scaled_mass = pagerank::ScaledScores(estimates.absolute_mass, 0.85);
   util::TextTable table;
   table.SetHeader({"host", "PageRank", "core PR", "est. mass", "rel. mass"});
   for (graph::NodeId x = 0; x < web.num_nodes(); ++x) {
@@ -56,20 +72,26 @@ int main() {
                   util::FormatDouble(scaled_p[x], 3),
                   util::FormatDouble(scaled_p0[x], 3),
                   util::FormatDouble(scaled_mass[x], 3),
-                  util::FormatDouble(estimates.value().relative_mass[x], 2)});
+                  util::FormatDouble(estimates.relative_mass[x], 2)});
   }
   std::printf("%s\n", table.ToString().c_str());
 
-  // 5. Detect spam candidates: hosts with scaled PageRank >= ρ and
-  //    relative mass >= τ.
-  core::DetectorConfig config;
-  config.scaled_pagerank_threshold = 1.5;
-  config.relative_mass_threshold = 0.5;
-  auto candidates = core::DetectSpamCandidates(estimates.value(), config);
+  // 5. Detect spam candidates — hosts with scaled PageRank >= ρ and
+  //    relative mass >= τ — via the registered "spam_mass" detector. Any
+  //    detector in the registry (trustrank, the naive schemes, ...) runs
+  //    against the same prepared context.
+  auto detector = pipeline::DetectorRegistry::Global().Create("spam_mass");
+  if (!detector.ok()) return 1;
+  auto output = detector.value()->Run(context);
+  if (!output.ok()) {
+    std::fprintf(stderr, "detector failed: %s\n",
+                 output.status().ToString().c_str());
+    return 1;
+  }
   std::printf("spam candidates (rho=%.1f, tau=%.2f):\n",
-              config.scaled_pagerank_threshold,
-              config.relative_mass_threshold);
-  for (const auto& c : candidates) {
+              config.detection.scaled_pagerank_threshold,
+              config.detection.relative_mass_threshold);
+  for (const auto& c : output.value().candidates) {
     std::printf("  %-18s  scaled PR %-6s  relative mass %s\n",
                 std::string(web.HostName(c.node)).c_str(),
                 util::FormatDouble(c.scaled_pagerank, 2).c_str(),

@@ -6,9 +6,10 @@
 
 #include <cstdio>
 
-#include "core/spam_mass.h"
 #include "graph/graph_builder.h"
 #include "pagerank/solver.h"
+#include "pipeline/context.h"
+#include "pipeline/graph_source.h"
 #include "synth/spam_farm.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -48,26 +49,36 @@ void FarmRow(uint32_t k, bool links_back, util::TextTable* table) {
       synth::BuildSpamFarm(&builder, spec, "target.spam.biz", "booster",
                            &rng);
   graph::WebGraph web = builder.Build();
+  const uint32_t num_nodes = web.num_nodes();
 
   std::vector<graph::NodeId> good_core;
   for (graph::NodeId i = 0; i < 20; ++i) good_core.push_back(i);
-  core::SpamMassOptions options;
-  options.solver = Solver();
-  options.gamma = static_cast<double>(background) / web.num_nodes();
-  auto est = core::EstimateSpamMass(web, good_core, options);
-  if (!est.ok()) {
+  pipeline::GraphSource source =
+      pipeline::GraphSource::FromGraph(std::move(web), "spam farm");
+  source.WithGoodCore(good_core);
+  auto loaded = source.Load();
+  if (!loaded.ok()) return;
+
+  pipeline::PipelineConfig config;
+  config.solver = Solver();
+  config.gamma = static_cast<double>(background) / num_nodes;
+  pipeline::PipelineContext context(loaded.value(), config);
+  pipeline::ArtifactNeeds needs;
+  needs.mass_estimates = true;
+  util::Status status = context.Prepare(needs);
+  if (!status.ok()) {
     std::fprintf(stderr, "estimation failed: %s\n",
-                 est.status().ToString().c_str());
+                 status.ToString().c_str());
     return;
   }
-  auto scaled = pagerank::ScaledScores(est.value().pagerank, kDamping);
+  const core::MassEstimates& est = context.MassEstimates();
+  auto scaled = pagerank::ScaledScores(est.pagerank, kDamping);
   double predicted =
       synth::PredictedTargetScaledPageRank(k, kDamping, links_back);
   table->AddRow({std::to_string(k), links_back ? "yes" : "no",
                  util::FormatDouble(predicted, 2),
                  util::FormatDouble(scaled[farm.target], 2),
-                 util::FormatDouble(est.value().relative_mass[farm.target],
-                                    3)});
+                 util::FormatDouble(est.relative_mass[farm.target], 3)});
 }
 
 }  // namespace
@@ -113,10 +124,18 @@ int main() {
       targets.push_back(infos.back().target);
     }
     synth::LinkAllianceTargets(&builder, targets);
-    graph::WebGraph web = builder.Build();
-    auto pr = pagerank::ComputeUniformPageRank(web, Solver());
-    if (!pr.ok()) return 1;
-    auto scaled = pagerank::ScaledScores(pr.value().scores, kDamping);
+    pipeline::GraphSource source = pipeline::GraphSource::FromGraph(
+        builder.Build(), "farm alliance");
+    auto loaded = source.Load();
+    if (!loaded.ok()) return 1;
+    pipeline::PipelineConfig config;
+    config.solver = Solver();
+    pipeline::PipelineContext context(loaded.value(), config);
+    pipeline::ArtifactNeeds needs;
+    needs.base_pagerank = true;
+    if (!context.Prepare(needs).ok()) return 1;
+    auto scaled =
+        pagerank::ScaledScores(context.BasePageRank().scores, kDamping);
     double t0 = scaled[infos[0].target];
     if (farms == 1) isolated = t0;
     alliance_table.AddRow({std::to_string(farms),

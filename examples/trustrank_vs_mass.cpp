@@ -1,123 +1,71 @@
 // TrustRank vs. spam mass (Section 5): TrustRank *demotes* spam by ranking
 // trusted pages first but never labels anything; spam mass *detects* spam
-// explicitly. This example runs both on the same synthetic web, plus the
-// two naive schemes of Section 3.1, and compares their verdicts against
-// ground truth on the high-PageRank population.
+// explicitly. This example runs both — plus the two naive schemes of
+// Section 3.1 — as registered detectors over one shared pipeline context,
+// so the base PageRank is solved once and every method sees identical
+// artifacts.
 //
 //   $ ./trustrank_vs_mass [scale] [seed]
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/detector.h"
-#include "core/naive_schemes.h"
-#include "core/trustrank.h"
-#include "eval/experiment.h"
+#include "pipeline/graph_source.h"
+#include "pipeline/pipeline.h"
 #include "util/table.h"
 
 using namespace spammass;
 
 namespace {
 
-struct Verdicts {
-  uint64_t true_positive = 0;
-  uint64_t false_positive = 0;
-  uint64_t false_negative = 0;
-
-  double Precision() const {
-    uint64_t flagged = true_positive + false_positive;
-    return flagged ? static_cast<double>(true_positive) / flagged : 0;
+double Metric(const pipeline::DetectorOutput& output, const char* name) {
+  for (const auto& [key, value] : output.metrics) {
+    if (key == name) return value;
   }
-  double Recall() const {
-    uint64_t spam = true_positive + false_negative;
-    return spam ? static_cast<double>(true_positive) / spam : 0;
-  }
-};
-
-Verdicts Score(const std::vector<graph::NodeId>& population,
-               const std::vector<bool>& flagged,
-               const core::LabelStore& labels) {
-  Verdicts v;
-  for (graph::NodeId x : population) {
-    bool spam = labels.IsSpam(x);
-    if (flagged[x] && spam) ++v.true_positive;
-    if (flagged[x] && !spam) ++v.false_positive;
-    if (!flagged[x] && spam) ++v.false_negative;
-  }
-  return v;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  eval::PipelineOptions options;
-  options.scale = argc > 1 ? std::atof(argv[1]) : 0.1;
-  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
 
-  auto result = eval::RunPipeline(options);
-  if (!result.ok()) {
+  pipeline::GraphSource source = pipeline::GraphSource::Scenario(scale, seed);
+  pipeline::PipelineConfig config;  // τ = 0.98, ρ = 10, quartile demotion
+
+  // One call: load, prepare the union of the detectors' artifact needs
+  // (base PageRank + mass estimates + trust scores, fused into a single
+  // multi-RHS solver stream), run every detector, assemble the manifest.
+  auto run = pipeline::RunDetectors(
+      source, config,
+      {"spam_mass", "trustrank", "naive_scheme1", "naive_scheme2"});
+  if (!run.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
-                 result.status().ToString().c_str());
+                 run.status().ToString().c_str());
     return 1;
   }
-  const eval::PipelineResult& r = result.value();
-  const graph::WebGraph& web = r.web.graph;
-  const std::vector<graph::NodeId>& population = r.filtered;
-  std::printf("population: %zu hosts with scaled PageRank >= 10\n\n",
-              population.size());
-
-  // --- Spam mass detection (Algorithm 2). ---------------------------------
-  core::DetectorConfig config;
-  auto candidates = core::DetectSpamCandidates(r.estimates, config);
-  std::vector<bool> mass_flagged(web.num_nodes(), false);
-  for (const auto& c : candidates) mass_flagged[c.node] = true;
-
-  // --- TrustRank demotion. --------------------------------------------------
-  // Trust flows from the good core; hosts whose trust is small relative to
-  // their PageRank would be demoted. To force a *detection* out of
-  // TrustRank we flag the population's lowest-trust-to-PageRank quartile —
-  // the kind of retrofit the paper argues is not TrustRank's purpose.
-  auto trust = core::ComputeTrustRank(web, r.good_core, options.mass.solver);
-  if (!trust.ok()) {
-    std::fprintf(stderr, "trustrank failed: %s\n",
-                 trust.status().ToString().c_str());
-    return 1;
-  }
-  std::vector<double> trust_ratio(web.num_nodes(), 0);
-  for (graph::NodeId x : population) {
-    trust_ratio[x] = trust.value()[x] / r.estimates.pagerank[x];
-  }
-  std::vector<graph::NodeId> by_ratio = population;
-  std::sort(by_ratio.begin(), by_ratio.end(),
-            [&](graph::NodeId a, graph::NodeId b) {
-              return trust_ratio[a] < trust_ratio[b];
-            });
-  std::vector<bool> trust_flagged(web.num_nodes(), false);
-  for (size_t i = 0; i < by_ratio.size() / 4; ++i) {
-    trust_flagged[by_ratio[i]] = true;
-  }
-
-  // --- Naive schemes (Section 3.1), with oracle neighbor labels. -----------
-  auto first = core::FirstLabelingSchemeAll(web, r.web.labels);
-  auto second =
-      core::SecondLabelingSchemeAll(web, r.web.labels, options.mass.solver);
-  if (!second.ok()) return 1;
+  const pipeline::PipelineRun& r = run.value();
+  std::printf(
+      "%s: %u hosts; %llu base PageRank solve(s) shared by %zu detectors\n\n",
+      r.source.description.c_str(), r.source.graph().num_nodes(),
+      static_cast<unsigned long long>(r.base_pagerank_solves),
+      r.detectors.size());
 
   util::TextTable table;
-  table.SetHeader({"method", "precision", "recall", "notes"});
-  auto add = [&](const char* name, const Verdicts& v, const char* notes) {
-    table.AddRow({name, util::FormatDouble(v.Precision(), 3),
-                  util::FormatDouble(v.Recall(), 3), notes});
+  table.SetHeader({"detector", "flagged", "precision", "recall", "notes"});
+  const char* notes[] = {
+      "detection; no oracle labels needed",
+      "demotion retrofitted as detection",
+      "needs oracle labels of all in-neighbors",
+      "needs oracle labels of all in-neighbors",
   };
-  add("spam mass (tau=0.98)", Score(population, mass_flagged, r.web.labels),
-      "detection; no oracle labels needed");
-  add("trustrank lowest-quartile", Score(population, trust_flagged, r.web.labels),
-      "demotion retrofitted as detection");
-  add("naive scheme 1", Score(population, first, r.web.labels),
-      "needs oracle labels of all in-neighbors");
-  add("naive scheme 2", Score(population, second.value(), r.web.labels),
-      "needs oracle labels of all in-neighbors");
+  for (size_t i = 0; i < r.detectors.size(); ++i) {
+    const pipeline::DetectorOutput& d = r.detectors[i];
+    table.AddRow({d.detector, std::to_string(d.flagged_count),
+                  util::FormatDouble(Metric(d, "precision"), 3),
+                  util::FormatDouble(Metric(d, "recall"), 3), notes[i]});
+  }
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf(

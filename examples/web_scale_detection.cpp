@@ -13,6 +13,7 @@
 #include "core/detector.h"
 #include "eval/experiment.h"
 #include "graph/graph_stats.h"
+#include "pipeline/manifest.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -86,5 +87,13 @@ int main(int argc, char** argv) {
       "PageRank is donated by good hosts, so mass estimation cannot see\n"
       "them).\n",
       r.web.expired_domain_targets.size(), expired_max);
+
+  // Every pipeline run carries its manifest: config echo, stage timings,
+  // solver iteration counts. Drop it next to the run for provenance.
+  util::Status status = pipeline::WriteManifestFile(
+      r.manifest_json, "web_scale_manifest.json");
+  if (status.ok()) {
+    std::printf("\nrun manifest -> web_scale_manifest.json\n");
+  }
   return 0;
 }

@@ -34,6 +34,20 @@ void FillFromGoodContribution(const std::vector<double>& p,
 
 }  // namespace
 
+MassEstimates MassEstimatesFromScores(std::vector<double> pagerank,
+                                      std::vector<double> core_pagerank,
+                                      double damping) {
+  CHECK_EQ(pagerank.size(), core_pagerank.size());
+  MassEstimates est;
+  est.damping = damping;
+  est.pagerank = std::move(pagerank);
+  est.core_pagerank = std::move(core_pagerank);
+  FillFromGoodContribution(est.pagerank, est.core_pagerank, &est);
+  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
+      est.pagerank, est.core_pagerank, est.absolute_mass)));
+  return est;
+}
+
 Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
                                        const std::vector<NodeId>& good_core,
                                        const SpamMassOptions& options,
@@ -64,15 +78,10 @@ Result<MassEstimates> EstimateSpamMass(const WebGraph& graph,
                                                workspace);
   if (!solves.ok()) return solves.status();
 
-  MassEstimates est;
-  est.damping = options.solver.damping;
-  est.pagerank = std::move(solves.value()[0].scores);
-  est.core_pagerank = std::move(solves.value()[1].scores);
-  FillFromGoodContribution(est.pagerank, est.core_pagerank, &est);
-  // Section 4 consistency p = p′ + M̃, entrywise. O(n), debug only.
-  SPAMMASS_DEBUG_ONLY(CHECK_OK(pagerank::ValidateMassDecomposition(
-      est.pagerank, est.core_pagerank, est.absolute_mass)));
-  return est;
+  // Section 4 consistency p = p′ + M̃ is DCHECKed inside the derivation.
+  return MassEstimatesFromScores(std::move(solves.value()[0].scores),
+                                 std::move(solves.value()[1].scores),
+                                 options.solver.damping);
 }
 
 Result<MassEstimates> EstimateSpamMassFromSpamCore(

@@ -50,6 +50,15 @@ struct MassEstimates {
   double damping = 0.85;
 };
 
+/// Derives MassEstimates from already-solved score vectors: p = PR(v) and
+/// p′ = PR(w) computed elsewhere (e.g. by a fused multi-vector solve that
+/// also carried unrelated jump vectors). Applies Definition 3 exactly as
+/// EstimateSpamMass does — M̃ = p − p′, m̃ = 1 − p′/p — so the result is
+/// bit-identical to EstimateSpamMass when fed the same scores.
+MassEstimates MassEstimatesFromScores(std::vector<double> pagerank,
+                                      std::vector<double> core_pagerank,
+                                      double damping);
+
 /// Estimates spam mass from a good core Ṽ⁺ (Definition 3 + Section 3.5).
 /// Fails if the core is empty or references out-of-range nodes. The two
 /// required solves (p = PR(v) and p′ = PR(w)) run as ONE fused multi-vector

@@ -1,9 +1,14 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/detector.h"
+#include "pipeline/context.h"
+#include "pipeline/graph_source.h"
+#include "pipeline/manifest.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace spammass::eval {
 
@@ -12,57 +17,94 @@ using util::Rng;
 using util::Status;
 
 Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
+  util::WallTimer total_timer;
   PipelineResult result;
 
-  auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(options.scale,
-                                                         options.seed));
-  if (!web.ok()) return web.status();
-  result.web = std::move(web.value());
+  pipeline::GraphSource source =
+      pipeline::GraphSource::Scenario(options.scale, options.seed);
+  auto loaded = source.Load();
+  if (!loaded.ok()) return loaded.status();
 
-  result.good_core = result.web.AssembledGoodCore();
-  if (result.good_core.empty()) {
+  if (loaded.value().good_core.empty()) {
     return Status::FailedPrecondition("scenario produced an empty good core");
   }
 
-  // Independent RNG streams for judging vs. generation.
+  // Independent RNG streams for judging vs. generation. The γ-estimation
+  // draw and the evaluation-sample draw deliberately share one stream in
+  // this order (the judged γ sample happens "first" in the paper's
+  // procedure), so the stream position must be preserved verbatim.
   Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
 
-  core::SpamMassOptions mass_options = options.mass;
+  util::WallTimer stage_timer;
+  double gamma = options.mass.gamma;
   if (options.estimate_gamma_from_sample) {
-    mass_options.gamma = EstimateGoodFraction(
-        result.web.labels, options.gamma_sample_size, &rng);
+    gamma = EstimateGoodFraction(loaded.value().web.labels,
+                                 options.gamma_sample_size, &rng);
     // Clamp away from 0/1 — a degenerate judged sample must not produce an
     // invalid jump scaling.
-    mass_options.gamma = std::min(std::max(mass_options.gamma, 0.05), 1.0);
+    gamma = std::min(std::max(gamma, 0.05), 1.0);
   }
-  result.gamma_used = mass_options.gamma;
+  result.gamma_used = gamma;
+  const double gamma_seconds = stage_timer.Seconds();
 
-  auto estimates =
-      core::EstimateSpamMass(result.web.graph, result.good_core, mass_options);
-  if (!estimates.ok()) return estimates.status();
-  result.estimates = std::move(estimates.value());
+  // Mass estimation through the shared pipeline context: the p and p′
+  // solves run as one fused multi-RHS stream, exactly as
+  // core::EstimateSpamMass issues them, so the estimates are bit-identical
+  // to the pre-pipeline implementation.
+  pipeline::PipelineConfig config;
+  config.solver = options.mass.solver;
+  config.gamma = gamma;
+  config.scale_core_jump = options.mass.scale_core_jump;
+  config.detection.scaled_pagerank_threshold = options.scaled_rho;
 
+  pipeline::PipelineContext context(loaded.value(), config);
+  pipeline::ArtifactNeeds needs;
+  needs.mass_estimates = true;
+  Status status = context.Prepare(needs);
+  if (!status.ok()) return status;
+  result.estimates = context.TakeMassEstimates();
+
+  stage_timer.Restart();
   result.filtered =
       core::PageRankFilteredNodes(result.estimates, options.scaled_rho);
   result.sample = DrawEvaluationSample(
-      result.web, result.estimates, result.filtered, options.sample_size,
-      options.unknown_fraction, options.nonexistent_fraction, &rng);
+      loaded.value().web, result.estimates, result.filtered,
+      options.sample_size, options.unknown_fraction,
+      options.nonexistent_fraction, &rng);
+  const double sample_seconds = stage_timer.Seconds();
+
+  pipeline::ManifestInputs manifest;
+  manifest.source = &loaded.value();
+  manifest.config = &config;
+  manifest.stages.push_back({"load", loaded.value().load_seconds});
+  manifest.stages.push_back({"gamma_estimation", gamma_seconds});
+  for (const pipeline::StageTiming& stage : context.stage_timings()) {
+    manifest.stages.push_back(stage);
+  }
+  manifest.stages.push_back({"filter_and_sample", sample_seconds});
+  manifest.base_pagerank_solves = context.base_pagerank_solves();
+  manifest.total_solves = context.total_solves();
+  manifest.solve_iterations = context.solve_iterations();
+  manifest.total_seconds = total_timer.Seconds();
+  result.manifest_json = pipeline::BuildManifestJson(manifest);
+
+  result.good_core = std::move(loaded.value().good_core);
+  result.web = std::move(loaded.value().web);
   return result;
 }
 
-Result<EvaluationSample> ReestimateWithCore(
+Result<ReestimateResult> ReestimateWithCore(
     const PipelineResult& base, const std::vector<graph::NodeId>& core,
-    const PipelineOptions& options, core::MassEstimates* estimates_out) {
+    const PipelineOptions& options) {
   core::SpamMassOptions mass_options = options.mass;
   mass_options.gamma = base.gamma_used;
   auto estimates =
       core::EstimateSpamMass(base.web.graph, core, mass_options);
   if (!estimates.ok()) return estimates.status();
-  EvaluationSample sample = WithEstimates(base.sample, estimates.value());
-  if (estimates_out != nullptr) {
-    *estimates_out = std::move(estimates.value());
-  }
-  return sample;
+  ReestimateResult result;
+  result.sample = WithEstimates(base.sample, estimates.value());
+  result.estimates = std::move(estimates.value());
+  return result;
 }
 
 }  // namespace spammass::eval

@@ -2,15 +2,19 @@
 // the synthetic web, assemble the good core, estimate γ from a judged
 // uniform sample, compute mass estimates, apply the PageRank filter, draw
 // and judge the evaluation sample — the exact experimental procedure of
-// Sections 4.1-4.4.
+// Sections 4.1-4.4. Since PR 4 this is a thin wrapper over src/pipeline/
+// (GraphSource + PipelineContext); the simulated-judging and sampling
+// stages are the only logic that lives here.
 
 #ifndef SPAMMASS_EVAL_EXPERIMENT_H_
 #define SPAMMASS_EVAL_EXPERIMENT_H_
 
+#include <string>
 #include <vector>
 
 #include "core/spam_mass.h"
 #include "eval/sampling.h"
+#include "pagerank/solver.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
 #include "util/status.h"
@@ -37,12 +41,7 @@ struct PipelineOptions {
   bool estimate_gamma_from_sample = true;
   uint64_t gamma_sample_size = 2000;
 
-  PipelineOptions() {
-    // Benches favor Gauss-Seidel: same solution, fewer sweeps.
-    mass.solver.method = pagerank::Method::kGaussSeidel;
-    mass.solver.tolerance = 1e-10;
-    mass.solver.max_iterations = 400;
-  }
+  PipelineOptions() { mass.solver = pagerank::SolverOptions::BenchPreset(); }
 };
 
 /// Everything downstream experiments need.
@@ -55,17 +54,28 @@ struct PipelineResult {
   std::vector<graph::NodeId> filtered;
   /// Judged uniform sample T′ of T.
   EvaluationSample sample;
+  /// The run manifest JSON (pipeline/manifest.h schema) recording config,
+  /// stage wall times and solver iteration counts for this run.
+  std::string manifest_json;
 };
 
 /// Runs the full pipeline. Deterministic in options.seed.
 util::Result<PipelineResult> RunPipeline(const PipelineOptions& options);
 
+/// Output of ReestimateWithCore.
+struct ReestimateResult {
+  /// The base run's sample hosts with mass estimates re-derived under the
+  /// replacement core.
+  EvaluationSample sample;
+  /// The full replacement-core estimates the sample was derived from.
+  core::MassEstimates estimates;
+};
+
 /// Re-estimates mass under a replacement good core (same web, same sample
-/// hosts) and returns the sample with updated mass estimates — the Figure 5
-/// core-size/coverage methodology.
-util::Result<EvaluationSample> ReestimateWithCore(
+/// hosts) — the Figure 5 core-size/coverage methodology.
+util::Result<ReestimateResult> ReestimateWithCore(
     const PipelineResult& base, const std::vector<graph::NodeId>& core,
-    const PipelineOptions& options, core::MassEstimates* estimates_out);
+    const PipelineOptions& options);
 
 }  // namespace spammass::eval
 

@@ -23,6 +23,37 @@ double L1Norm(const std::vector<double>& v) {
   return sum;
 }
 
+SolverOptions SolverOptions::BenchPreset() {
+  SolverOptions options;
+  options.method = Method::kGaussSeidel;
+  options.tolerance = 1e-10;
+  options.max_iterations = 400;
+  return options;
+}
+
+const char* MethodToString(Method method) {
+  switch (method) {
+    case Method::kJacobi:
+      return "jacobi";
+    case Method::kGaussSeidel:
+      return "gauss-seidel";
+    case Method::kSor:
+      return "sor";
+    case Method::kPowerIteration:
+      return "power-iteration";
+  }
+  return "unknown";
+}
+
+Result<Method> MethodFromString(std::string_view name) {
+  if (name == "jacobi") return Method::kJacobi;
+  if (name == "gauss-seidel") return Method::kGaussSeidel;
+  if (name == "sor") return Method::kSor;
+  if (name == "power-iteration") return Method::kPowerIteration;
+  return Status::InvalidArgument("unknown solver method: " +
+                                 std::string(name));
+}
+
 std::vector<double> ScaledScores(const std::vector<double>& scores,
                                  double damping) {
   CHECK_GT(damping, 0.0);

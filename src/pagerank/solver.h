@@ -18,6 +18,7 @@
 #ifndef SPAMMASS_PAGERANK_SOLVER_H_
 #define SPAMMASS_PAGERANK_SOLVER_H_
 
+#include <string_view>
 #include <vector>
 
 #include "graph/web_graph.h"
@@ -64,7 +65,19 @@ struct SolverOptions {
   /// When true, PageRankResult::residual_history records the L1 residual of
   /// every iteration (for convergence studies).
   bool track_residuals = false;
+
+  /// The solver configuration shared by the eval pipeline, the CLI
+  /// defaults, and the paper-reproduction benches: Gauss-Seidel at 1e-10 /
+  /// 400 iterations. Named so the three call sites cannot silently diverge.
+  static SolverOptions BenchPreset();
 };
+
+/// Human-readable method name ("jacobi", "gauss-seidel", "sor",
+/// "power-iteration") for manifests and CLI help.
+const char* MethodToString(Method method);
+
+/// Inverse of MethodToString. Fails with InvalidArgument on unknown names.
+util::Result<Method> MethodFromString(std::string_view name);
 
 /// Solution plus convergence diagnostics.
 struct PageRankResult {

@@ -1,0 +1,187 @@
+#include "pipeline/context.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "pagerank/jump_vector.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace spammass::pipeline {
+
+using graph::NodeId;
+using pagerank::JumpVector;
+using util::Status;
+
+PipelineContext::PipelineContext(const LoadedGraph& source,
+                                 const PipelineConfig& config)
+    : source_(&source), config_(&config) {}
+
+const pagerank::PageRankResult& PipelineContext::BasePageRank() const {
+  CHECK(has_base_pagerank_) << "base PageRank not prepared";
+  return base_pagerank_;
+}
+
+const core::MassEstimates& PipelineContext::MassEstimates() const {
+  CHECK(has_mass_estimates_) << "mass estimates not prepared";
+  return mass_estimates_;
+}
+
+const core::TrustRankResult& PipelineContext::TrustRank() const {
+  CHECK(has_trustrank_) << "TrustRank not prepared";
+  return trustrank_;
+}
+
+const graph::GraphStats& PipelineContext::GraphStats() const {
+  CHECK(has_graph_stats_) << "graph stats not prepared";
+  return graph_stats_;
+}
+
+core::MassEstimates PipelineContext::TakeMassEstimates() {
+  CHECK(has_mass_estimates_) << "mass estimates not prepared";
+  has_mass_estimates_ = false;
+  return std::move(mass_estimates_);
+}
+
+Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
+  ArtifactNeeds needs = requested;
+  // Mass needs p for the relative-mass denominator; the TrustRank detector
+  // needs p for the trust/PageRank demotion ratio.
+  if (needs.mass_estimates || needs.trustrank) needs.base_pagerank = true;
+
+  const graph::WebGraph& web = graph();
+  const PipelineConfig& cfg = *config_;
+
+  if (needs.graph_stats && !has_graph_stats_) {
+    util::WallTimer timer;
+    graph_stats_ = graph::ComputeGraphStats(web);
+    has_graph_stats_ = true;
+    stage_timings_.push_back({"graph_stats", timer.Seconds()});
+  }
+
+  const bool solve_mass = needs.mass_estimates && !has_mass_estimates_;
+  const bool solve_trust = needs.trustrank && !has_trustrank_;
+  const bool solve_base = needs.base_pagerank && !has_base_pagerank_;
+
+  // Input validation up front, mirroring core::EstimateSpamMass exactly so
+  // callers migrating onto the pipeline see the same errors.
+  if (solve_mass) {
+    if (source_->good_core.empty()) {
+      return Status::InvalidArgument("good core must not be empty");
+    }
+    for (NodeId x : source_->good_core) {
+      if (x >= web.num_nodes()) {
+        return Status::InvalidArgument("good-core node id out of range");
+      }
+    }
+    if (!(cfg.gamma > 0.0) || cfg.gamma > 1.0) {
+      return Status::InvalidArgument("gamma must lie in (0, 1]");
+    }
+  }
+
+  // TrustRank seed selection runs first: its solve is over the TRANSPOSED
+  // graph and cannot join the forward stream. Semantics replicate
+  // core::SelectSeedsByInversePageRank + the oracle filter of RunTrustRank
+  // (inlined so the solve's iteration count reaches the manifest).
+  std::vector<NodeId> trust_seeds;
+  if (solve_trust) {
+    if (web.num_nodes() == 0) {
+      return Status::InvalidArgument("empty graph");
+    }
+    util::WallTimer timer;
+    graph::WebGraph reversed = web.Transposed();
+    auto inverse =
+        pagerank::ComputeUniformPageRank(reversed, cfg.solver, &workspace_);
+    if (!inverse.ok()) return inverse.status();
+    const std::vector<double>& scores = inverse.value().scores;
+    std::vector<NodeId> order(web.num_nodes());
+    std::iota(order.begin(), order.end(), 0u);
+    uint32_t take =
+        std::min<uint32_t>(cfg.trustrank.seed_candidates, web.num_nodes());
+    std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                      [&scores](NodeId a, NodeId b) {
+                        if (scores[a] != scores[b]) {
+                          return scores[a] > scores[b];
+                        }
+                        return a < b;
+                      });
+    order.resize(take);
+    // The oracle filter needs ground truth; without labels every candidate
+    // is kept (the TrustRank paper's human inspection has no stand-in).
+    const bool filter =
+        cfg.trustrank.filter_seeds_by_oracle && source_->has_labels;
+    for (NodeId s : order) {
+      if (!filter || source_->web.labels.IsGood(s)) trust_seeds.push_back(s);
+    }
+    if (trust_seeds.empty()) {
+      return Status::FailedPrecondition(
+          "oracle rejected every seed candidate; enlarge seed_candidates");
+    }
+    solve_iterations_.emplace_back("trustrank_seed_selection",
+                                   inverse.value().iterations);
+    stage_timings_.push_back({"trustrank_seed_selection", timer.Seconds()});
+  }
+
+  // Every forward solve the requested artifacts need, as ONE multi-RHS
+  // stream: the lanes advance through a single CSR traversal per sweep
+  // under Jacobi, and each lane is bit-identical to a standalone solve
+  // (pagerank/solver.h) — which is what makes this cache transparent.
+  std::vector<JumpVector> jumps;
+  int base_lane = -1, core_lane = -1, trust_lane = -1;
+  if (solve_base) {
+    base_lane = static_cast<int>(jumps.size());
+    jumps.push_back(JumpVector::Uniform(web.num_nodes()));
+  }
+  if (solve_mass) {
+    core_lane = static_cast<int>(jumps.size());
+    jumps.push_back(cfg.scale_core_jump
+                        ? JumpVector::ScaledCore(web.num_nodes(),
+                                                 source_->good_core, cfg.gamma)
+                        : JumpVector::Core(web.num_nodes(),
+                                           source_->good_core));
+  }
+  if (solve_trust) {
+    trust_lane = static_cast<int>(jumps.size());
+    // Uniform jump over the seeds with total mass 1 (ComputeTrustRank).
+    jumps.push_back(
+        JumpVector::ScaledCore(web.num_nodes(), trust_seeds, 1.0));
+  }
+  if (!jumps.empty()) {
+    util::WallTimer timer;
+    auto solves =
+        pagerank::ComputePageRankMulti(web, jumps, cfg.solver, &workspace_);
+    if (!solves.ok()) return solves.status();
+    stage_timings_.push_back({"forward_solves", timer.Seconds()});
+    if (base_lane >= 0) {
+      base_pagerank_ =
+          std::move(solves.value()[static_cast<size_t>(base_lane)]);
+      has_base_pagerank_ = true;
+      ++base_pagerank_solves_;
+      solve_iterations_.emplace_back("base_pagerank",
+                                     base_pagerank_.iterations);
+    }
+    if (core_lane >= 0) {
+      pagerank::PageRankResult& core_pr =
+          solves.value()[static_cast<size_t>(core_lane)];
+      solve_iterations_.emplace_back("core_pagerank", core_pr.iterations);
+      // Definition 3 from the two solved score vectors; identical
+      // arithmetic (and debug validation) to core::EstimateSpamMass.
+      mass_estimates_ = core::MassEstimatesFromScores(
+          base_pagerank_.scores, std::move(core_pr.scores),
+          cfg.solver.damping);
+      has_mass_estimates_ = true;
+    }
+    if (trust_lane >= 0) {
+      pagerank::PageRankResult& trust_pr =
+          solves.value()[static_cast<size_t>(trust_lane)];
+      solve_iterations_.emplace_back("trustrank", trust_pr.iterations);
+      trustrank_.seeds = std::move(trust_seeds);
+      trustrank_.trust = std::move(trust_pr.scores);
+      has_trustrank_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spammass::pipeline

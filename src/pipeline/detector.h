@@ -1,0 +1,94 @@
+// Detector interface + registry. Every detection method in the repo —
+// spam mass (Algorithm 2), TrustRank demotion, the two naive labeling
+// schemes of Section 3.1, the degree-outlier baseline — adapts to one
+// shape: declare the artifacts it needs, then Run over a prepared
+// PipelineContext and return a DetectorOutput. Detectors are registered
+// by name, so the CLI, benches and examples select them with a string
+// list instead of hand-rolling per-method orchestration.
+//
+// Built-in names: "spam_mass", "trustrank", "naive_scheme1",
+// "naive_scheme2", "degree_outlier".
+
+#ifndef SPAMMASS_PIPELINE_DETECTOR_H_
+#define SPAMMASS_PIPELINE_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/detector.h"
+#include "pipeline/context.h"
+#include "util/status.h"
+
+namespace spammass::pipeline {
+
+/// What a detector produced, in the shape the manifest records.
+struct DetectorOutput {
+  /// Registry name of the detector that produced this.
+  std::string detector;
+  /// Per-node verdict; flagged[x] == true means x was labeled spam.
+  std::vector<bool> flagged;
+  uint64_t flagged_count = 0;
+  /// Ranked candidate detail where the method produces it (spam mass:
+  /// Algorithm 2 candidates sorted by relative mass). Empty otherwise.
+  std::vector<core::SpamCandidate> candidates;
+  /// Summary numbers for the manifest ("precision", "recall", method
+  /// specifics like "seeds" or "degree_spikes"). Insertion-ordered.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Wall time of Run(), filled by the pipeline driver.
+  double seconds = 0;
+};
+
+/// One detection method. Implementations are stateless between runs: all
+/// configuration comes from the context's PipelineConfig, all data from
+/// the context's artifacts.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Registry name.
+  virtual std::string_view name() const = 0;
+
+  /// Artifacts Run() will read. The driver unions the needs of every
+  /// selected detector and prepares them in one fused pass.
+  virtual ArtifactNeeds Needs(const PipelineContext& context) const = 0;
+
+  /// Runs detection. The context is const: detectors share prepared
+  /// artifacts and must not mutate them.
+  virtual util::Result<DetectorOutput> Run(
+      const PipelineContext& context) const = 0;
+};
+
+using DetectorFactory = std::function<std::unique_ptr<Detector>()>;
+
+/// Name → factory registry. The global instance self-registers the
+/// built-in detectors on first use (no static-initialization order games);
+/// external code may Register additional detectors before running.
+class DetectorRegistry {
+ public:
+  /// The process-wide registry, built-ins included.
+  static DetectorRegistry& Global();
+
+  /// Registers a factory. CHECK-fails on a duplicate name — detector
+  /// names are an API surface, not a runtime input.
+  void Register(std::string name, DetectorFactory factory);
+
+  /// Instantiates a registered detector; unknown names fail with
+  /// InvalidArgument listing what is available.
+  util::Result<std::unique_ptr<Detector>> Create(
+      const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, DetectorFactory> factories_;
+};
+
+}  // namespace spammass::pipeline
+
+#endif  // SPAMMASS_PIPELINE_DETECTOR_H_

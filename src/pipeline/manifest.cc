@@ -1,0 +1,120 @@
+#include "pipeline/manifest.h"
+
+#include <cstdio>
+
+#include "pagerank/solver.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace spammass::pipeline {
+
+using util::JsonWriter;
+using util::Status;
+
+std::string BuildManifestJson(const ManifestInputs& inputs) {
+  CHECK(inputs.source != nullptr);
+  CHECK(inputs.config != nullptr);
+  const LoadedGraph& source = *inputs.source;
+  const PipelineConfig& config = *inputs.config;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema_version", 1);
+  json.KV("tool", "spammass_pipeline");
+
+  json.Key("graph").BeginObject();
+  json.KV("source", source.description);
+  json.KV("format", GraphFormatToString(source.format));
+  json.KV("nodes", static_cast<uint64_t>(source.web.graph.num_nodes()));
+  json.KV("edges", source.web.graph.num_edges());
+  json.KV("has_labels", source.has_labels);
+  json.KV("good_core_size", static_cast<uint64_t>(source.good_core.size()));
+  json.KV("load_seconds", source.load_seconds);
+  json.EndObject();
+
+  json.Key("config").BeginObject();
+  json.Key("solver").BeginObject();
+  json.KV("method", pagerank::MethodToString(config.solver.method));
+  json.KV("damping", config.solver.damping);
+  json.KV("tolerance", config.solver.tolerance);
+  json.KV("max_iterations", config.solver.max_iterations);
+  json.KV("num_threads", config.solver.num_threads);
+  json.EndObject();
+  json.KV("gamma", config.gamma);
+  json.KV("scale_core_jump", config.scale_core_jump);
+  json.Key("detection").BeginObject();
+  json.KV("relative_mass_threshold",
+          config.detection.relative_mass_threshold);
+  json.KV("scaled_pagerank_threshold",
+          config.detection.scaled_pagerank_threshold);
+  json.EndObject();
+  json.Key("trustrank").BeginObject();
+  json.KV("seed_candidates", config.trustrank.seed_candidates);
+  json.KV("filter_seeds_by_oracle", config.trustrank.filter_seeds_by_oracle);
+  json.KV("demote_fraction", config.trustrank.demote_fraction);
+  json.EndObject();
+  json.Key("degree_outlier").BeginObject();
+  json.KV("overpopulation_factor",
+          config.degree_outlier.overpopulation_factor);
+  json.KV("min_degree", config.degree_outlier.min_degree);
+  json.KV("min_bucket_size", config.degree_outlier.min_bucket_size);
+  json.KV("use_indegree", config.degree_outlier.use_indegree);
+  json.KV("use_outdegree", config.degree_outlier.use_outdegree);
+  json.EndObject();
+  json.EndObject();
+
+  json.Key("stages").BeginArray();
+  for (const StageTiming& stage : inputs.stages) {
+    json.BeginObject();
+    json.KV("name", stage.name);
+    json.KV("seconds", stage.seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("solver_runs").BeginObject();
+  json.KV("base_pagerank_solves", inputs.base_pagerank_solves);
+  json.KV("total_solves", inputs.total_solves);
+  json.Key("iterations").BeginObject();
+  for (const auto& [name, iterations] : inputs.solve_iterations) {
+    json.KV(name, iterations);
+  }
+  json.EndObject();
+  json.EndObject();
+
+  json.Key("detectors").BeginArray();
+  if (inputs.detectors != nullptr) {
+    for (const DetectorOutput& output : *inputs.detectors) {
+      json.BeginObject();
+      json.KV("name", output.detector);
+      json.KV("flagged", output.flagged_count);
+      json.KV("seconds", output.seconds);
+      json.Key("metrics").BeginObject();
+      for (const auto& [metric, value] : output.metrics) {
+        json.KV(metric, value);
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+
+  json.KV("total_seconds", inputs.total_seconds);
+  json.EndObject();
+  return json.TakeString();
+}
+
+Status WriteManifestFile(const std::string& json, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open manifest output: " + path);
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::IoError("failed writing manifest: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace spammass::pipeline

@@ -1,0 +1,49 @@
+// RunManifest — the structured JSON record every pipeline run writes:
+// where the graph came from, the exact configuration used, per-stage wall
+// times, solver iteration counts, and a summary per detector. The schema
+// is documented in docs/architecture.md; bench tooling and the CLI
+// integration tests parse it.
+
+#ifndef SPAMMASS_PIPELINE_MANIFEST_H_
+#define SPAMMASS_PIPELINE_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/context.h"
+#include "pipeline/detector.h"
+#include "pipeline/graph_source.h"
+#include "util/status.h"
+
+namespace spammass::pipeline {
+
+/// Everything one manifest records. Aggregated by the pipeline driver
+/// (and by eval::RunPipeline for its wrapper runs); pointers reference the
+/// caller's objects and are only read during BuildManifestJson.
+struct ManifestInputs {
+  const LoadedGraph* source = nullptr;    // required
+  const PipelineConfig* config = nullptr; // required
+  /// Stage wall times, in execution order (load + context stages + any
+  /// caller-specific stages like sampling).
+  std::vector<StageTiming> stages;
+  uint64_t base_pagerank_solves = 0;
+  uint64_t total_solves = 0;
+  std::vector<std::pair<std::string, int>> solve_iterations;
+  /// Per-detector summaries; empty for runs that compute artifacts only.
+  const std::vector<DetectorOutput>* detectors = nullptr;
+  double total_seconds = 0;
+};
+
+/// Serializes one run manifest (schema_version 1). The returned string is
+/// a complete JSON object.
+std::string BuildManifestJson(const ManifestInputs& inputs);
+
+/// Writes a manifest (or any JSON string) to a file, with a trailing
+/// newline.
+util::Status WriteManifestFile(const std::string& json,
+                               const std::string& path);
+
+}  // namespace spammass::pipeline
+
+#endif  // SPAMMASS_PIPELINE_MANIFEST_H_

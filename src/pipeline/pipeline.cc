@@ -1,0 +1,76 @@
+#include "pipeline/pipeline.h"
+
+#include <memory>
+
+#include "util/timer.h"
+
+namespace spammass::pipeline {
+
+using util::Result;
+
+Result<PipelineRun> RunDetectors(
+    LoadedGraph loaded, const PipelineConfig& config,
+    const std::vector<std::string>& detector_names) {
+  util::WallTimer total_timer;
+
+  // Resolve every name before any solve: an unknown detector fails the
+  // run without wasting a PageRank.
+  std::vector<std::unique_ptr<Detector>> detectors;
+  detectors.reserve(detector_names.size());
+  for (const std::string& name : detector_names) {
+    auto detector = DetectorRegistry::Global().Create(name);
+    if (!detector.ok()) return detector.status();
+    detectors.push_back(std::move(detector.value()));
+  }
+
+  PipelineContext context(loaded, config);
+  ArtifactNeeds needs;
+  for (const auto& detector : detectors) {
+    needs = needs.Union(detector->Needs(context));
+  }
+  util::Status status = context.Prepare(needs);
+  if (!status.ok()) return status;
+
+  PipelineRun run;
+  for (const auto& detector : detectors) {
+    util::WallTimer timer;
+    auto output = detector->Run(context);
+    if (!output.ok()) return output.status();
+    output.value().seconds = timer.Seconds();
+    run.detectors.push_back(std::move(output.value()));
+  }
+
+  run.stages.push_back({"load", loaded.load_seconds});
+  for (const StageTiming& stage : context.stage_timings()) {
+    run.stages.push_back(stage);
+  }
+  run.base_pagerank_solves = context.base_pagerank_solves();
+  run.total_solves = context.total_solves();
+  run.solve_iterations = context.solve_iterations();
+  run.total_seconds = total_timer.Seconds();
+
+  ManifestInputs manifest;
+  manifest.source = &loaded;
+  manifest.config = &config;
+  manifest.stages = run.stages;
+  manifest.base_pagerank_solves = run.base_pagerank_solves;
+  manifest.total_solves = run.total_solves;
+  manifest.solve_iterations = run.solve_iterations;
+  manifest.detectors = &run.detectors;
+  manifest.total_seconds = run.total_seconds;
+  run.manifest_json = BuildManifestJson(manifest);
+
+  run.source = std::move(loaded);
+  return run;
+}
+
+Result<PipelineRun> RunDetectors(
+    GraphSource& source, const PipelineConfig& config,
+    const std::vector<std::string>& detector_names,
+    util::ThreadPool* load_pool) {
+  auto loaded = source.Load(load_pool);
+  if (!loaded.ok()) return loaded.status();
+  return RunDetectors(std::move(loaded.value()), config, detector_names);
+}
+
+}  // namespace spammass::pipeline

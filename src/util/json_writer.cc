@@ -1,0 +1,162 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace spammass::util {
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::Prepare() {
+  if (stack_.empty()) {
+    CHECK(out_.empty()) << "JSON document already complete";
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    CHECK(key_pending_) << "object member needs Key() before its value";
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prepare();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  CHECK(!key_pending_) << "dangling Key() at EndObject";
+  out_.push_back('}');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prepare();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  out_.push_back(']');
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "Key() outside an object";
+  CHECK(!key_pending_) << "two Key() calls in a row";
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  AppendEscaped(name);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Prepare();
+  AppendEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) return Null();
+  Prepare();
+  char buf[32];
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still parses back exactly is not worth the code here.
+  int len = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_.append(buf, static_cast<size_t>(len));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Prepare();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  Prepare();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Prepare();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prepare();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  CHECK(!json.empty()) << "RawValue needs a non-empty JSON value";
+  Prepare();
+  out_.append(json);
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  CHECK(stack_.empty()) << "unclosed JSON container at TakeString";
+  CHECK(!out_.empty()) << "TakeString on an empty document";
+  return std::move(out_);
+}
+
+}  // namespace spammass::util

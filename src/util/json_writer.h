@@ -1,0 +1,93 @@
+// Minimal streaming JSON emitter for machine-readable reports (the
+// pipeline run manifests, bench summaries). Write-only by design: the
+// repo's consumers of JSON are external tools (CI artifact tracking,
+// notebooks), so no parser lives here. The writer tracks nesting and
+// comma placement so call sites read like the document they produce.
+
+#ifndef SPAMMASS_UTIL_JSON_WRITER_H_
+#define SPAMMASS_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spammass::util {
+
+/// Builds one JSON document into an in-memory string. Keys and values must
+/// alternate correctly inside objects; misuse (a value with no pending key
+/// inside an object, EndObject inside an array, ...) is CHECK-enforced —
+/// manifest emission is programmer-controlled, never data-driven.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next value/Begin* call becomes its value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Double(double value);  // non-finite values emit null
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices an already-serialized JSON value verbatim — e.g. a nested
+  /// document produced by another writer. The caller guarantees `json` is
+  /// itself well-formed; nesting/comma bookkeeping is still handled here.
+  JsonWriter& RawValue(std::string_view json);
+
+  // Convenience key/value pairs.
+  JsonWriter& KV(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& KV(std::string_view key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& KV(std::string_view key, uint32_t value) {
+    return Key(key).Uint(value);
+  }
+  JsonWriter& KV(std::string_view key, uint64_t value) {
+    return Key(key).Uint(value);
+  }
+  JsonWriter& KV(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  /// Finishes the document and returns it. The writer must be back at the
+  /// top level (every Begin closed).
+  std::string TakeString();
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  /// Emits the separating comma / pending key before a value or container.
+  void Prepare();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+};
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_JSON_WRITER_H_

@@ -65,24 +65,32 @@ TEST(ExperimentTest, RhoControlsFilterSize) {
 TEST(ExperimentTest, ReestimateRejectsBadCore) {
   auto r = RunPipeline(TinyOptions(9));
   ASSERT_TRUE(r.ok());
-  auto empty = ReestimateWithCore(r.value(), {}, TinyOptions(9), nullptr);
+  auto empty = ReestimateWithCore(r.value(), {}, TinyOptions(9));
   EXPECT_FALSE(empty.ok());
   auto out_of_range = ReestimateWithCore(
-      r.value(), {r.value().web.graph.num_nodes()}, TinyOptions(9), nullptr);
+      r.value(), {r.value().web.graph.num_nodes()}, TinyOptions(9));
   EXPECT_FALSE(out_of_range.ok());
 }
 
 TEST(ExperimentTest, ReestimateKeepsGamma) {
   auto r = RunPipeline(TinyOptions(13));
   ASSERT_TRUE(r.ok());
-  core::MassEstimates estimates;
-  auto sample = ReestimateWithCore(r.value(), r.value().good_core,
-                                   TinyOptions(13), &estimates);
-  ASSERT_TRUE(sample.ok());
+  auto reestimate = ReestimateWithCore(r.value(), r.value().good_core,
+                                       TinyOptions(13));
+  ASSERT_TRUE(reestimate.ok());
+  const eval::EvaluationSample& sample = reestimate.value().sample;
   // Same core + same gamma => identical estimates, identical sample mass.
-  for (size_t i = 0; i < sample.value().hosts.size(); ++i) {
-    EXPECT_NEAR(sample.value().hosts[i].relative_mass,
+  for (size_t i = 0; i < sample.hosts.size(); ++i) {
+    EXPECT_NEAR(sample.hosts[i].relative_mass,
                 r.value().sample.hosts[i].relative_mass, 1e-9);
+  }
+  // The returned estimates match what the base run computed.
+  ASSERT_EQ(reestimate.value().estimates.relative_mass.size(),
+            r.value().estimates.relative_mass.size());
+  for (size_t i = 0; i < reestimate.value().estimates.relative_mass.size();
+       ++i) {
+    EXPECT_NEAR(reestimate.value().estimates.relative_mass[i],
+                r.value().estimates.relative_mass[i], 1e-9);
   }
 }
 

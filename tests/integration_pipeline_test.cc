@@ -105,14 +105,14 @@ TEST_F(PipelineTest, ReestimateWithSmallerCoreRuns) {
   PipelineOptions options;
   options.scale = 0.05;
   options.seed = 21;
-  core::MassEstimates estimates;
-  auto sample = eval::ReestimateWithCore(r, small_core, options, &estimates);
-  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
-  EXPECT_EQ(sample.value().hosts.size(), r.sample.hosts.size());
+  auto reestimate = eval::ReestimateWithCore(r, small_core, options);
+  ASSERT_TRUE(reestimate.ok()) << reestimate.status().ToString();
+  const eval::EvaluationSample& sample = reestimate.value().sample;
+  EXPECT_EQ(sample.hosts.size(), r.sample.hosts.size());
   // Same hosts, different masses (core shrank 10x).
   bool any_difference = false;
-  for (size_t i = 0; i < sample.value().hosts.size(); ++i) {
-    if (std::abs(sample.value().hosts[i].relative_mass -
+  for (size_t i = 0; i < sample.hosts.size(); ++i) {
+    if (std::abs(sample.hosts[i].relative_mass -
                  r.sample.hosts[i].relative_mass) > 1e-6) {
       any_difference = true;
     }

@@ -1,0 +1,108 @@
+// JsonWriter: nesting, comma placement, escaping, numeric formatting, and
+// raw-value splicing.
+
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spammass::util {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+  JsonWriter a;
+  a.BeginArray().EndArray();
+  EXPECT_EQ(a.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject()
+      .KV("name", "spammass")
+      .KV("count", 3)
+      .KV("ratio", 0.5)
+      .KV("ok", true)
+      .Key("missing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"name\":\"spammass\",\"count\":3,\"ratio\":0.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainersPlaceCommasCorrectly) {
+  JsonWriter w;
+  w.BeginObject().Key("rows").BeginArray();
+  for (int i = 0; i < 3; ++i) {
+    w.BeginObject().KV("i", i).EndObject();
+  }
+  w.EndArray().EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"rows\":[{\"i\":0},{\"i\":1},{\"i\":2}]}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.BeginObject().KV("s", "a\"b\\c\nd\te").EndObject();
+  EXPECT_EQ(w.TakeString(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(std::nan(""))
+      .Double(INFINITY)
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsExactValue) {
+  JsonWriter w;
+  const double value = 0.1234567890123456789;
+  w.BeginArray().Double(value).EndArray();
+  std::string json = w.TakeString();
+  // %.17g guarantees the emitted literal parses back to the same double.
+  double parsed = std::stod(json.substr(1, json.size() - 2));
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(JsonWriterTest, RawValueSplicesNestedDocument) {
+  JsonWriter inner;
+  inner.BeginObject().KV("nested", 1).EndObject();
+  std::string inner_json = inner.TakeString();
+
+  JsonWriter outer;
+  outer.BeginObject().Key("runs").BeginArray();
+  outer.RawValue(inner_json);
+  outer.RawValue(inner_json);
+  outer.EndArray().EndObject();
+  EXPECT_EQ(outer.TakeString(),
+            "{\"runs\":[{\"nested\":1},{\"nested\":1}]}");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectChecks) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject().Int(1);
+      },
+      "Key");
+}
+
+TEST(JsonWriterDeathTest, TakeStringWithOpenContainerChecks) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        w.TakeString();
+      },
+      "unclosed");
+}
+
+}  // namespace
+}  // namespace spammass::util

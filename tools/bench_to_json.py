@@ -28,6 +28,14 @@ Suite `graph` (bench_graph_ops, 100k-node ingest fixtures):
   * binary_load_v2_speedup:
         BM_BinaryLoadV1 / BM_BinaryLoadV2
 
+Suite `pipeline` (bench_pipeline, shared synthetic web):
+
+  * pipeline_two_detector_cache_speedup:
+        BM_TwoDetectorsIndependentRuns / BM_TwoDetectorsSharedContext
+    (the artifact cache sharing one base PageRank solve between spam mass
+    and TrustRank, with every forward solve fused into one multi-RHS
+    stream, vs. each detector preparing its own context)
+
 Usage:
     tools/bench_to_json.py --bench-dir build/bench --out BENCH_solver.json \
         [--suite solver|graph] [--min-time 0.1]
@@ -79,6 +87,11 @@ GRAPH_RATIO_PAIRS = [
     ("binary_load_v2_speedup", "BM_BinaryLoadV1", "BM_BinaryLoadV2"),
 ]
 
+PIPELINE_RATIO_PAIRS = [
+    ("pipeline_two_detector_cache_speedup", "BM_TwoDetectorsIndependentRuns",
+     "BM_TwoDetectorsSharedContext"),
+]
+
 SUITES = {
     "solver": {
         "binaries": ["bench_solver_perf", "bench_multi_solve"],
@@ -87,6 +100,10 @@ SUITES = {
     "graph": {
         "binaries": ["bench_graph_ops"],
         "ratios": GRAPH_RATIO_PAIRS,
+    },
+    "pipeline": {
+        "binaries": ["bench_pipeline"],
+        "ratios": PIPELINE_RATIO_PAIRS,
     },
 }
 

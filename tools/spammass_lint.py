@@ -16,6 +16,17 @@ Rules (each printed as file:line: [rule] message):
   include-hygiene Project includes use quotes with the full path from src/
                   (never <> for project headers); a .cc/.cpp file includes
                   its own header first; no duplicate includes in one file.
+  pipeline-orchestration
+                  examples/ and tools/ must obtain graphs and solver
+                  artifacts through the pipeline layer (GraphSource,
+                  PipelineContext, RunDetectors) instead of calling
+                  pagerank::Compute*, core::EstimateSpamMass /
+                  ComputeTrustRank or graph::Read* directly — the pipeline
+                  is the single orchestration path, so every entry point
+                  gets format sniffing, the artifact cache and run
+                  manifests for free. bench/ is deliberately out of scope:
+                  perf benches measure the raw kernels against the fused
+                  path, which requires calling both directly.
 
 Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
 Run locally:  python3 tools/spammass_lint.py --root .
@@ -33,6 +44,16 @@ SOURCE_EXTS = (".h", ".cc", ".cpp")
 BANNED_CALL_RE = re.compile(r"(?<![\w:.])(?:std::|::)?(rand|srand|atoi)\s*\(")
 RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+([\w:]+)")
+# Direct solver/loader orchestration that examples/ and tools/ must route
+# through the pipeline layer instead.
+ORCHESTRATION_RE = re.compile(
+    r"\b(pagerank::(?:ComputeUniformPageRank|ComputePageRankMulti|"
+    r"ComputePageRank)|"
+    r"core::(?:EstimateSpamMass|ComputeTrustRank|RunTrustRank)|"
+    r"graph::(?:ReadEdgeListText|ReadBinary))\s*\(")
+# Directories the pipeline-orchestration rule applies to (bench/ is
+# excluded: perf benches compare raw kernels against the fused path).
+ORCHESTRATION_DIRS = ("examples/", "tools/")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -149,6 +170,17 @@ class Linter:
                     "std::random_device outside src/util/random is banned: "
                     "draw through the seeded util::Rng so runs stay "
                     "reproducible")
+            if relpath.startswith(ORCHESTRATION_DIRS) and not is_exempt(
+                    relpath, "pipeline-orchestration"):
+                m = ORCHESTRATION_RE.search(code)
+                if m:
+                    self.report(
+                        relpath, i, "pipeline-orchestration",
+                        f"{m.group(1)}() called directly; examples/ and "
+                        "tools/ load graphs via pipeline::GraphSource and "
+                        "compute artifacts via pipeline::PipelineContext / "
+                        "RunDetectors so they share the sniffing, cache and "
+                        "manifest path")
             m = USING_NAMESPACE_RE.match(code)
             if m:
                 ns = m.group(1)
