@@ -1,0 +1,147 @@
+// Overhead of the observability layer (src/obs) on the hot solver path.
+//
+// The PR 5 acceptance criterion is that telemetry in its default state —
+// metrics counters compiled in, thread-pool hooks installed, tracing
+// disabled — costs ≤2% on the parallel Jacobi sweep relative to the seed
+// configuration (no hooks installed at all). The paired benches here feed
+// tools/bench_to_json.py --suite obs, which derives the overhead ratios
+// into BENCH_obs.json:
+//
+//   BM_JacobiSweepNoHooks/<T>         seed baseline: hooks uninstalled
+//   BM_JacobiSweepObsDisabled/<T>     hooks installed, tracing off
+//   BM_JacobiSweepTracingEnabled/<T>  hooks installed, tracing on
+//
+// plus micro-op costs of the primitives themselves (counter increment,
+// histogram observe, disabled/enabled span).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/web_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pagerank/jump_vector.h"
+#include "pagerank/solver.h"
+#include "pagerank/workspace.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace spammass {
+namespace {
+
+using graph::NodeId;
+using graph::WebGraph;
+
+/// Random web sized so a parallel sweep issues enough pool tasks for the
+/// hook overhead to be visible if it exists, while one solve still stays
+/// in benchmark-friendly territory.
+const WebGraph& ObsGraph() {
+  static WebGraph* graph = [] {
+    constexpr uint32_t n = 100'000;
+    constexpr uint32_t m = 1'000'000;
+    util::Rng rng(97);
+    graph::GraphBuilder b(n);
+    for (uint32_t e = 0; e < m; ++e) {
+      auto u = static_cast<NodeId>(rng.UniformIndex(n * 3 / 4));
+      auto v = static_cast<NodeId>(rng.UniformIndex(n));
+      if (u != v) b.AddEdge(u, v);
+    }
+    return new WebGraph(b.Build());
+  }();
+  return *graph;
+}
+
+pagerank::SolverOptions ObsOptions(uint32_t threads) {
+  pagerank::SolverOptions opt;
+  opt.tolerance = 1e-8;
+  opt.max_iterations = 200;
+  opt.num_threads = threads;
+  return opt;
+}
+
+void RunJacobiSolve(benchmark::State& state) {
+  const WebGraph& g = ObsGraph();
+  const pagerank::JumpVector v =
+      pagerank::JumpVector::Uniform(g.num_nodes());
+  const auto opt = ObsOptions(static_cast<uint32_t>(state.range(0)));
+  pagerank::SolverWorkspace ws(opt.num_threads);
+  for (auto _ : state) {
+    auto r = pagerank::ComputePageRank(g, v, opt, &ws);
+    CHECK_OK(r.status());
+    benchmark::DoNotOptimize(r.value().scores);
+  }
+}
+
+// ---- Paired solve benches: the overhead-ratio numerators/denominators. --
+
+void BM_JacobiSweepNoHooks(benchmark::State& state) {
+  obs::StopTracing();
+  util::SetThreadPoolHooks(nullptr);  // seed configuration
+  RunJacobiSolve(state);
+}
+BENCHMARK(BM_JacobiSweepNoHooks)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_JacobiSweepObsDisabled(benchmark::State& state) {
+  obs::StopTracing();
+  obs::InstallThreadPoolTelemetry();  // default telemetry state
+  RunJacobiSolve(state);
+}
+BENCHMARK(BM_JacobiSweepObsDisabled)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_JacobiSweepTracingEnabled(benchmark::State& state) {
+  obs::StartTracing();
+  RunJacobiSolve(state);
+  obs::StopTracing();
+}
+BENCHMARK(BM_JacobiSweepTracingEnabled)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+// ---- Primitive micro-ops. ----------------------------------------------
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "bench.histogram", {1, 2, 5, 10, 20, 50, 100, 200, 400, 800});
+  int64_t value = 0;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    value = (value + 37) % 1000;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  obs::StopTracing();
+  for (auto _ : state) {
+    SPAMMASS_TRACE_SPAN("bench.span", "arg", 1);
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  obs::StartTracing();
+  for (auto _ : state) {
+    SPAMMASS_TRACE_SPAN("bench.span", "arg", 1);
+  }
+  obs::StopTracing();
+}
+BENCHMARK(BM_ScopedSpanEnabled);
+
+}  // namespace
+}  // namespace spammass
+
+BENCHMARK_MAIN();

@@ -84,7 +84,7 @@ Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
   manifest.stages.push_back({"filter_and_sample", sample_seconds});
   manifest.base_pagerank_solves = context.base_pagerank_solves();
   manifest.total_solves = context.total_solves();
-  manifest.solve_iterations = context.solve_iterations();
+  manifest.solve_stats = context.solve_stats();
   manifest.total_seconds = total_timer.Seconds();
   result.manifest_json = pipeline::BuildManifestJson(manifest);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/graph_validate.h"
+#include "obs/trace.h"
 #include "util/debug.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -54,6 +55,9 @@ void GraphBuilder::AddEdge(NodeId from, NodeId to) {
 }
 
 WebGraph GraphBuilder::Build(util::ThreadPool* pool) {
+  SPAMMASS_TRACE_SPAN("graph.build", "pending_edges",
+                      static_cast<uint64_t>(edges_.size()), "nodes",
+                      static_cast<uint64_t>(num_nodes_));
   WebGraph g;
   if (pool != nullptr && pool->num_threads() > 1 &&
       edges_.size() >= kParallelBuildMinEdges) {

@@ -9,6 +9,7 @@
 
 #include "graph/graph_builder.h"
 #include "graph/graph_validate.h"
+#include "obs/trace.h"
 #include "util/checksum.h"
 #include "util/string_util.h"
 
@@ -63,6 +64,7 @@ util::Status WriteEdgeListText(const WebGraph& graph,
 
 util::Result<WebGraph> ReadEdgeListText(const std::string& path,
                                         util::ThreadPool* pool) {
+  SPAMMASS_TRACE_SPAN("graph.read_text", "path", std::string_view(path));
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open: " + path);
   GraphBuilder builder;
@@ -369,6 +371,7 @@ util::Status WriteBinaryV1(const WebGraph& graph, const std::string& path) {
 
 util::Result<WebGraph> ReadBinary(const std::string& path,
                                   util::ThreadPool* pool) {
+  SPAMMASS_TRACE_SPAN("graph.read_binary", "path", std::string_view(path));
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open: " + path);
   f.seekg(0, std::ios::end);

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace spammass::obs {
+
+uint32_t ThisThreadShard() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  CHECK(!boundaries_.empty()) << "histogram needs at least one boundary";
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    CHECK_LT(boundaries_[i - 1], boundaries_[i])
+        << "histogram boundaries must be strictly increasing";
+  }
+  num_buckets_ = boundaries_.size() + 1;
+  // Pad each shard's bucket row to a multiple of a cache line (8 counters)
+  // so rows never share a line.
+  row_stride_ = (num_buckets_ + 7) / 8 * 8;
+  counts_ = std::vector<std::atomic<uint64_t>>(kMetricShards * row_stride_);
+}
+
+void Histogram::Observe(double value) {
+  // upper_bound puts value == b_i into bucket i+1, i.e. [b_i, b_{i+1});
+  // values below b_0 land in bucket 0.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  const auto bucket =
+      static_cast<size_t>(std::distance(boundaries_.begin(), it));
+  counts_[ThisThreadShard() * row_stride_ + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(num_buckets_, 0);
+  for (uint32_t s = 0; s < kMetricShards; ++s) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      merged[b] += counts_[s * row_stride_ + b].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  CHECK(kinds_.find(name) == kinds_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  kinds_.emplace(std::string(name), Kind::kCounter);
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  CHECK(kinds_.find(name) == kinds_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  kinds_.emplace(std::string(name), Kind::kGauge);
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> boundaries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    CHECK(it->second->boundaries() == boundaries)
+        << "histogram '" << std::string(name)
+        << "' re-requested with different boundaries";
+    return it->second.get();
+  }
+  CHECK(kinds_.find(name) == kinds_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  kinds_.emplace(std::string(name), Kind::kHistogram);
+  return histograms_
+      .emplace(std::string(name),
+               std::make_unique<Histogram>(std::move(boundaries)))
+      .first->second.get();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonWriter json;
+  json.BeginObject();
+
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.KV(name, counter->Value());
+  }
+  json.EndObject();
+
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.KV(name, gauge->Value());
+  }
+  json.EndObject();
+
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name).BeginObject();
+    json.Key("boundaries").BeginArray();
+    for (double b : histogram->boundaries()) json.Double(b);
+    json.EndArray();
+    json.Key("counts").BeginArray();
+    for (uint64_t c : histogram->BucketCounts()) json.Uint(c);
+    json.EndArray();
+    json.KV("total", histogram->TotalCount());
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace spammass::obs

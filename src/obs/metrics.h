@@ -1,0 +1,150 @@
+// Thread-safe metrics registry: monotonic counters, gauges, and
+// fixed-boundary histograms for the telemetry layer.
+//
+// Design constraints, in priority order:
+//   * The hot path (Counter::Add on a solver sweep, Histogram::Observe per
+//     solve) must be lock-free and contention-free: each metric owns a
+//     fixed array of cache-line-padded shards and a thread adds to the
+//     shard picked by its thread-local slot, so concurrent writers from
+//     different threads never touch the same cache line. Shards are merged
+//     only on snapshot.
+//   * Totals are exact. Counters and histogram buckets hold integers, so
+//     the merged snapshot is bit-identical for every thread count and
+//     every interleaving — the property tests/obs_metrics_test.cc pins.
+//     (Histograms therefore record counts only, no floating-point sum: a
+//     sharded double sum would round differently per schedule.)
+//   * Registration is cold-path: GetCounter/GetGauge/GetHistogram take a
+//     mutex and return a stable pointer that callers cache (metric objects
+//     live as long as the registry; the global registry lives forever).
+//
+// Snapshot serialization reuses util::JsonWriter; names are emitted in
+// sorted order so snapshots diff cleanly across runs.
+
+#ifndef SPAMMASS_OBS_METRICS_H_
+#define SPAMMASS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spammass::obs {
+
+/// Writers per metric. 16 padded slots keep unrelated threads off each
+/// other's cache lines while costing only 1 KiB per counter.
+inline constexpr uint32_t kMetricShards = 16;
+
+/// Shard index of the calling thread (stable for the thread's lifetime).
+uint32_t ThisThreadShard();
+
+/// Monotonic counter. Add() is wait-free: one relaxed fetch_add on the
+/// calling thread's shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged total across shards.
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-written value (e.g. nodes of the most recently loaded graph).
+/// Set/Value are single relaxed atomic accesses; concurrent setters race
+/// by design (last writer wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram: boundaries b_0 < b_1 < ... < b_{m-1} define
+/// m+1 buckets (-inf, b_0), [b_0, b_1), ..., [b_{m-1}, +inf). Observe() is
+/// wait-free after the binary search: one relaxed fetch_add on the calling
+/// thread's shard row. Counts only — exact, schedule-independent totals.
+class Histogram {
+ public:
+  /// `boundaries` must be strictly increasing and non-empty (CHECK).
+  explicit Histogram(std::vector<double> boundaries);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// Merged per-bucket counts (boundaries().size() + 1 entries).
+  std::vector<uint64_t> BucketCounts() const;
+  /// Merged observation count.
+  uint64_t TotalCount() const;
+
+ private:
+  std::vector<double> boundaries_;
+  /// counts_[shard * num_buckets + bucket]; rows are 64-byte aligned so
+  /// two threads observing concurrently stay on separate cache lines.
+  std::vector<std::atomic<uint64_t>> counts_;
+  size_t num_buckets_ = 0;
+  size_t row_stride_ = 0;
+};
+
+/// Name -> metric map. One global instance serves the library
+/// (MetricsRegistry::Global()); tests build private instances.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumented subsystem reports into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named metric, creating it on first use. Pointers are
+  /// stable for the registry's lifetime — cache them on hot paths.
+  /// Requesting an existing name as a different metric kind CHECK-fails,
+  /// as does re-requesting a histogram with different boundaries.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> boundaries);
+
+  /// One JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with names sorted; counter/bucket values are
+  /// exact merged integers, so the snapshot is identical for every thread
+  /// count that performed the same logical updates.
+  std::string SnapshotJson() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace spammass::obs
+
+#endif  // SPAMMASS_OBS_METRICS_H_

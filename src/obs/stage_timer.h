@@ -1,0 +1,65 @@
+// ScopedStageTimer: the one sanctioned way to time a pipeline stage.
+// Each instance measures wall time for an enclosing scope, appends a
+// StageRecord to the caller's sink on destruction, and opens a "stage"
+// trace span so the same interval appears in trace output. The repo lint
+// (`telemetry-timing` rule) bans raw util::WallTimer under src/pipeline/
+// and tools/ in favor of this helper, so stage timings and traces can
+// never drift apart.
+
+#ifndef SPAMMASS_OBS_STAGE_TIMER_H_
+#define SPAMMASS_OBS_STAGE_TIMER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace spammass::obs {
+
+/// Wall time of one named stage. pipeline::StageTiming aliases this so
+/// manifest code and telemetry share one record type.
+struct StageRecord {
+  std::string name;
+  double seconds = 0;
+};
+
+/// RAII stage timer. `name` must be a string literal (it is also the
+/// trace-span arg). `sink` may be nullptr to trace without recording.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(const char* name, std::vector<StageRecord>* sink)
+      : name_(name), sink_(sink), span_("stage", "stage", name) {}
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+  ~ScopedStageTimer() {
+    if (!stopped_) Stop();
+  }
+
+  /// Ends the measurement early (before scope exit) and records the
+  /// StageRecord; the trace span still closes at destruction.
+  void Stop() {
+    stopped_ = true;
+    if (sink_ != nullptr) sink_->push_back({name_, timer_.Seconds()});
+  }
+
+  /// Seconds elapsed so far.
+  double Seconds() const { return timer_.Seconds(); }
+
+  /// The underlying trace span, for attaching extra args.
+  ScopedSpan& span() { return span_; }
+
+ private:
+  const char* name_;
+  std::vector<StageRecord>* sink_;
+  util::WallTimer timer_;
+  ScopedSpan span_;
+  bool stopped_ = false;
+};
+
+}  // namespace spammass::obs
+
+#endif  // SPAMMASS_OBS_STAGE_TIMER_H_

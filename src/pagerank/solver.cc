@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pagerank/kernel.h"
 #include "pagerank/solver_validate.h"
 #include "util/debug.h"
@@ -64,7 +66,40 @@ std::vector<double> ScaledScores(const std::vector<double>& scores,
   return out;
 }
 
+SolveStats SolveStats::FromResult(const PageRankResult& result) {
+  SolveStats stats;
+  stats.iterations = result.iterations;
+  stats.residual = result.residual;
+  stats.converged = result.converged;
+  stats.residual_curve = result.residual_history;
+  return stats;
+}
+
 namespace {
+
+// Solver telemetry. Counters increment at the same granularity the
+// workspace's RecordSolve uses (once per batch/solve), so the metrics
+// snapshot's pagerank.solves always equals a manifest's total_solves.
+// Pointers are cached — registration takes a lock, incrementing does not.
+obs::Counter* SolvesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pagerank.solves");
+  return counter;
+}
+
+obs::Counter* SweepsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pagerank.sweeps");
+  return counter;
+}
+
+obs::Histogram* IterationsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "pagerank.solve_iterations",
+          {1, 2, 5, 10, 20, 50, 100, 200, 400, 800});
+  return histogram;
+}
 
 /// Sum of scores over dangling nodes. Scans the graph's precomputed
 /// dangling-node list (ascending, so the addition order matches the seed
@@ -106,6 +141,7 @@ std::vector<PageRankResult> SolveJacobiBatch(
     const SolverOptions& opt, SolverWorkspace* ws) {
   const auto k = static_cast<uint32_t>(jumps.size());
   const uint64_t n = graph.num_nodes();
+  SPAMMASS_TRACE_SPAN("pagerank.solve", "method", "jacobi", "lanes", k);
   util::ThreadPool* pool = ws->EnsurePool(opt.num_threads);
 
   std::vector<double>& cur = ws->iterate();
@@ -156,6 +192,7 @@ std::vector<PageRankResult> SolveJacobiBatch(
                                      pool);
     cur.swap(next);
     scaled.swap(scaled_next);
+    SweepsCounter()->Increment();
 
     std::vector<uint32_t> keep;
     keep.reserve(live);
@@ -187,6 +224,10 @@ std::vector<PageRankResult> SolveJacobiBatch(
     ExtractLane(cur, n, live, j, &results[lane_ids[j]].scores);
   }
   ws->RecordSolve();
+  SolvesCounter()->Increment();
+  for (const PageRankResult& r : results) {
+    IterationsHistogram()->Observe(r.iterations);
+  }
   return results;
 }
 
@@ -205,6 +246,8 @@ PageRankResult SolveJacobi(const WebGraph& graph, const JumpVector& jump,
 PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
                                 const SolverOptions& opt, double omega,
                                 SolverWorkspace* ws) {
+  SPAMMASS_TRACE_SPAN("pagerank.solve", "method",
+                      omega == 1.0 ? "gauss-seidel" : "sor");
   PageRankResult result;
   result.scores = jump.values();
   std::vector<double>& p = result.scores;
@@ -246,6 +289,7 @@ PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
     }
     result.iterations = i + 1;
     result.residual = diff;
+    SweepsCounter()->Increment();
     if (opt.track_residuals) result.residual_history.push_back(diff);
     if (diff < opt.tolerance) {
       result.converged = true;
@@ -253,6 +297,8 @@ PageRankResult SolveGaussSeidel(const WebGraph& graph, const JumpVector& jump,
     }
   }
   ws->RecordSolve();
+  SolvesCounter()->Increment();
+  IterationsHistogram()->Observe(result.iterations);
   return result;
 }
 
@@ -266,6 +312,7 @@ PageRankResult SolvePowerIteration(const WebGraph& graph,
                                    const JumpVector& jump,
                                    const SolverOptions& opt,
                                    SolverWorkspace* ws) {
+  SPAMMASS_TRACE_SPAN("pagerank.solve", "method", "power-iteration");
   PageRankResult result;
   const uint32_t n = graph.num_nodes();
   const double c = opt.damping;
@@ -325,6 +372,7 @@ PageRankResult SolvePowerIteration(const WebGraph& graph,
     p.swap(next);
     result.iterations = i + 1;
     result.residual = diff;
+    SweepsCounter()->Increment();
     if (opt.track_residuals) result.residual_history.push_back(diff);
     if (diff < opt.tolerance) {
       result.converged = true;
@@ -334,6 +382,8 @@ PageRankResult SolvePowerIteration(const WebGraph& graph,
   // Copy (not move): p aliases the workspace's reusable iterate buffer.
   result.scores.assign(p.begin(), p.end());
   ws->RecordSolve();
+  SolvesCounter()->Increment();
+  IterationsHistogram()->Observe(result.iterations);
   return result;
 }
 

@@ -88,6 +88,23 @@ struct PageRankResult {
   std::vector<double> residual_history;
 };
 
+/// Convergence telemetry of one solve, decoupled from the (large) score
+/// vector so callers can keep it after the scores are consumed. In the
+/// fused multi-RHS kernel each lane converges at its own iteration;
+/// FromResult captures that per-lane count, and with
+/// SolverOptions::track_residuals the full per-iteration residual curve.
+/// Surfaced in the run manifest ("convergence", schema_version 2) and
+/// plotted by tools/plot_convergence.py.
+struct SolveStats {
+  int iterations = 0;
+  double residual = 0;
+  bool converged = false;
+  /// One L1 residual per iteration; empty unless track_residuals was set.
+  std::vector<double> residual_curve;
+
+  static SolveStats FromResult(const PageRankResult& result);
+};
+
 /// Solves PageRank for the given jump vector. Fails with InvalidArgument on
 /// bad options (damping outside (0,1), empty graph, dimension mismatch, or
 /// power iteration with an unnormalizable zero jump vector).

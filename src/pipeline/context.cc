@@ -4,9 +4,11 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+#include "obs/trace.h"
 #include "pagerank/jump_vector.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace spammass::pipeline {
 
@@ -45,6 +47,7 @@ core::MassEstimates PipelineContext::TakeMassEstimates() {
 }
 
 Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
+  SPAMMASS_TRACE_SPAN("pipeline.prepare");
   ArtifactNeeds needs = requested;
   // Mass needs p for the relative-mass denominator; the TrustRank detector
   // needs p for the trust/PageRank demotion ratio.
@@ -54,10 +57,9 @@ Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
   const PipelineConfig& cfg = *config_;
 
   if (needs.graph_stats && !has_graph_stats_) {
-    util::WallTimer timer;
+    obs::ScopedStageTimer timer("graph_stats", &stage_timings_);
     graph_stats_ = graph::ComputeGraphStats(web);
     has_graph_stats_ = true;
-    stage_timings_.push_back({"graph_stats", timer.Seconds()});
   }
 
   const bool solve_mass = needs.mass_estimates && !has_mass_estimates_;
@@ -89,7 +91,7 @@ Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
     if (web.num_nodes() == 0) {
       return Status::InvalidArgument("empty graph");
     }
-    util::WallTimer timer;
+    obs::ScopedStageTimer timer("trustrank_seed_selection", &stage_timings_);
     graph::WebGraph reversed = web.Transposed();
     auto inverse =
         pagerank::ComputeUniformPageRank(reversed, cfg.solver, &workspace_);
@@ -118,9 +120,9 @@ Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
       return Status::FailedPrecondition(
           "oracle rejected every seed candidate; enlarge seed_candidates");
     }
-    solve_iterations_.emplace_back("trustrank_seed_selection",
-                                   inverse.value().iterations);
-    stage_timings_.push_back({"trustrank_seed_selection", timer.Seconds()});
+    solve_stats_.emplace_back(
+        "trustrank_seed_selection",
+        pagerank::SolveStats::FromResult(inverse.value()));
   }
 
   // Every forward solve the requested artifacts need, as ONE multi-RHS
@@ -148,23 +150,29 @@ Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
         JumpVector::ScaledCore(web.num_nodes(), trust_seeds, 1.0));
   }
   if (!jumps.empty()) {
-    util::WallTimer timer;
-    auto solves =
-        pagerank::ComputePageRankMulti(web, jumps, cfg.solver, &workspace_);
+    auto solves = [&] {
+      obs::ScopedStageTimer timer("forward_solves", &stage_timings_);
+      return pagerank::ComputePageRankMulti(web, jumps, cfg.solver,
+                                            &workspace_);
+    }();
     if (!solves.ok()) return solves.status();
-    stage_timings_.push_back({"forward_solves", timer.Seconds()});
     if (base_lane >= 0) {
       base_pagerank_ =
           std::move(solves.value()[static_cast<size_t>(base_lane)]);
       has_base_pagerank_ = true;
       ++base_pagerank_solves_;
-      solve_iterations_.emplace_back("base_pagerank",
-                                     base_pagerank_.iterations);
+      static obs::Counter* base_solves_counter =
+          obs::MetricsRegistry::Global().GetCounter(
+              "pipeline.base_pagerank_solves");
+      base_solves_counter->Increment();
+      solve_stats_.emplace_back(
+          "base_pagerank", pagerank::SolveStats::FromResult(base_pagerank_));
     }
     if (core_lane >= 0) {
       pagerank::PageRankResult& core_pr =
           solves.value()[static_cast<size_t>(core_lane)];
-      solve_iterations_.emplace_back("core_pagerank", core_pr.iterations);
+      solve_stats_.emplace_back("core_pagerank",
+                                pagerank::SolveStats::FromResult(core_pr));
       // Definition 3 from the two solved score vectors; identical
       // arithmetic (and debug validation) to core::EstimateSpamMass.
       mass_estimates_ = core::MassEstimatesFromScores(
@@ -175,7 +183,8 @@ Status PipelineContext::Prepare(const ArtifactNeeds& requested) {
     if (trust_lane >= 0) {
       pagerank::PageRankResult& trust_pr =
           solves.value()[static_cast<size_t>(trust_lane)];
-      solve_iterations_.emplace_back("trustrank", trust_pr.iterations);
+      solve_stats_.emplace_back("trustrank",
+                                pagerank::SolveStats::FromResult(trust_pr));
       trustrank_.seeds = std::move(trust_seeds);
       trustrank_.trust = std::move(trust_pr.scores);
       has_trustrank_ = true;

@@ -21,6 +21,7 @@
 #include "core/spam_mass.h"
 #include "core/trustrank.h"
 #include "graph/graph_stats.h"
+#include "obs/stage_timer.h"
 #include "pagerank/solver.h"
 #include "pagerank/workspace.h"
 #include "pipeline/graph_source.h"
@@ -76,11 +77,10 @@ struct ArtifactNeeds {
   }
 };
 
-/// Wall time of one pipeline stage, for the manifest.
-struct StageTiming {
-  std::string name;
-  double seconds = 0;
-};
+/// Wall time of one pipeline stage, for the manifest. An alias of the
+/// telemetry layer's record type: obs::ScopedStageTimer produces these
+/// (and a matching trace span) wherever a stage is timed.
+using StageTiming = obs::StageRecord;
 
 /// Shared artifacts for one run over one graph. Not thread-safe (the
 /// workspace inside parallelizes each solve; concurrent runs need one
@@ -133,10 +133,15 @@ class PipelineContext {
   const std::vector<StageTiming>& stage_timings() const {
     return stage_timings_;
   }
-  /// Iteration counts per named solve ("base_pagerank", "core_pagerank",
-  /// "trustrank_seed_selection", "trustrank"), for the manifest.
-  const std::vector<std::pair<std::string, int>>& solve_iterations() const {
-    return solve_iterations_;
+  /// Convergence telemetry per named solve ("base_pagerank",
+  /// "core_pagerank", "trustrank_seed_selection", "trustrank"), in
+  /// execution order, for the manifest. Each entry carries the lane's own
+  /// convergence iteration (lanes of the fused multi-RHS solve converge
+  /// independently) and, when config.solver.track_residuals is set, the
+  /// full per-iteration residual curve.
+  const std::vector<std::pair<std::string, pagerank::SolveStats>>&
+  solve_stats() const {
+    return solve_stats_;
   }
 
  private:
@@ -156,7 +161,7 @@ class PipelineContext {
 
   uint64_t base_pagerank_solves_ = 0;
   std::vector<StageTiming> stage_timings_;
-  std::vector<std::pair<std::string, int>> solve_iterations_;
+  std::vector<std::pair<std::string, pagerank::SolveStats>> solve_stats_;
 };
 
 }  // namespace spammass::pipeline

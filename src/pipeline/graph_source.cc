@@ -6,9 +6,10 @@
 
 #include "core/label_io.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "synth/scenario.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace spammass::pipeline {
 
@@ -112,8 +113,25 @@ GraphSource& GraphSource::WithGoodCore(std::vector<graph::NodeId> core) {
   return *this;
 }
 
+namespace {
+
+/// Post-load bookkeeping shared by every exit path: graph-shape gauges and
+/// the load counter the metrics snapshot reports.
+void RecordLoadMetrics(const LoadedGraph& loaded) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* loads = registry.GetCounter("graph.loads");
+  static obs::Gauge* nodes = registry.GetGauge("graph.nodes");
+  static obs::Gauge* edges = registry.GetGauge("graph.edges");
+  loads->Increment();
+  nodes->Set(static_cast<double>(loaded.web.graph.num_nodes()));
+  edges->Set(static_cast<double>(loaded.web.graph.num_edges()));
+}
+
+}  // namespace
+
 Result<LoadedGraph> GraphSource::Load(util::ThreadPool* pool) {
-  util::WallTimer timer;
+  obs::ScopedStageTimer timer("graph_source_load", nullptr);
+  timer.span().Arg("source", std::string_view(description_));
   LoadedGraph loaded;
   loaded.description = description_;
 
@@ -127,6 +145,7 @@ Result<LoadedGraph> GraphSource::Load(util::ThreadPool* pool) {
       loaded.has_labels = true;
       loaded.good_core = loaded.web.AssembledGoodCore();
       loaded.load_seconds = timer.Seconds();
+      RecordLoadMetrics(loaded);
       return loaded;
     }
     case Kind::kFile: {
@@ -179,6 +198,7 @@ Result<LoadedGraph> GraphSource::Load(util::ThreadPool* pool) {
     loaded.good_core = good_core_;
   }
   loaded.load_seconds = timer.Seconds();
+  RecordLoadMetrics(loaded);
   return loaded;
 }
 

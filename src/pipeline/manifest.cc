@@ -1,8 +1,8 @@
 #include "pipeline/manifest.h"
 
-#include <cstdio>
-
+#include "obs/metrics.h"
 #include "pagerank/solver.h"
+#include "util/file_util.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
 
@@ -19,7 +19,7 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
 
   JsonWriter json;
   json.BeginObject();
-  json.KV("schema_version", 1);
+  json.KV("schema_version", 2);
   json.KV("tool", "spammass_pipeline");
 
   json.Key("graph").BeginObject();
@@ -76,11 +76,31 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
   json.KV("base_pagerank_solves", inputs.base_pagerank_solves);
   json.KV("total_solves", inputs.total_solves);
   json.Key("iterations").BeginObject();
-  for (const auto& [name, iterations] : inputs.solve_iterations) {
-    json.KV(name, iterations);
+  for (const auto& [name, stats] : inputs.solve_stats) {
+    json.KV(name, stats.iterations);
   }
   json.EndObject();
   json.EndObject();
+
+  // Schema v2: per-solve convergence telemetry. The residual curve is
+  // present only when the run tracked residuals
+  // (SolverOptions::track_residuals / spammass_cli --record-convergence);
+  // tools/plot_convergence.py renders it.
+  json.Key("convergence").BeginArray();
+  for (const auto& [name, stats] : inputs.solve_stats) {
+    json.BeginObject();
+    json.KV("name", name);
+    json.KV("iterations", stats.iterations);
+    json.KV("residual", stats.residual);
+    json.KV("converged", stats.converged);
+    if (!stats.residual_curve.empty()) {
+      json.Key("residual_curve").BeginArray();
+      for (double r : stats.residual_curve) json.Double(r);
+      json.EndArray();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
 
   json.Key("detectors").BeginArray();
   if (inputs.detectors != nullptr) {
@@ -100,21 +120,20 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
   json.EndArray();
 
   json.KV("total_seconds", inputs.total_seconds);
+
+  // Schema v2: a point-in-time snapshot of the process-global metrics
+  // registry. For a single-run process the pagerank.solves counter equals
+  // solver_runs.total_solves — the acceptance check the CLI integration
+  // test exercises.
+  json.Key("metrics").RawValue(
+      obs::MetricsRegistry::Global().SnapshotJson());
+
   json.EndObject();
   return json.TakeString();
 }
 
 Status WriteManifestFile(const std::string& json, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open manifest output: " + path);
-  }
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
-                  std::fputc('\n', f) != EOF;
-  if (std::fclose(f) != 0 || !ok) {
-    return Status::IoError("failed writing manifest: " + path);
-  }
-  return Status::OK();
+  return util::WriteTextFile(path, json + "\n");
 }
 
 }  // namespace spammass::pipeline

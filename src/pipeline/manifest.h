@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "pagerank/solver.h"
 #include "pipeline/context.h"
 #include "pipeline/detector.h"
 #include "pipeline/graph_source.h"
@@ -29,18 +30,23 @@ struct ManifestInputs {
   std::vector<StageTiming> stages;
   uint64_t base_pagerank_solves = 0;
   uint64_t total_solves = 0;
-  std::vector<std::pair<std::string, int>> solve_iterations;
+  /// Convergence telemetry per named solve, in execution order. Feeds both
+  /// the solver_runs.iterations map and the schema-v2 "convergence" array
+  /// (which carries per-lane residual curves when they were tracked).
+  std::vector<std::pair<std::string, pagerank::SolveStats>> solve_stats;
   /// Per-detector summaries; empty for runs that compute artifacts only.
   const std::vector<DetectorOutput>* detectors = nullptr;
   double total_seconds = 0;
 };
 
-/// Serializes one run manifest (schema_version 1). The returned string is
-/// a complete JSON object.
+/// Serializes one run manifest (schema_version 2). The returned string is
+/// a complete JSON object, including a point-in-time snapshot of the
+/// global metrics registry under "metrics".
 std::string BuildManifestJson(const ManifestInputs& inputs);
 
-/// Writes a manifest (or any JSON string) to a file, with a trailing
-/// newline.
+/// Writes a manifest (or any JSON string) to a file with a trailing
+/// newline, creating missing parent directories. Errors name the failing
+/// path.
 util::Status WriteManifestFile(const std::string& json,
                                const std::string& path);
 

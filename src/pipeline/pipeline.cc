@@ -2,7 +2,8 @@
 
 #include <memory>
 
-#include "util/timer.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace spammass::pipeline {
 
@@ -11,7 +12,7 @@ using util::Result;
 Result<PipelineRun> RunDetectors(
     LoadedGraph loaded, const PipelineConfig& config,
     const std::vector<std::string>& detector_names) {
-  util::WallTimer total_timer;
+  obs::ScopedStageTimer total_timer("pipeline.run", nullptr);
 
   // Resolve every name before any solve: an unknown detector fails the
   // run without wasting a PageRank.
@@ -31,9 +32,13 @@ Result<PipelineRun> RunDetectors(
   util::Status status = context.Prepare(needs);
   if (!status.ok()) return status;
 
+  static obs::Counter* detector_runs_counter =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.detector_runs");
   PipelineRun run;
   for (const auto& detector : detectors) {
-    util::WallTimer timer;
+    obs::ScopedStageTimer timer("detector_run", nullptr);
+    timer.span().Arg("detector", detector->name());
+    detector_runs_counter->Increment();
     auto output = detector->Run(context);
     if (!output.ok()) return output.status();
     output.value().seconds = timer.Seconds();
@@ -46,7 +51,7 @@ Result<PipelineRun> RunDetectors(
   }
   run.base_pagerank_solves = context.base_pagerank_solves();
   run.total_solves = context.total_solves();
-  run.solve_iterations = context.solve_iterations();
+  run.solve_stats = context.solve_stats();
   run.total_seconds = total_timer.Seconds();
 
   ManifestInputs manifest;
@@ -55,7 +60,7 @@ Result<PipelineRun> RunDetectors(
   manifest.stages = run.stages;
   manifest.base_pagerank_solves = run.base_pagerank_solves;
   manifest.total_solves = run.total_solves;
-  manifest.solve_iterations = run.solve_iterations;
+  manifest.solve_stats = run.solve_stats;
   manifest.detectors = &run.detectors;
   manifest.total_seconds = run.total_seconds;
   run.manifest_json = BuildManifestJson(manifest);

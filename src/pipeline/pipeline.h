@@ -28,7 +28,9 @@ struct PipelineRun {
   std::vector<StageTiming> stages;
   uint64_t base_pagerank_solves = 0;
   uint64_t total_solves = 0;
-  std::vector<std::pair<std::string, int>> solve_iterations;
+  /// Per-solve convergence telemetry (iterations, residual, and — when
+  /// config.solver.track_residuals is set — the residual curve).
+  std::vector<std::pair<std::string, pagerank::SolveStats>> solve_stats;
   double total_seconds = 0;
   /// The run manifest, already serialized (schema in docs/architecture.md).
   std::string manifest_json;

@@ -1,0 +1,41 @@
+#include "util/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace spammass::util {
+
+Status CreateDirectories(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
+  const std::string parent = std::filesystem::path(path).parent_path();
+  SPAMMASS_RETURN_NOT_OK(CreateDirectories(parent));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  const size_t written = content.empty()
+                             ? 0
+                             : std::fwrite(content.data(), 1, content.size(),
+                                           f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace spammass::util

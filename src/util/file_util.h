@@ -1,0 +1,24 @@
+// Small file-writing helpers shared by every component that emits an
+// output artifact (run manifests, trace files, metrics snapshots).
+
+#ifndef SPAMMASS_UTIL_FILE_UTIL_H_
+#define SPAMMASS_UTIL_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace spammass::util {
+
+/// Creates every missing directory on `path` (like `mkdir -p`). Errors
+/// name the failing path. An empty path is OK (nothing to create).
+Status CreateDirectories(const std::string& path);
+
+/// Writes `content` to `path`, creating missing parent directories first.
+/// Overwrites an existing file. Errors name the failing path.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace spammass::util
+
+#endif  // SPAMMASS_UTIL_FILE_UTIL_H_

@@ -1,16 +1,29 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace spammass::util {
 
+namespace {
+std::atomic<const ThreadPoolHooks*> g_hooks{nullptr};
+}  // namespace
+
+void SetThreadPoolHooks(const ThreadPoolHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
+const ThreadPoolHooks* GetThreadPoolHooks() {
+  return g_hooks.load(std::memory_order_acquire);
+}
+
 ThreadPool::ThreadPool(uint32_t num_threads) {
   num_threads = std::max<uint32_t>(num_threads, 1);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -99,7 +112,7 @@ void ThreadPool::ParallelForChunked(
   latch.cv.wait(lk, [&latch] { return latch.remaining == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(uint32_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -113,7 +126,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Read once so begin/end always come from the same hook table even if
+    // hooks are swapped mid-task.
+    const ThreadPoolHooks* hooks = GetThreadPoolHooks();
+    if (hooks != nullptr && hooks->task_begin != nullptr) {
+      hooks->task_begin(worker_index);
+    }
     task();
+    if (hooks != nullptr && hooks->task_end != nullptr) {
+      hooks->task_end(worker_index);
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -24,6 +24,24 @@
 
 namespace spammass::util {
 
+/// Optional telemetry hooks invoked by every pool worker around each
+/// executed task. util cannot depend on the obs layer, so obs installs
+/// its instrumentation through this table instead; with no hooks
+/// installed (the default) a worker pays one atomic pointer load per
+/// task. `worker_index` is the worker's index within its pool.
+struct ThreadPoolHooks {
+  void (*task_begin)(uint32_t worker_index) = nullptr;
+  void (*task_end)(uint32_t worker_index) = nullptr;
+};
+
+/// Installs process-wide hooks (nullptr uninstalls). `hooks` must outlive
+/// every pool; callers pass a pointer to a static table. Tasks already
+/// executing may complete under the previous table.
+void SetThreadPoolHooks(const ThreadPoolHooks* hooks);
+
+/// Currently installed hooks, or nullptr.
+const ThreadPoolHooks* GetThreadPoolHooks();
+
 /// Fixed pool of worker threads executing submitted tasks.
 class ThreadPool {
  public:
@@ -68,7 +86,7 @@ class ThreadPool {
       const std::function<void(uint64_t, uint64_t, uint64_t)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(uint32_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

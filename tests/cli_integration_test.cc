@@ -10,6 +10,8 @@
 #include <fstream>
 #include <string>
 
+#include "json_test_util.h"
+
 namespace spammass {
 namespace {
 
@@ -44,6 +46,12 @@ class CliTest : public ::testing::Test {
   bool FileExists(const std::string& name) {
     std::ifstream f(Dir() + "/" + name);
     return f.good();
+  }
+
+  std::string ReadFile(const std::string& name) {
+    std::ifstream f(Dir() + "/" + name);
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
   }
 };
 
@@ -127,10 +135,10 @@ TEST_F(CliTest, RunSubcommandWritesManifestForTextAndBinary) {
                    std::istreambuf_iterator<char>());
   EXPECT_EQ(json.front(), '{');
   for (const char* needle :
-       {"\"schema_version\":1", "\"tool\":\"spammass_cli run\"", "\"runs\":[",
+       {"\"schema_version\":2", "\"tool\":\"spammass_cli run\"", "\"runs\":[",
         "\"format\":\"text\"", "\"format\":\"binary\"",
         "\"base_pagerank_solves\":1", "\"spam_mass\"", "\"trustrank\"",
-        "\"stages\"", "\"iterations\""}) {
+        "\"stages\"", "\"iterations\"", "\"convergence\"", "\"metrics\""}) {
     EXPECT_NE(json.find(needle), std::string::npos)
         << "manifest missing " << needle << "\n" << json;
   }
@@ -139,6 +147,68 @@ TEST_F(CliTest, RunSubcommandWritesManifestForTextAndBinary) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(CliTest, ObsOutputsMatchManifestAndAreParseable) {
+  ASSERT_STRNE(SPAMMASS_CLI_PATH, "");
+  const std::string d = Dir();
+
+  // A parallel Jacobi run with convergence tracking and both telemetry
+  // outputs. --threads 2 makes the thread pool execute tasks, so the
+  // trace must contain pool_task spans on named worker tracks.
+  ASSERT_EQ(Run("run --graph synthetic:0.02:5 --detectors "
+                "spam_mass,trustrank --threads 2 --method jacobi "
+                "--record-convergence --manifest " + d +
+                "/obs_manifest.json --trace-out " + d +
+                "/obs_trace.json --metrics-out " + d + "/obs_metrics.json"),
+            0);
+
+  testutil::JsonValue trace, metrics, manifest;
+  std::string error;
+  ASSERT_TRUE(testutil::JsonParser::Parse(ReadFile("obs_trace.json"),
+                                          &trace, &error)) << error;
+  ASSERT_TRUE(testutil::JsonParser::Parse(ReadFile("obs_metrics.json"),
+                                          &metrics, &error)) << error;
+  ASSERT_TRUE(testutil::JsonParser::Parse(ReadFile("obs_manifest.json"),
+                                          &manifest, &error)) << error;
+
+  // Trace: Chrome trace-event JSON with solver and thread-pool spans.
+  EXPECT_EQ(trace["displayTimeUnit"].string, "ms");
+  size_t solver_spans = 0, pool_spans = 0, stage_spans = 0;
+  for (const testutil::JsonValue& event : trace["traceEvents"].array) {
+    if (event["ph"].string != "X") continue;
+    solver_spans += event["name"].string == "pagerank.solve";
+    pool_spans += event["name"].string == "pool_task";
+    stage_spans += event["name"].string == "stage";
+  }
+  EXPECT_GT(solver_spans, 0u);
+  EXPECT_GT(pool_spans, 0u);
+  EXPECT_GT(stage_spans, 0u);
+
+  // Metrics: the snapshot's solve counter equals the manifest's solve
+  // count — the counters increment at exactly the workspace RecordSolve
+  // sites, so any drift is a bug.
+  const testutil::JsonValue& run = manifest["runs"][0];
+  EXPECT_EQ(manifest["schema_version"].number, 2);
+  EXPECT_EQ(run["schema_version"].number, 2);
+  const double total_solves = run["solver_runs"]["total_solves"].number;
+  EXPECT_GT(total_solves, 0);
+  EXPECT_EQ(metrics["counters"]["pagerank.solves"].number, total_solves);
+  EXPECT_EQ(run["metrics"]["counters"]["pagerank.solves"].number,
+            total_solves);
+  EXPECT_GT(metrics["counters"]["threadpool.tasks"].number, 0);
+
+  // Convergence: --record-convergence produced a residual curve per solve
+  // whose length matches the reported iteration count.
+  const testutil::JsonValue& convergence = run["convergence"];
+  ASSERT_TRUE(convergence.is_array());
+  ASSERT_GT(convergence.array.size(), 0u);
+  for (const testutil::JsonValue& solve : convergence.array) {
+    ASSERT_TRUE(solve.Has("residual_curve")) << solve["name"].string;
+    EXPECT_EQ(solve["residual_curve"].array.size(),
+              solve["iterations"].number)
+        << solve["name"].string;
+  }
 }
 
 TEST_F(CliTest, RunRejectsUnknownDetector) {

@@ -1,0 +1,239 @@
+// Minimal recursive-descent JSON parser for tests that need to validate
+// real structure (trace files, metrics snapshots, manifests) instead of
+// grepping for needles. Test-only: optimizes for clear failure messages
+// over speed, and rejects anything outside the JSON grammar so malformed
+// output fails loudly.
+
+#ifndef SPAMMASS_TESTS_JSON_TEST_UTIL_H_
+#define SPAMMASS_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spammass::testutil {
+
+/// One parsed JSON value. Look up object members with operator[](key) and
+/// array elements with operator[](index); both CHECK-style abort on type
+/// mismatch via assertions in the accessors below.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool b = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool Has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue null_value;
+    auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+
+  const JsonValue& operator[](size_t index) const {
+    static const JsonValue null_value;
+    return index < array.size() ? array[index] : null_value;
+  }
+};
+
+/// Parses `text`; on failure returns false and sets *error to a
+/// position-annotated message.
+class JsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error) {
+    JsonParser parser(text);
+    if (!parser.ParseValue(out)) {
+      *error = parser.error_ + " at offset " + std::to_string(parser.pos_);
+      return false;
+    }
+    parser.SkipSpace();
+    if (parser.pos_ != text.size()) {
+      *error = "trailing content at offset " + std::to_string(parser.pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Type::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Type::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(const char* word, JsonValue* out, JsonValue::Type type,
+                    bool value) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return Fail(std::string("expected ") + word);
+    }
+    pos_ += len;
+    out->type = type;
+    out->b = value;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return Fail("expected a number");
+    pos_ += static_cast<size_t>(end - start);
+    out->type = JsonValue::Type::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case 'r': ch = '\r'; break;
+          case 'b': ch = '\b'; break;
+          case 'f': ch = '\f'; break;
+          case '"': case '\\': case '/': ch = esc; break;
+          case 'u': {
+            // Tests only need ASCII round-trips; decode the code unit and
+            // keep the low byte.
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            ch = static_cast<char>(
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      }
+      out->push_back(ch);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace spammass::testutil
+
+#endif  // SPAMMASS_TESTS_JSON_TEST_UTIL_H_

@@ -1,0 +1,150 @@
+// Metrics-registry correctness: concurrent updates are exact (no lost
+// increments across shards), snapshots are bit-identical for every thread
+// count performing the same logical updates, and the snapshot JSON is
+// well-formed. The concurrent tests double as the TSan targets (the CI
+// tsan job runs -R '...|Obs').
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_test_util.h"
+
+namespace spammass::obs {
+namespace {
+
+TEST(ObsMetricsTest, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, ConcurrentHistogramObservationsAreExact) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("test.histogram", {10, 100, 1000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe((t * kPerThread + i) % 2000);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram->TotalCount(), kThreads * kPerThread);
+  // Every thread observed the same value multiset ({0..1999} x 200 in
+  // total across threads), so bucket totals are fully determined.
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // (-inf,10) [10,100) [100,1000) [1000,inf)
+  constexpr uint64_t kCycles = kThreads * kPerThread / 2000;
+  EXPECT_EQ(counts[0], 10 * kCycles);
+  EXPECT_EQ(counts[1], 90 * kCycles);
+  EXPECT_EQ(counts[2], 900 * kCycles);
+  EXPECT_EQ(counts[3], 1000 * kCycles);
+}
+
+TEST(ObsMetricsTest, ConcurrentGaugeWritesLandOnAWrittenValue) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([gauge, t] {
+      for (int i = 0; i < 10'000; ++i) gauge->Set(t);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double value = gauge->Value();
+  EXPECT_GE(value, 1.0);
+  EXPECT_LE(value, 4.0);
+}
+
+/// Runs the same logical updates split across `num_threads` workers and
+/// returns the registry snapshot.
+std::string SnapshotWithThreads(int num_threads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("determinism.counter");
+  Histogram* histogram =
+      registry.GetHistogram("determinism.histogram", {1, 2, 5, 10});
+  Gauge* gauge = registry.GetGauge("determinism.gauge");
+  gauge->Set(42.5);
+  constexpr int kTotal = 12'000;  // divisible by 1..4
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int begin = kTotal / num_threads * t;
+    const int end = kTotal / num_threads * (t + 1);
+    threads.emplace_back([&, begin, end] {
+      for (int i = begin; i < end; ++i) {
+        counter->Add(2);
+        histogram->Observe(i % 12);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return registry.SnapshotJson();
+}
+
+TEST(ObsMetricsTest, SnapshotIsIdenticalAcrossThreadCounts) {
+  const std::string baseline = SnapshotWithThreads(1);
+  EXPECT_EQ(SnapshotWithThreads(2), baseline);
+  EXPECT_EQ(SnapshotWithThreads(3), baseline);
+  EXPECT_EQ(SnapshotWithThreads(4), baseline);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonIsWellFormedAndExact) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.counter")->Add(7);
+  registry.GetGauge("b.gauge")->Set(2.5);
+  Histogram* histogram = registry.GetHistogram("c.histogram", {5, 50});
+  histogram->Observe(1);
+  histogram->Observe(25);
+  histogram->Observe(75);
+  histogram->Observe(75);
+
+  testutil::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(testutil::JsonParser::Parse(registry.SnapshotJson(), &root,
+                                          &error))
+      << error;
+  EXPECT_EQ(root["counters"]["a.counter"].number, 7);
+  EXPECT_EQ(root["gauges"]["b.gauge"].number, 2.5);
+  const testutil::JsonValue& hist = root["histograms"]["c.histogram"];
+  EXPECT_EQ(hist["total"].number, 4);
+  ASSERT_EQ(hist["boundaries"].array.size(), 2u);
+  ASSERT_EQ(hist["counts"].array.size(), 3u);
+  EXPECT_EQ(hist["counts"][0].number, 1);
+  EXPECT_EQ(hist["counts"][1].number, 1);
+  EXPECT_EQ(hist["counts"][2].number, 2);
+}
+
+TEST(ObsMetricsTest, MetricPointersAreStable) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("stable.counter");
+  first->Add(3);
+  Counter* second = registry.GetCounter("stable.counter");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->Value(), 3u);
+}
+
+TEST(ObsMetricsTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace spammass::obs

@@ -267,8 +267,9 @@ TEST(RunDetectorsTest, ProducesManifestAndOutputs) {
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
   for (const char* needle :
-       {"\"schema_version\":1", "\"base_pagerank_solves\":1",
-        "\"spam_mass\"", "\"trustrank\"", "\"stages\"", "\"solver\""}) {
+       {"\"schema_version\":2", "\"base_pagerank_solves\":1",
+        "\"spam_mass\"", "\"trustrank\"", "\"stages\"", "\"solver\"",
+        "\"convergence\"", "\"metrics\"", "\"pagerank.solves\""}) {
     EXPECT_NE(json.find(needle), std::string::npos)
         << "manifest missing " << needle << "\n" << json;
   }

@@ -36,6 +36,16 @@ Suite `pipeline` (bench_pipeline, shared synthetic web):
     and TrustRank, with every forward solve fused into one multi-RHS
     stream, vs. each detector preparing its own context)
 
+Suite `obs` (bench_obs, 100k-node random web): ratios here are overhead
+factors (instrumented time / hooks-off baseline time), not speedups —
+values near 1.0 are good, and the PR 5 acceptance criterion is that
+obs_disabled_overhead_T* stays ≤1.02:
+
+  * obs_disabled_overhead_T<k>:
+        BM_JacobiSweepObsDisabled/<k> / BM_JacobiSweepNoHooks/<k>
+  * obs_tracing_overhead_T<k>:
+        BM_JacobiSweepTracingEnabled/<k> / BM_JacobiSweepNoHooks/<k>
+
 Usage:
     tools/bench_to_json.py --bench-dir build/bench --out BENCH_solver.json \
         [--suite solver|graph] [--min-time 0.1]
@@ -92,6 +102,21 @@ PIPELINE_RATIO_PAIRS = [
      "BM_TwoDetectorsSharedContext"),
 ]
 
+# Overhead factors: instrumented entry over the hooks-off baseline. The
+# (label, numerator, denominator) order is flipped relative to the speedup
+# suites because the interesting number is how much slower telemetry makes
+# the sweep, not how much faster.
+OBS_RATIO_PAIRS = [
+    ("obs_disabled_overhead_T2", "BM_JacobiSweepObsDisabled/2",
+     "BM_JacobiSweepNoHooks/2"),
+    ("obs_disabled_overhead_T4", "BM_JacobiSweepObsDisabled/4",
+     "BM_JacobiSweepNoHooks/4"),
+    ("obs_tracing_overhead_T2", "BM_JacobiSweepTracingEnabled/2",
+     "BM_JacobiSweepNoHooks/2"),
+    ("obs_tracing_overhead_T4", "BM_JacobiSweepTracingEnabled/4",
+     "BM_JacobiSweepNoHooks/4"),
+]
+
 SUITES = {
     "solver": {
         "binaries": ["bench_solver_perf", "bench_multi_solve"],
@@ -104,6 +129,10 @@ SUITES = {
     "pipeline": {
         "binaries": ["bench_pipeline"],
         "ratios": PIPELINE_RATIO_PAIRS,
+    },
+    "obs": {
+        "binaries": ["bench_obs"],
+        "ratios": OBS_RATIO_PAIRS,
     },
 }
 

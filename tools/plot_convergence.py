@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Plot solver convergence curves from a run manifest (schema v2).
+
+Reads the "convergence" array a schema-version-2 manifest records for each
+PageRank solve (pipeline/manifest.cc). Residual curves are present when
+the run tracked residuals — pass --record-convergence to spammass_cli, or
+set SolverOptions::track_residuals in code:
+
+    spammass_cli run --graph synthetic:0.05:7 --record-convergence \\
+        --manifest run_manifest.json
+    tools/plot_convergence.py run_manifest.json
+
+Both wrapper manifests (spammass_cli run: {"runs": [...]}) and single
+pipeline manifests are accepted. By default an ASCII log-residual chart is
+printed per solve; --png writes a matplotlib figure instead when
+matplotlib is installed (no hard dependency — the script degrades to the
+ASCII chart with a note if it is not).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+CHART_WIDTH = 64
+CHART_HEIGHT = 16
+
+
+def collect_solves(manifest):
+    """Yields (run_label, solve_entry) for every convergence record."""
+    if "runs" in manifest:
+        for run in manifest["runs"]:
+            label = run.get("graph", {}).get("source", "run")
+            for entry in run.get("convergence", []):
+                yield label, entry
+    else:
+        label = manifest.get("graph", {}).get("source", "run")
+        for entry in manifest.get("convergence", []):
+            yield label, entry
+
+
+def ascii_chart(curve):
+    """Renders one residual curve as an ASCII log-scale chart."""
+    logs = [math.log10(r) if r > 0 else None for r in curve]
+    finite = [v for v in logs if v is not None]
+    if not finite:
+        return ["  (all residuals zero)"]
+    lo, hi = min(finite), max(finite)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    # Downsample to the chart width, keeping the last point exact.
+    n = len(curve)
+    cols = min(n, CHART_WIDTH)
+    picks = [min(n - 1, i * n // cols) for i in range(cols)]
+    picks[-1] = n - 1
+    rows = []
+    for row in range(CHART_HEIGHT):
+        # Row 0 is the top of the chart (largest residual).
+        upper = hi - (hi - lo) * row / CHART_HEIGHT
+        lower = hi - (hi - lo) * (row + 1) / CHART_HEIGHT
+        line = []
+        for i in picks:
+            v = logs[i]
+            if v is None:
+                line.append(" ")
+            elif lower <= v <= upper or (row == CHART_HEIGHT - 1 and v <= lower):
+                line.append("*")
+            else:
+                line.append(" ")
+        label = f"1e{upper:+06.1f} |" if row % 4 == 0 else "         |"
+        rows.append(label + "".join(line))
+    rows.append("         +" + "-" * cols)
+    rows.append(f"          iteration 1 .. {n}")
+    return rows
+
+
+def print_ascii(solves):
+    for run_label, entry in solves:
+        name = entry.get("name", "?")
+        iters = entry.get("iterations")
+        residual = entry.get("residual")
+        converged = entry.get("converged")
+        print(f"\n{run_label} :: {name}: {iters} iterations, final "
+              f"residual {residual:g}, converged: {converged}")
+        curve = entry.get("residual_curve")
+        if not curve:
+            print("  (no residual_curve recorded; rerun with "
+                  "--record-convergence)")
+            continue
+        for line in ascii_chart(curve):
+            print(line)
+
+
+def plot_png(solves, out_path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; falling back to ASCII output",
+              file=sys.stderr)
+        print_ascii(solves)
+        return
+    fig, ax = plt.subplots(figsize=(8, 5))
+    plotted = 0
+    for run_label, entry in solves:
+        curve = entry.get("residual_curve")
+        if not curve:
+            continue
+        label = f"{entry.get('name', '?')} ({run_label})"
+        ax.semilogy(range(1, len(curve) + 1), curve, label=label)
+        plotted += 1
+    if plotted == 0:
+        print("no residual curves in manifest; rerun with "
+              "--record-convergence", file=sys.stderr)
+        return
+    ax.set_xlabel("iteration")
+    ax.set_ylabel("L1 residual")
+    ax.set_title("PageRank solver convergence")
+    ax.grid(True, which="both", alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("manifest", help="run manifest JSON (schema v2)")
+    parser.add_argument("--png", default=None,
+                        help="write a matplotlib figure to this path "
+                        "instead of printing ASCII charts")
+    args = parser.parse_args()
+
+    try:
+        with open(args.manifest, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"plot_convergence: cannot read {args.manifest}: {e}",
+              file=sys.stderr)
+        return 2
+
+    solves = list(collect_solves(manifest))
+    if not solves:
+        print(f"plot_convergence: no convergence records in {args.manifest} "
+              "(schema_version >= 2 required)", file=sys.stderr)
+        return 1
+
+    if args.png:
+        plot_png(solves, args.png)
+    else:
+        print_ascii(solves)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into head/less that exited early; not an error.
+        sys.stderr.close()
+        sys.exit(0)

@@ -26,6 +26,9 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "graph/site_aggregation.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+#include "obs/trace.h"
 #include "pagerank/solver.h"
 #include "pipeline/context.h"
 #include "pipeline/graph_source.h"
@@ -33,11 +36,11 @@
 #include "pipeline/pipeline.h"
 #include "synth/generator.h"
 #include "synth/scenario.h"
+#include "util/file_util.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
 #include "util/string_util.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 using namespace spammass;
 
@@ -73,6 +76,70 @@ bool ParseOrHelp(util::FlagParser* flags, const char* command, int argc,
   return true;
 }
 
+// ---- Telemetry lifecycle. Every subcommand defines --trace-out /
+// ---- --metrics-out and owns one ObsSession: tracing starts right after
+// ---- flag parsing (so graph loads are covered), and the session writes
+// ---- the requested files on exit — explicitly via Finish() on success
+// ---- paths (errors reported), best-effort from the destructor otherwise.
+
+class ObsSession {
+ public:
+  static void DefineFlags(util::FlagParser* flags) {
+    flags->Define("trace-out", "",
+                  "write a Chrome trace-event JSON of this invocation "
+                  "(open in Perfetto / chrome://tracing)");
+    flags->Define("metrics-out", "",
+                  "write a JSON metrics snapshot of this invocation");
+  }
+
+  explicit ObsSession(const util::FlagParser& flags)
+      : trace_path_(flags.GetString("trace-out")),
+        metrics_path_(flags.GetString("metrics-out")) {
+    if (!trace_path_.empty()) {
+      obs::SetCurrentThreadName("main");
+      obs::StartTracing();
+    }
+    // Metrics record unconditionally (shard adds are near-free); the flag
+    // only controls whether a snapshot file is written.
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() { Finish(); }
+
+  /// Stops tracing and writes the requested files. Idempotent; returns
+  /// the first write error.
+  util::Status Finish() {
+    if (finished_) return util::Status::OK();
+    finished_ = true;
+    util::Status result;
+    if (!trace_path_.empty()) {
+      obs::StopTracing();
+      result = obs::WriteTraceFile(trace_path_);
+      if (result.ok()) {
+        std::fprintf(stderr, "trace -> %s\n", trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      util::Status status = util::WriteTextFile(
+          metrics_path_,
+          obs::MetricsRegistry::Global().SnapshotJson() + "\n");
+      if (status.ok()) {
+        std::fprintf(stderr, "metrics -> %s\n", metrics_path_.c_str());
+      } else if (result.ok()) {
+        result = status;
+      }
+    }
+    return result;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+};
+
 // ---- Shared flag-definition helpers. Every subcommand that loads a
 // ---- graph or configures a solver goes through these; the defaults are
 // ---- derived from SolverOptions::BenchPreset() so the CLI cannot drift
@@ -89,6 +156,10 @@ void DefineSolverFlags(util::FlagParser* flags) {
   flags->Define("max-iterations", std::to_string(preset.max_iterations),
                 "iteration cap");
   flags->Define("threads", "1", "solver threads (Jacobi/power only)");
+  flags->DefineBool("record-convergence",
+                    "record per-iteration residual curves (manifest "
+                    "convergence[].residual_curve; plot with "
+                    "tools/plot_convergence.py)");
 }
 
 util::Result<pagerank::SolverOptions> SolverFromFlags(
@@ -101,6 +172,7 @@ util::Result<pagerank::SolverOptions> SolverFromFlags(
   solver.tolerance = flags.GetDouble("tolerance");
   solver.max_iterations = static_cast<int>(flags.GetInt("max-iterations"));
   solver.num_threads = static_cast<uint32_t>(flags.GetInt("threads"));
+  solver.track_residuals = flags.GetBool("record-convergence");
   return solver;
 }
 
@@ -153,10 +225,12 @@ int CmdGenerate(int argc, const char* const* argv) {
   flags.Define("out-hosts", "", "optional host-name map output path");
   flags.Define("out-labels", "", "optional ground-truth label output path");
   flags.Define("out-core", "", "optional assembled good-core output path");
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "generate", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
-  util::WallTimer timer;
+  obs::ScopedStageTimer timer("generate", nullptr);
   auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(
       flags.GetDouble("scale"),
       static_cast<uint64_t>(flags.GetInt("seed"))));
@@ -186,14 +260,18 @@ int CmdGenerate(int argc, const char* const* argv) {
               util::FormatWithCommas(w.graph.num_nodes()).c_str(),
               util::FormatWithCommas(w.graph.num_edges()).c_str(),
               timer.Seconds(), flags.GetString("out-edges").c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
 int CmdStats(int argc, const char* const* argv) {
   util::FlagParser flags;
   DefineGraphFlags(&flags);
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "stats", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
   pipeline::GraphSource source = SourceFromFlags(flags);
   auto loaded = source.Load();
@@ -213,6 +291,8 @@ int CmdStats(int argc, const char* const* argv) {
   table.AddRow({"max outdegree", std::to_string(stats.max_outdegree)});
   table.AddRow({"mean degree", util::FormatDouble(stats.mean_indegree, 2)});
   std::printf("%s", table.ToString().c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
@@ -223,8 +303,10 @@ int CmdPageRank(int argc, const char* const* argv) {
                           "top-20 otherwise");
   flags.Define("top", "20", "rows to print when --out is unset");
   DefineSolverFlags(&flags);
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "pagerank", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
   pipeline::GraphSource source = SourceFromFlags(flags);
   auto loaded = source.Load();
@@ -232,7 +314,7 @@ int CmdPageRank(int argc, const char* const* argv) {
   auto config = ConfigFromFlags(flags, /*has_mass_flags=*/false);
   if (!config.ok()) return Fail(config.status());
 
-  util::WallTimer timer;
+  obs::ScopedStageTimer timer("pagerank_solve", nullptr);
   pipeline::PipelineContext context(loaded.value(), config.value());
   pipeline::ArtifactNeeds needs;
   needs.base_pagerank = true;
@@ -267,6 +349,8 @@ int CmdPageRank(int argc, const char* const* argv) {
     }
     std::printf("%s", table.ToString().c_str());
   }
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
@@ -296,8 +380,10 @@ int CmdMass(int argc, const char* const* argv) {
   DefineMassFlags(&flags);
   flags.Define("out", "mass.csv",
                "CSV output (node,scaled_pagerank,scaled_abs_mass,rel_mass)");
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "mass", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
   pipeline::LoadedGraph loaded;
   auto estimates = EstimateFromFlags(flags, &loaded);
@@ -317,6 +403,8 @@ int CmdMass(int argc, const char* const* argv) {
   if (!status.ok()) return Fail(status);
   std::printf("wrote %zu rows to %s\n", est.pagerank.size(),
               flags.GetString("out").c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
@@ -330,8 +418,10 @@ int CmdDetect(int argc, const char* const* argv) {
                              "precision and AUC when provided");
   flags.Define("out", "", "optional CSV output of all candidates");
   flags.Define("top", "25", "candidates to print");
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "detect", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
   pipeline::LoadedGraph loaded;
   auto estimates = EstimateFromFlags(flags, &loaded);
@@ -389,6 +479,8 @@ int CmdDetect(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(tp), candidates.size(),
                 eval::ComputeAuc(examples));
   }
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
@@ -399,8 +491,10 @@ int CmdSites(int argc, const char* const* argv) {
   flags.Define("hosts", "web.hosts", "host-name map input path");
   flags.Define("out-edges", "sites.edges", "site edge-list output path");
   flags.Define("out-hosts", "", "optional site-name map output path");
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "sites", argc, argv, &code)) return code;
+  ObsSession obs(flags);
 
   pipeline::GraphSource source =
       pipeline::GraphSource::FromFile(flags.GetString("edges"));
@@ -422,6 +516,8 @@ int CmdSites(int argc, const char* const* argv) {
               util::FormatWithCommas(sites.value().graph.num_nodes()).c_str(),
               util::FormatWithCommas(sites.value().graph.num_edges()).c_str(),
               flags.GetString("out-edges").c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 
@@ -444,6 +540,7 @@ int CmdRun(int argc, const char* const* argv) {
   DefineSolverFlags(&flags);
   flags.Define("tau", "0.98", "relative-mass threshold (Algorithm 2)");
   flags.Define("rho", "10", "scaled-PageRank threshold (Algorithm 2)");
+  ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "run", argc, argv, &code)) return code;
 
@@ -454,6 +551,7 @@ int CmdRun(int argc, const char* const* argv) {
     }
     return 0;
   }
+  ObsSession obs(flags);
 
   auto config = ConfigFromFlags(flags, /*has_mass_flags=*/true);
   if (!config.ok()) return Fail(config.status());
@@ -475,7 +573,7 @@ int CmdRun(int argc, const char* const* argv) {
   // One manifest wrapping every per-graph run.
   util::JsonWriter manifest;
   manifest.BeginObject();
-  manifest.KV("schema_version", 1);
+  manifest.KV("schema_version", 2);
   manifest.KV("tool", "spammass_cli run");
   manifest.Key("runs").BeginArray();
 
@@ -537,6 +635,8 @@ int CmdRun(int argc, const char* const* argv) {
       pipeline::WriteManifestFile(manifest.TakeString(), manifest_path);
   if (!status.ok()) return Fail(status);
   std::printf("manifest -> %s\n", manifest_path.c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
   return 0;
 }
 

@@ -27,6 +27,13 @@ Rules (each printed as file:line: [rule] message):
                   manifests for free. bench/ is deliberately out of scope:
                   perf benches measure the raw kernels against the fused
                   path, which requires calling both directly.
+  telemetry-timing
+                  src/pipeline/ and tools/ must not use raw util::WallTimer;
+                  time stages with obs::ScopedStageTimer (or a trace span)
+                  so every measured interval lands in both the stage-timing
+                  manifest and the trace output. bench/ is exempt:
+                  google-benchmark owns its timing, and benches measure the
+                  telemetry layer itself.
 
 Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
 Run locally:  python3 tools/spammass_lint.py --root .
@@ -54,6 +61,12 @@ ORCHESTRATION_RE = re.compile(
 # Directories the pipeline-orchestration rule applies to (bench/ is
 # excluded: perf benches compare raw kernels against the fused path).
 ORCHESTRATION_DIRS = ("examples/", "tools/")
+# Raw wall timers in orchestration code bypass the stage-timing manifest
+# and the trace; obs::ScopedStageTimer feeds both.
+WALL_TIMER_RE = re.compile(r"\b(?:util::)?WallTimer\b")
+# Directories the telemetry-timing rule applies to (bench/ is excluded:
+# google-benchmark owns bench timing, and bench_obs measures telemetry).
+TIMING_DIRS = ("src/pipeline/", "tools/")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -181,6 +194,15 @@ class Linter:
                         "compute artifacts via pipeline::PipelineContext / "
                         "RunDetectors so they share the sniffing, cache and "
                         "manifest path")
+            if relpath.startswith(TIMING_DIRS) and not is_exempt(
+                    relpath, "telemetry-timing"):
+                if WALL_TIMER_RE.search(code):
+                    self.report(
+                        relpath, i, "telemetry-timing",
+                        "raw util::WallTimer bypasses telemetry; time "
+                        "stages with obs::ScopedStageTimer (obs/"
+                        "stage_timer.h) so the interval reaches both the "
+                        "stage-timing manifest and the trace")
             m = USING_NAMESPACE_RE.match(code)
             if m:
                 ns = m.group(1)
