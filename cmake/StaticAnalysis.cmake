@@ -11,11 +11,21 @@
 #   SPAMMASS_WERROR     ON escalates warnings to errors (CI uses this; kept
 #                       opt-in locally so new-compiler noise never blocks a
 #                       checkout from building).
+#   SPAMMASS_THREAD_SAFETY
+#                       ON compiles with Clang's thread-safety analysis
+#                       (-Wthread-safety) escalated to errors, checking the
+#                       SPAMMASS_GUARDED_BY/REQUIRES/EXCLUDES annotations
+#                       from util/thread_annotations.h. Clang-only: GCC has
+#                       no equivalent analysis, so non-Clang builds warn and
+#                       proceed without it (the annotation macros expand to
+#                       nothing there).
 
 set(SPAMMASS_SANITIZE "" CACHE STRING
     "Sanitizers to instrument with: any of address, undefined, leak, thread")
 option(SPAMMASS_ANALYZE "Run clang-tidy alongside compilation" OFF)
 option(SPAMMASS_WERROR "Treat compiler warnings as errors" OFF)
+option(SPAMMASS_THREAD_SAFETY
+    "Enable Clang thread-safety analysis as errors (no-op under GCC)" OFF)
 
 if(SPAMMASS_SANITIZE)
   # Accept both list ("address;undefined") and comma ("address,undefined")
@@ -52,17 +62,36 @@ if(SPAMMASS_SANITIZE)
   endif()
 endif()
 
+# Located unconditionally (not just under SPAMMASS_ANALYZE): the aggregate
+# `spammass_check` target in the top-level CMakeLists runs a tidy pass when
+# the tool is installed, whatever the configure flags.
+find_program(SPAMMASS_CLANG_TIDY_EXE clang-tidy)
+find_program(SPAMMASS_RUN_CLANG_TIDY_EXE
+             run-clang-tidy run-clang-tidy-18 run-clang-tidy-17
+             run-clang-tidy-16 run-clang-tidy-15 run-clang-tidy-14)
+
 if(SPAMMASS_ANALYZE)
-  find_program(SPAMMASS_CLANG_TIDY_EXE clang-tidy)
   if(SPAMMASS_CLANG_TIDY_EXE)
     message(STATUS "clang-tidy enabled: ${SPAMMASS_CLANG_TIDY_EXE}")
     # Configuration lives in .clang-tidy at the repo root.
     set(CMAKE_CXX_CLANG_TIDY "${SPAMMASS_CLANG_TIDY_EXE}")
-    set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
   else()
     message(WARNING
         "SPAMMASS_ANALYZE=ON but clang-tidy was not found; building "
         "without analysis")
+  endif()
+endif()
+
+if(SPAMMASS_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(STATUS "Thread-safety analysis enabled (-Werror=thread-safety)")
+    add_compile_options(-Wthread-safety -Werror=thread-safety)
+  else()
+    message(WARNING
+        "SPAMMASS_THREAD_SAFETY=ON needs Clang; ${CMAKE_CXX_COMPILER_ID} "
+        "has no thread-safety analysis, so this build checks nothing. "
+        "Configure with -DCMAKE_CXX_COMPILER=clang++ (the CI analyze job "
+        "does) to run the analysis.")
   endif()
 endif()
 

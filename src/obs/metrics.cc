@@ -70,7 +70,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second.get();
   CHECK(kinds_.find(name) == kinds_.end())
@@ -82,7 +82,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second.get();
   CHECK(kinds_.find(name) == kinds_.end())
@@ -95,7 +95,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> boundaries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     CHECK(it->second->boundaries() == boundaries)
@@ -114,7 +114,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   util::JsonWriter json;
   json.BeginObject();
 

@@ -27,10 +27,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spammass::obs {
 
@@ -124,25 +126,32 @@ class MetricsRegistry {
   /// stable for the registry's lifetime — cache them on hot paths.
   /// Requesting an existing name as a different metric kind CHECK-fails,
   /// as does re-requesting a histogram with different boundaries.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) SPAMMASS_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) SPAMMASS_EXCLUDES(mu_);
   Histogram* GetHistogram(std::string_view name,
-                          std::vector<double> boundaries);
+                          std::vector<double> boundaries)
+      SPAMMASS_EXCLUDES(mu_);
 
   /// One JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} with names sorted; counter/bucket values are
   /// exact merged integers, so the snapshot is identical for every thread
   /// count that performed the same logical updates.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const SPAMMASS_EXCLUDES(mu_);
 
  private:
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind, std::less<>> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name->metric maps only. The metric objects themselves are
+  /// internally synchronized (sharded atomics), so callers update them
+  /// through the returned stable pointers without this lock.
+  mutable util::Mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_ SPAMMASS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPAMMASS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPAMMASS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPAMMASS_GUARDED_BY(mu_);
 };
 
 }  // namespace spammass::obs

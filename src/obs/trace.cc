@@ -2,13 +2,14 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/file_util.h"
 #include "util/json_writer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace spammass::obs {
@@ -39,18 +40,24 @@ struct TraceEvent {
 /// (pool workers' events must survive pool destruction) and are never
 /// removed from the registry.
 struct ThreadRing {
-  std::mutex mu;
+  util::Mutex mu;
+  /// Assigned once at registration, before the ring is published through
+  /// the registry; immutable afterwards, so readable without `mu`.
   uint64_t tid = 0;
-  std::string thread_name;
-  std::vector<TraceEvent> events;  // grows to kRingCapacity, then wraps
-  uint64_t total_recorded = 0;     // includes overwritten events
+  std::string thread_name SPAMMASS_GUARDED_BY(mu);
+  /// Grows to kRingCapacity, then wraps.
+  std::vector<TraceEvent> events SPAMMASS_GUARDED_BY(mu);
+  /// Includes overwritten events.
+  uint64_t total_recorded SPAMMASS_GUARDED_BY(mu) = 0;
 };
 
 struct TraceRegistry {
-  std::mutex mu;
-  std::vector<ThreadRing*> rings;  // leaked: rings live forever
-  uint64_t next_tid = 1;
-  uint64_t start_ns = 0;  // timestamp origin, set by StartTracing()
+  util::Mutex mu;
+  /// Leaked: rings live forever.
+  std::vector<ThreadRing*> rings SPAMMASS_GUARDED_BY(mu);
+  uint64_t next_tid SPAMMASS_GUARDED_BY(mu) = 1;
+  /// Timestamp origin, set by StartTracing().
+  uint64_t start_ns SPAMMASS_GUARDED_BY(mu) = 0;
 };
 
 TraceRegistry& Registry() {
@@ -62,9 +69,13 @@ ThreadRing* ThisThreadRing() {
   thread_local ThreadRing* ring = [] {
     auto* r = new ThreadRing();  // leaked: events outlive the thread
     TraceRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    util::MutexLock lock(&registry.mu);
     r->tid = registry.next_tid++;
-    r->thread_name = "thread-" + std::to_string(r->tid);
+    {
+      // Pre-publication, so uncontended; taken for the analysis' benefit.
+      util::MutexLock ring_lock(&r->mu);
+      r->thread_name = "thread-" + std::to_string(r->tid);
+    }
     registry.rings.push_back(r);
     return r;
   }();
@@ -73,7 +84,7 @@ ThreadRing* ThisThreadRing() {
 
 /// Appends one event to the calling thread's ring, overwriting the oldest
 /// event once the ring is full.
-TraceEvent& AppendEvent(ThreadRing* ring) {
+TraceEvent& AppendEvent(ThreadRing* ring) SPAMMASS_REQUIRES(ring->mu) {
   if (ring->events.size() < kRingCapacity) {
     ring->events.emplace_back();
     ++ring->total_recorded;
@@ -89,7 +100,7 @@ TraceEvent& AppendEvent(ThreadRing* ring) {
 void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
                     const TraceEvent::Arg* args, uint32_t num_args) {
   ThreadRing* ring = ThisThreadRing();
-  std::lock_guard<std::mutex> lock(ring->mu);
+  util::MutexLock lock(&ring->mu);
   TraceEvent& event = AppendEvent(ring);
   event.name = name;
   event.start_ns = start_ns;
@@ -136,7 +147,8 @@ constexpr util::ThreadPoolHooks kObsThreadPoolHooks{&PoolTaskBegin,
                                                     &PoolTaskEnd};
 
 void WriteEventJson(util::JsonWriter& json, const ThreadRing& ring,
-                    const TraceEvent& event, uint64_t origin_ns) {
+                    const TraceEvent& event, uint64_t origin_ns)
+    SPAMMASS_REQUIRES(ring.mu) {
   json.BeginObject();
   json.Key("name").String(event.name);
   json.Key("cat").String("spammass");
@@ -176,9 +188,9 @@ void StartTracing() {
   InstallThreadPoolTelemetry();
   TraceRegistry& registry = Registry();
   {
-    std::lock_guard<std::mutex> lock(registry.mu);
+    util::MutexLock lock(&registry.mu);
     for (ThreadRing* ring : registry.rings) {
-      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      util::MutexLock ring_lock(&ring->mu);
       ring->events.clear();
       ring->total_recorded = 0;
     }
@@ -193,7 +205,7 @@ void StopTracing() {
 
 void SetCurrentThreadName(std::string name) {
   ThreadRing* ring = ThisThreadRing();
-  std::lock_guard<std::mutex> lock(ring->mu);
+  util::MutexLock lock(&ring->mu);
   ring->thread_name = std::move(name);
 }
 
@@ -235,10 +247,10 @@ void ScopedSpan::End() {
 
 uint64_t DroppedEventCount() {
   TraceRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  util::MutexLock lock(&registry.mu);
   uint64_t dropped = 0;
   for (ThreadRing* ring : registry.rings) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    util::MutexLock ring_lock(&ring->mu);
     if (ring->total_recorded > ring->events.size()) {
       dropped += ring->total_recorded - ring->events.size();
     }
@@ -248,13 +260,13 @@ uint64_t DroppedEventCount() {
 
 std::string SerializeChromeTrace() {
   TraceRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  util::MutexLock lock(&registry.mu);
   util::JsonWriter json;
   json.BeginObject();
   json.Key("displayTimeUnit").String("ms");
   json.Key("traceEvents").BeginArray();
   for (ThreadRing* ring : registry.rings) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    util::MutexLock ring_lock(&ring->mu);
     // Thread-name metadata event so Perfetto labels the track.
     json.BeginObject();
     json.Key("name").String("thread_name");

@@ -4,11 +4,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace spammass::util {
 
 namespace {
 
 std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+/// Serializes line emission. stderr itself locks per fprintf call, but the
+/// capture sink is a plain vector and needs real mutual exclusion; routing
+/// both paths through one annotated mutex keeps emission-order consistent
+/// between the two and gives the thread-safety analysis a capability to
+/// check the sink accesses against.
+Mutex g_emit_mu;
+std::vector<std::string>* g_capture_sink SPAMMASS_GUARDED_BY(g_emit_mu) =
+    nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,10 +38,24 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+void EmitLine(const std::string& line) SPAMMASS_EXCLUDES(g_emit_mu) {
+  MutexLock lock(&g_emit_mu);
+  if (g_capture_sink != nullptr) {
+    g_capture_sink->push_back(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(level); }
 LogLevel GetLogLevel() { return g_min_level.load(); }
+
+void SetLogCaptureForTest(std::vector<std::string>* sink) {
+  MutexLock lock(&g_emit_mu);
+  g_capture_sink = sink;
+}
 
 namespace internal {
 
@@ -40,8 +66,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= g_min_level.load() || level_ == LogLevel::kFatal) {
-    std::string line = stream_.str();
-    std::fprintf(stderr, "%s\n", line.c_str());
+    EmitLine(stream_.str());
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -6,6 +6,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace spammass::util {
 
@@ -14,6 +15,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Sets the minimum level that is emitted to stderr. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Redirects emitted log lines into `sink` instead of stderr (nullptr
+/// restores stderr). For tests only: the caller owns `sink` and must keep
+/// it alive — and must not log from other threads after resetting — until
+/// SetLogCaptureForTest(nullptr) returns. Lines are appended whole under
+/// the emission lock, so concurrent writers never interleave characters.
+void SetLogCaptureForTest(std::vector<std::string>* sink);
 
 namespace internal {
 

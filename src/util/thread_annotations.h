@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis attribute wrappers. Every mutex-guarded
+// structure in the repo annotates its fields (SPAMMASS_GUARDED_BY) and its
+// locking contracts (SPAMMASS_REQUIRES / SPAMMASS_ACQUIRE / ...), and the
+// SPAMMASS_THREAD_SAFETY build mode (cmake/StaticAnalysis.cmake) compiles
+// with -Wthread-safety -Werror=thread-safety so a missed lock is a build
+// error, not a race found in production. Under compilers without the
+// attributes (GCC) every macro expands to nothing, so the default build is
+// unaffected.
+//
+// The annotations only work on capability-annotated lock types, not on raw
+// std::mutex (libstdc++ ships no annotations): guard state with util::Mutex
+// from util/mutex.h, which wraps std::mutex with the attributes below.
+//
+// Quick guide (docs/static_analysis.md has the full version):
+//   SPAMMASS_GUARDED_BY(mu)   on a field: reads/writes require holding mu.
+//   SPAMMASS_REQUIRES(mu)     on a function: caller must already hold mu.
+//   SPAMMASS_EXCLUDES(mu)     on a function: caller must NOT hold mu
+//                             (the function acquires it itself).
+//   SPAMMASS_NO_THREAD_SAFETY_ANALYSIS  opt-out for one function; every
+//                             use must carry a justification comment.
+
+#ifndef SPAMMASS_UTIL_THREAD_ANNOTATIONS_H_
+#define SPAMMASS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SPAMMASS_NO_THREAD_SAFETY_ATTRIBUTES)
+#define SPAMMASS_THREAD_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SPAMMASS_THREAD_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex"). The analysis tracks
+/// which capabilities are held at each program point.
+#define SPAMMASS_CAPABILITY(x) SPAMMASS_THREAD_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define SPAMMASS_SCOPED_CAPABILITY SPAMMASS_THREAD_ATTRIBUTE(scoped_lockable)
+
+/// Data members: accessing the field requires holding the named capability.
+#define SPAMMASS_GUARDED_BY(x) SPAMMASS_THREAD_ATTRIBUTE(guarded_by(x))
+
+/// Pointer members: dereferencing the pointee requires the capability (the
+/// pointer itself is unguarded).
+#define SPAMMASS_PT_GUARDED_BY(x) SPAMMASS_THREAD_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function entry: the caller must already hold the capabilities.
+#define SPAMMASS_REQUIRES(...) \
+  SPAMMASS_THREAD_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function entry: the caller must NOT hold the capabilities (typically
+/// because the function acquires them itself; catches self-deadlock).
+#define SPAMMASS_EXCLUDES(...) \
+  SPAMMASS_THREAD_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and returns holding it.
+#define SPAMMASS_ACQUIRE(...) \
+  SPAMMASS_THREAD_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define SPAMMASS_RELEASE(...) \
+  SPAMMASS_THREAD_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire; first argument is the return value
+/// that signals success.
+#define SPAMMASS_TRY_ACQUIRE(...) \
+  SPAMMASS_THREAD_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reachable both
+/// with and without the lock).
+#define SPAMMASS_ASSERT_CAPABILITY(x) \
+  SPAMMASS_THREAD_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define SPAMMASS_RETURN_CAPABILITY(x) \
+  SPAMMASS_THREAD_ATTRIBUTE(lock_returned(x))
+
+/// Disables the analysis for one function. Policy: only on documented,
+/// justified functions (for example lock-wrapper internals the analysis
+/// cannot see through); a blanket suppression fails review and the
+/// acceptance bar in docs/static_analysis.md.
+#define SPAMMASS_NO_THREAD_SAFETY_ANALYSIS \
+  SPAMMASS_THREAD_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SPAMMASS_UTIL_THREAD_ANNOTATIONS_H_

@@ -29,26 +29,26 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     CHECK(!shutdown_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) all_done_.Wait(&mutex_);
 }
 
 void ThreadPool::ParallelFor(
@@ -80,9 +80,9 @@ void ThreadPool::ParallelForChunked(
   // submission and the wait. The latch counts exactly this call's chunks,
   // however many that is — chunk counts above num_threads() just queue.
   struct Latch {
-    std::mutex m;
-    std::condition_variable cv;
-    uint64_t remaining;
+    Mutex m;
+    CondVar cv;
+    uint64_t remaining SPAMMASS_GUARDED_BY(m) = 0;
   } latch;
 
   // Bundle chunks into at most one task per worker. The chunk decomposition
@@ -92,7 +92,10 @@ void ThreadPool::ParallelForChunked(
   // queue-mutex traffic per call drops from num_chunks to num_tasks.
   const uint64_t num_tasks = std::min<uint64_t>(num_chunks, num_threads());
   const uint64_t chunks_per_task = (num_chunks + num_tasks - 1) / num_tasks;
-  latch.remaining = num_tasks;
+  {
+    MutexLock lock(&latch.m);
+    latch.remaining = num_tasks;
+  }
   for (uint64_t t = 0; t < num_tasks; ++t) {
     const uint64_t first = t * chunks_per_task;
     const uint64_t last = std::min(first + chunks_per_task, num_chunks);
@@ -104,25 +107,23 @@ void ThreadPool::ParallelForChunked(
       }
       // Notify while holding the lock: the waiter cannot wake, observe
       // remaining == 0, and destroy the latch before we are done with it.
-      std::lock_guard<std::mutex> lk(latch.m);
-      if (--latch.remaining == 0) latch.cv.notify_all();
+      MutexLock lk(&latch.m);
+      if (--latch.remaining == 0) latch.cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lk(latch.m);
-  latch.cv.wait(lk, [&latch] { return latch.remaining == 0; });
+  MutexLock lk(&latch.m);
+  while (latch.remaining != 0) latch.cv.Wait(&latch.m);
 }
 
 void ThreadPool::WorkerLoop(uint32_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(&mutex_);
+      // The loop exits with the lock held and shutdown_ || !tasks_.empty();
+      // an empty queue therefore means shutdown. Queued tasks drain first.
+      if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -137,9 +138,9 @@ void ThreadPool::WorkerLoop(uint32_t worker_index) {
       hooks->task_end(worker_index);
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

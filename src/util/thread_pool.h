@@ -14,13 +14,14 @@
 #ifndef SPAMMASS_UTIL_THREAD_POOL_H_
 #define SPAMMASS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spammass::util {
 
@@ -59,18 +60,20 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
-  /// Enqueues a task.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Must not be called from code already holding the
+  /// pool mutex (i.e. never from inside the locked sections of this class).
+  void Submit(std::function<void()> task) SPAMMASS_EXCLUDES(mutex_);
 
   /// Blocks until the pool is idle: every task submitted before or during
   /// the wait (by any thread) has finished.
-  void Wait();
+  void Wait() SPAMMASS_EXCLUDES(mutex_);
 
   /// Splits [0, total) into roughly equal chunks (one per worker) and runs
   /// `body(begin, end)` on each concurrently; returns when all chunks are
   /// done. Only waits on its own chunks, never on concurrent callers'.
   void ParallelFor(uint64_t total,
-                   const std::function<void(uint64_t, uint64_t)>& body);
+                   const std::function<void(uint64_t, uint64_t)>& body)
+      SPAMMASS_EXCLUDES(mutex_);
 
   /// Runs `body(chunk_index, begin, end)` over [0, total) split into fixed
   /// `chunk_size` pieces: chunk c covers [c·chunk_size, min((c+1)·chunk_size,
@@ -83,18 +86,23 @@ class ThreadPool {
   /// call returns when all of its own chunks are done.
   void ParallelForChunked(
       uint64_t total, uint64_t chunk_size,
-      const std::function<void(uint64_t, uint64_t, uint64_t)>& body);
+      const std::function<void(uint64_t, uint64_t, uint64_t)>& body)
+      SPAMMASS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(uint32_t worker_index);
+  void WorkerLoop(uint32_t worker_index) SPAMMASS_EXCLUDES(mutex_);
 
+  /// Immutable after construction (only the constructor appends), so
+  /// num_threads() and join-at-destruction read it without the lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  uint64_t in_flight_ = 0;  // queued + currently executing tasks
-  bool shutdown_ = false;
+
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ SPAMMASS_GUARDED_BY(mutex_);
+  /// Queued + currently executing tasks.
+  uint64_t in_flight_ SPAMMASS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ SPAMMASS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace spammass::util

@@ -1,0 +1,2 @@
+// Layer fixture: directory that is not a declared layer.
+namespace spammass::newlayer {}

@@ -1,0 +1,2 @@
+// Layer fixture: stand-in obs header that bad_dep.h reaches up into.
+namespace spammass::obs {}

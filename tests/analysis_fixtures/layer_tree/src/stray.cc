@@ -1,0 +1,2 @@
+// Layer fixture: file sitting directly under src/, outside every layer.
+namespace spammass {}

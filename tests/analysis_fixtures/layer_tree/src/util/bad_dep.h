@@ -1,0 +1,3 @@
+// Layer fixture: util including obs is the banned include back-edge.
+#include "obs/metrics_stub.h"
+namespace spammass::util {}

@@ -1,0 +1,27 @@
+// Lint fixture: unordered-container iteration in a determinism-critical
+// layer. Exercised by tests/analysis_tools_test.py; never compiled.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spammass::graph {
+
+std::vector<std::string> SortedHosts(
+    const std::unordered_map<std::string, uint32_t>& host_index) {
+  std::vector<std::string> hosts;
+  for (const auto& [host, id] : host_index) {
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
+uint64_t SumIds(const std::unordered_map<std::string, uint32_t>& index) {
+  uint64_t sum = 0;
+  for (auto it = index.begin(); it != index.end(); ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace spammass::graph

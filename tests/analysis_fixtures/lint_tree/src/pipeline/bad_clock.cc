@@ -1,0 +1,18 @@
+// Lint fixture: wall-clock reads inside src/. Exercised by
+// tests/analysis_tools_test.py; never compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace spammass::pipeline {
+
+uint64_t ManifestStamp() {
+  return static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+uint64_t AdHocDurationOrigin() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace spammass::pipeline

@@ -1,0 +1,14 @@
+// Lint fixture: banned randomness outside util/random. Exercised by
+// tests/analysis_tools_test.py; never compiled.
+#include <cstdlib>
+#include <random>
+
+namespace spammass::util {
+
+int NoisySeed() {
+  std::random_device device;
+  std::srand(device());
+  return std::rand();
+}
+
+}  // namespace spammass::util

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Fixture tests for the static-analysis tools.
+
+Feeds the intentionally-broken trees under tests/analysis_fixtures/ through
+tools/spammass_lint.py and tools/check_layers.py and asserts the exact
+violation reports (file, line, rule) plus exit codes. Registered as the
+`spammass_analysis_tools` ctest; also runnable directly:
+
+    python3 tests/analysis_tools_test.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(ROOT, "tests", "analysis_fixtures")
+LINT = os.path.join(ROOT, "tools", "spammass_lint.py")
+CHECK_LAYERS = os.path.join(ROOT, "tools", "check_layers.py")
+
+
+def run_tool(script, *argv):
+    proc = subprocess.run(
+        [sys.executable, script] + list(argv),
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def violation_keys(stdout):
+    """Extracts (file, line, rule) from each `file:line: [rule] msg` line."""
+    keys = []
+    for line in stdout.splitlines():
+        if ": [" not in line:
+            continue
+        location, rest = line.split(": [", 1)
+        relpath, line_no = location.rsplit(":", 1)
+        rule = rest.split("]", 1)[0]
+        keys.append((relpath, int(line_no), rule))
+    return keys
+
+
+class SpammassLintFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.code, self.stdout, self.stderr = run_tool(
+            LINT, "--root", os.path.join(FIXTURES, "lint_tree"))
+
+    def test_exit_code_and_count(self):
+        self.assertEqual(self.code, 1, self.stdout + self.stderr)
+        self.assertIn("7 violation(s)", self.stderr)
+
+    def test_exact_violation_set(self):
+        self.assertEqual(violation_keys(self.stdout), [
+            ("src/graph/bad_iteration.cc", 13, "unordered-iteration"),
+            ("src/graph/bad_iteration.cc", 21, "unordered-iteration"),
+            ("src/pipeline/bad_clock.cc", 10, "wall-clock"),
+            ("src/pipeline/bad_clock.cc", 15, "wall-clock"),
+            ("src/util/bad_random.cc", 9, "banned-function"),
+            ("src/util/bad_random.cc", 10, "banned-function"),
+            ("src/util/bad_random.cc", 11, "banned-function"),
+        ])
+
+    def test_messages_name_the_offenders(self):
+        lines = self.stdout.splitlines()
+        self.assertIn("'host_index'", lines[0])
+        self.assertIn("bucket order", lines[0])
+        self.assertIn("'index'", lines[1])
+        self.assertIn("wall-clock source in src/", lines[2])
+        self.assertIn("steady_clock outside the timing layers", lines[3])
+        self.assertIn("std::random_device", lines[4])
+        self.assertIn("srand()", lines[5])
+        self.assertIn("rand()", lines[6])
+
+
+class CheckLayersFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.dot_path = os.path.join(
+            tempfile.mkdtemp(prefix="spammass_layers_"), "dag.dot")
+        self.code, self.stdout, self.stderr = run_tool(
+            CHECK_LAYERS, "--root", os.path.join(FIXTURES, "layer_tree"),
+            "--dot", self.dot_path)
+
+    def test_exit_code_and_count(self):
+        self.assertEqual(self.code, 1, self.stdout + self.stderr)
+        self.assertIn("3 violation(s)", self.stderr)
+
+    def test_exact_violation_set(self):
+        self.assertEqual(violation_keys(self.stdout), [
+            ("src/newlayer/widget.h", 1, "layer-dag"),
+            ("src/stray.cc", 1, "layer-dag"),
+            ("src/util/bad_dep.h", 2, "layer-dag"),
+        ])
+
+    def test_messages_explain_each_violation(self):
+        lines = self.stdout.splitlines()
+        self.assertIn("not a declared layer", lines[0])
+        self.assertIn("directly under src/", lines[1])
+        self.assertIn("layer 'util' must not include layer 'obs'", lines[2])
+        self.assertIn('"obs/metrics_stub.h"', lines[2])
+
+    def test_dot_output_draws_declared_dag(self):
+        with open(self.dot_path, encoding="utf-8") as f:
+            dot = f.read()
+        self.assertIn("digraph spammass_layers", dot)
+        # A few load-bearing declared edges.
+        self.assertIn('"obs" -> "util"', dot)
+        self.assertIn('"pipeline" -> "synth"', dot)
+        self.assertIn('"eval" -> "pipeline"', dot)
+        # The sanctioned runtime back-edge is dashed, labeled, and points
+        # the opposite way from the (banned) include edge.
+        self.assertIn('"util" -> "obs" [style=dashed', dot)
+        self.assertIn("runtime hooks", dot)
+
+
+class CheckLayersCyclicConfigTest(unittest.TestCase):
+    def test_cyclic_declaration_is_a_config_error(self):
+        code, stdout, stderr = run_tool(
+            CHECK_LAYERS, "--root", os.path.join(FIXTURES, "layer_tree"),
+            "--config", os.path.join(FIXTURES, "cyclic_layers.json"))
+        self.assertEqual(code, 2, stdout + stderr)
+        self.assertIn("cycle", stdout)
+        self.assertIn("obs", stdout)
+        self.assertIn("config error", stderr)
+
+    def test_unknown_dependency_is_a_config_error(self):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            f.write('{"layers": {"util": ["nonexistent"]}, "top_dirs": []}')
+            path = f.name
+        try:
+            code, stdout, stderr = run_tool(
+                CHECK_LAYERS, "--root", os.path.join(FIXTURES, "layer_tree"),
+                "--config", path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 2, stdout + stderr)
+        self.assertIn("unknown layer 'nonexistent'", stdout)
+
+
+class RealTreeGuardTest(unittest.TestCase):
+    """The fixtures themselves must never leak into the real-tree runs."""
+
+    def test_lint_skips_fixture_directory(self):
+        code, stdout, stderr = run_tool(LINT, "--root", ROOT)
+        self.assertEqual(code, 0, stdout + stderr)
+        self.assertNotIn("analysis_fixtures", stdout)
+
+    def test_check_layers_skips_fixture_directory(self):
+        code, stdout, stderr = run_tool(CHECK_LAYERS, "--root", ROOT)
+        self.assertEqual(code, 0, stdout + stderr)
+        self.assertNotIn("analysis_fixtures", stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -34,6 +34,24 @@ Rules (each printed as file:line: [rule] message):
                   manifest and the trace output. bench/ is exempt:
                   google-benchmark owns its timing, and benches measure the
                   telemetry layer itself.
+  wall-clock      Determinism: wall-clock sources (std::chrono::system_clock,
+                  high_resolution_clock, time(), gettimeofday, localtime,
+                  gmtime) are banned throughout src/ — a wall-clock value
+                  that seeds an RNG or reaches an output makes solves
+                  unreproducible. steady_clock (monotonic, duration-only) is
+                  additionally restricted to the timing layers
+                  (src/util/timer.h, src/obs/) so durations flow through
+                  WallTimer / trace spans rather than ad-hoc clock reads.
+  unordered-iteration
+                  Determinism: iterating a std::unordered_{map,set,...} in
+                  src/graph/, src/pagerank/, or src/pipeline/ is banned —
+                  bucket order is implementation- and size-dependent, so any
+                  iteration that feeds ordered output (node tables, CSR
+                  emission, manifests) silently breaks the bit-identical
+                  guarantee. Point lookups are fine; to traverse, copy keys
+                  out and sort, or use an ordered container. Allowlist
+                  entries (EXEMPT below) require a justification comment
+                  proving the iteration order cannot reach any output.
 
 Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
 Run locally:  python3 tools/spammass_lint.py --root .
@@ -46,6 +64,9 @@ import sys
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 SOURCE_EXTS = (".h", ".cc", ".cpp")
+# Intentionally-broken fixture snippets for the analysis-tool tests live
+# under tests/analysis_fixtures/; they must not fail the real-tree lint.
+SKIP_DIRS = {"analysis_fixtures"}
 
 # rand( / srand( / atoi( as whole identifiers, allowing std:: / :: prefixes.
 BANNED_CALL_RE = re.compile(r"(?<![\w:.])(?:std::|::)?(rand|srand|atoi)\s*\(")
@@ -67,6 +88,26 @@ WALL_TIMER_RE = re.compile(r"\b(?:util::)?WallTimer\b")
 # Directories the telemetry-timing rule applies to (bench/ is excluded:
 # google-benchmark owns bench timing, and bench_obs measures telemetry).
 TIMING_DIRS = ("src/pipeline/", "tools/")
+# Wall-clock sources: values change run to run, so any one of them feeding
+# a seed or an output breaks reproducibility. time( is matched as a whole
+# identifier so RunTime(/WallTime( etc. stay clean.
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system_clock|high_resolution_clock)\b|"
+    r"\b(?:gettimeofday|localtime|localtime_r|gmtime|gmtime_r)\s*\(|"
+    r"(?<![\w:.])(?:std::|::)?time\s*\(")
+# steady_clock is monotonic (safe for durations, useless as data) but still
+# confined to the timing layers (EXEMPT entries below) so every measured
+# interval flows through util::WallTimer or an obs span.
+STEADY_CLOCK_RE = re.compile(r"\bstd::chrono::steady_clock\b")
+# Determinism-critical directories: anything iterating a hash container
+# here can leak bucket order into ordered output (CSR arrays, manifests).
+UNORDERED_DIRS = ("src/graph/", "src/pagerank/", "src/pipeline/")
+# Declaration of an unordered container variable, member, or (possibly
+# ref/pointer) parameter; [^;{}] keeps the match inside one declarator even
+# when template args span lines.
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"(?:[&*\s]|const\b)*(\w+)\s*[;,)({=]", re.DOTALL)
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
@@ -79,6 +120,12 @@ EXEMPT = {
     "src/util/random.cc": {"banned-random-device"},
     # The linter itself spells the banned tokens in strings.
     "tools/spammass_lint.py": {"banned-function", "banned-random-device"},
+    # WallTimer IS the timing layer: steady_clock reads are its entire job,
+    # and the measured durations feed benchmarks/telemetry, never solves.
+    "src/util/timer.h": {"wall-clock"},
+    # TraceNowNs() is the trace layer's monotonic timestamp source; span
+    # timestamps are telemetry output by definition, not solver input.
+    "src/obs/trace.cc": {"wall-clock"},
 }
 
 
@@ -161,6 +208,8 @@ class Linter:
             code_lines.append(code)
 
         self.check_content_rules(relpath, code_lines, is_header)
+        if relpath.startswith(UNORDERED_DIRS):
+            self.check_unordered_iteration(relpath, code_lines)
         # Includes are parsed from the raw lines: the comment/string
         # stripper above removes quoted include targets.
         self.check_includes(relpath, raw_lines)
@@ -203,6 +252,22 @@ class Linter:
                         "stages with obs::ScopedStageTimer (obs/"
                         "stage_timer.h) so the interval reaches both the "
                         "stage-timing manifest and the trace")
+            if relpath.startswith("src/") and not is_exempt(
+                    relpath, "wall-clock"):
+                if WALL_CLOCK_RE.search(code):
+                    self.report(
+                        relpath, i, "wall-clock",
+                        "wall-clock source in src/: run-to-run timestamps "
+                        "must never seed RNGs or reach outputs; seed "
+                        "util::Rng explicitly and time stages via "
+                        "obs::ScopedStageTimer")
+                elif STEADY_CLOCK_RE.search(code):
+                    self.report(
+                        relpath, i, "wall-clock",
+                        "steady_clock outside the timing layers; measure "
+                        "durations through util::WallTimer or an obs trace "
+                        "span (EXEMPT requires a justification that the "
+                        "value cannot reach any output)")
             m = USING_NAMESPACE_RE.match(code)
             if m:
                 ns = m.group(1)
@@ -215,6 +280,32 @@ class Linter:
                         relpath, i, "using-namespace",
                         f"`using namespace {ns}` in a header leaks into "
                         "every includer; move it into a .cc or drop it")
+
+    def check_unordered_iteration(self, relpath, code_lines):
+        """Flags iteration over unordered containers in determinism-critical
+        directories. Declarations are collected over the whole (stripped)
+        file so a range-for can be matched against names declared anywhere
+        in it; point lookups (find/count/operator[]/emplace) never match."""
+        if is_exempt(relpath, "unordered-iteration"):
+            return
+        names = set(UNORDERED_DECL_RE.findall("\n".join(code_lines)))
+        if not names:
+            return
+        alt = "|".join(sorted(re.escape(n) for n in names))
+        range_for_re = re.compile(
+            r"\bfor\s*\([^;()]*:\s*(?:\w+(?:\.|->))?(" + alt + r")\s*\)")
+        begin_re = re.compile(
+            r"\b(" + alt + r")\s*(?:\.|->)\s*(?:c?r?begin|c?r?end)\s*\(")
+        for i, code in enumerate(code_lines, start=1):
+            m = range_for_re.search(code) or begin_re.search(code)
+            if m:
+                self.report(
+                    relpath, i, "unordered-iteration",
+                    f"iterating unordered container '{m.group(1)}' leaks "
+                    "bucket order into this determinism-critical layer; "
+                    "copy keys out and sort, or switch to an ordered "
+                    "container (EXEMPT requires a justification that the "
+                    "order cannot reach any output)")
 
     def check_includes(self, relpath, raw_lines):
         seen = {}
@@ -303,7 +394,8 @@ def collect_files(root):
         if not os.path.isdir(top_path):
             continue
         for dirpath, dirnames, filenames in os.walk(top_path):
-            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            dirnames[:] = [d for d in dirnames
+                           if not d.startswith(".") and d not in SKIP_DIRS]
             for name in sorted(filenames):
                 if name.endswith(SOURCE_EXTS):
                     rel = os.path.relpath(os.path.join(dirpath, name), root)
