@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -229,4 +231,4 @@ BENCHMARK(BM_SyntheticWebGeneration)
 }  // namespace
 }  // namespace spammass
 
-BENCHMARK_MAIN();
+SPAMMASS_BENCHMARK_MAIN();

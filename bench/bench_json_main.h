@@ -1,0 +1,32 @@
+// Shared main() for the google-benchmark perf binaries. Besides the stock
+// initialization, it stamps `spammass_build_type` (release/debug, from
+// NDEBUG of THIS translation unit) into the benchmark context so
+// tools/bench_to_json.py can refuse to publish numbers from a debug
+// build. google-benchmark's own `library_build_type` context key reports
+// how the *library* was compiled, which can disagree with how the bench
+// code itself was compiled — the committed BENCH_solver.json regression
+// this guards against.
+#ifndef SPAMMASS_BENCH_BENCH_JSON_MAIN_H_
+#define SPAMMASS_BENCH_BENCH_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#ifdef NDEBUG
+#define SPAMMASS_BENCH_BUILD_TYPE "release"
+#else
+#define SPAMMASS_BENCH_BUILD_TYPE "debug"
+#endif
+
+#define SPAMMASS_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                        \
+    benchmark::AddCustomContext("spammass_build_type",                     \
+                                SPAMMASS_BENCH_BUILD_TYPE);                \
+    benchmark::Initialize(&argc, argv);                                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    benchmark::RunSpecifiedBenchmarks();                                   \
+    benchmark::Shutdown();                                                 \
+    return 0;                                                              \
+  }                                                                        \
+  static_assert(true, "require a trailing semicolon")
+
+#endif  // SPAMMASS_BENCH_BENCH_JSON_MAIN_H_

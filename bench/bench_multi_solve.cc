@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -108,4 +110,4 @@ BENCHMARK(BM_IndependentSolves)
 }  // namespace
 }  // namespace spammass
 
-BENCHMARK_MAIN();
+SPAMMASS_BENCHMARK_MAIN();

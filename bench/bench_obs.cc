@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -144,4 +146,4 @@ BENCHMARK(BM_ScopedSpanEnabled);
 }  // namespace
 }  // namespace spammass
 
-BENCHMARK_MAIN();
+SPAMMASS_BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "pipeline/context.h"
 #include "pipeline/detector.h"
 #include "pipeline/graph_source.h"
@@ -109,4 +111,4 @@ BENCHMARK(BM_WidenPreparedContext)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace spammass
 
-BENCHMARK_MAIN();
+SPAMMASS_BENCHMARK_MAIN();

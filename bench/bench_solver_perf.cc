@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -354,4 +356,4 @@ BENCHMARK(BM_SolverToleranceSweep)
 }  // namespace
 }  // namespace spammass
 
-BENCHMARK_MAIN();
+SPAMMASS_BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+#include "graph/csr_codec.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace spammass::graph {
+
+CompressedAdjacency EncodeAdjacency(NodeId num_nodes,
+                                    std::span<const uint64_t> offsets,
+                                    std::span<const NodeId> adjacency) {
+  CHECK_EQ(offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  CompressedAdjacency compressed;
+  compressed.byte_offsets.reserve(static_cast<size_t>(num_nodes) + 1);
+  // Gaps on power-law webs are mostly small; one byte per edge is the
+  // common case, so reserving the raw edge count avoids most growth.
+  compressed.bytes.reserve(adjacency.size());
+  for (NodeId x = 0; x < num_nodes; ++x) {
+    NodeId prev = 0;
+    for (uint64_t e = offsets[x]; e < offsets[x + 1]; ++e) {
+      const NodeId id = adjacency[e];
+      DCHECK_GE(id, prev);
+      AppendVarint32(id - prev, &compressed.bytes);
+      prev = id + 1;
+    }
+    compressed.byte_offsets.push_back(compressed.bytes.size());
+  }
+  return compressed;
+}
+
+namespace {
+
+/// Decodes one varint from [*p, end) with full bounds and length checking.
+/// Returns false on truncation or a varint longer than 5 bytes.
+bool DecodeVarint32Checked(const uint8_t** p, const uint8_t* end,
+                           uint32_t* value) {
+  const uint8_t* s = *p;
+  uint32_t out = 0;
+  uint32_t shift = 0;
+  while (true) {
+    if (s == end || shift >= 35) return false;
+    out |= static_cast<uint32_t>(*s & 0x7fu) << shift;
+    if ((*s & 0x80u) == 0) break;
+    ++s;
+    shift += 7;
+  }
+  *p = s + 1;
+  *value = out;
+  return true;
+}
+
+}  // namespace
+
+util::Status DecodeRow(const CompressedAdjacency& compressed, NodeId node,
+                       uint32_t degree, NodeId num_nodes,
+                       std::vector<NodeId>* out) {
+  if (static_cast<size_t>(node) + 1 >= compressed.byte_offsets.size()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "compressed row %u out of range (%u rows)", node,
+        compressed.num_rows()));
+  }
+  const uint64_t begin = compressed.byte_offsets[node];
+  const uint64_t end = compressed.byte_offsets[node + 1];
+  if (begin > end || end > compressed.bytes.size()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "compressed row %u has malformed byte frame [%llu, %llu)", node,
+        static_cast<unsigned long long>(begin),
+        static_cast<unsigned long long>(end)));
+  }
+  out->clear();
+  out->reserve(degree);
+  const uint8_t* p = compressed.bytes.data() + begin;
+  const uint8_t* const row_end = compressed.bytes.data() + end;
+  // prev tracks id+1 of the last decoded neighbor; accumulate in 64 bits so
+  // a hostile max gap cannot wrap back into range.
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    uint32_t gap = 0;
+    if (!DecodeVarint32Checked(&p, row_end, &gap)) {
+      return util::Status::IoError(util::StringPrintf(
+          "compressed row %u truncated at neighbor %u of %u", node, i,
+          degree));
+    }
+    const uint64_t id = prev + gap;
+    if (id >= num_nodes) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "compressed row %u neighbor %u decodes to %llu >= num_nodes %u",
+          node, i, static_cast<unsigned long long>(id), num_nodes));
+    }
+    out->push_back(static_cast<NodeId>(id));
+    prev = id + 1;
+  }
+  if (p != row_end) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "compressed row %u has %lld trailing byte(s)", node,
+        static_cast<long long>(row_end - p)));
+  }
+  return util::Status::OK();
+}
+
+util::Status ValidateCompressedAdjacency(const CompressedAdjacency& compressed,
+                                         NodeId num_nodes,
+                                         std::span<const uint64_t> offsets,
+                                         std::span<const NodeId> adjacency) {
+  if (compressed.byte_offsets.size() != static_cast<size_t>(num_nodes) + 1) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "compressed section has %zu byte offsets, want %zu",
+        compressed.byte_offsets.size(), static_cast<size_t>(num_nodes) + 1));
+  }
+  if (compressed.byte_offsets.front() != 0 ||
+      compressed.byte_offsets.back() != compressed.bytes.size()) {
+    return util::Status::InvalidArgument(
+        "compressed byte offsets do not frame the byte blob");
+  }
+  std::vector<NodeId> row;
+  for (NodeId x = 0; x < num_nodes; ++x) {
+    if (compressed.byte_offsets[x] > compressed.byte_offsets[x + 1]) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "compressed byte offsets decrease at row %u", x));
+    }
+    const uint32_t degree =
+        static_cast<uint32_t>(offsets[x + 1] - offsets[x]);
+    util::Status status = DecodeRow(compressed, x, degree, num_nodes, &row);
+    if (!status.ok()) return status;
+    for (uint32_t i = 0; i < degree; ++i) {
+      if (row[i] != adjacency[offsets[x] + i]) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "compressed row %u neighbor %u decodes to %u, CSR has %u", x, i,
+            row[i], adjacency[offsets[x] + i]));
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace spammass::graph

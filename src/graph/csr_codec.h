@@ -1,0 +1,93 @@
+// Delta + varint compression for CSR adjacency rows (WebGraph-framework
+// style, PAPERS.md). Each row's strictly-ascending neighbor list is stored
+// as LEB128 varints of the gaps: with prev starting at 0, each id encodes
+// as `id - prev` and advances prev to `id + 1`, so every gap (including the
+// first) fits the same uniform loop and consecutive ids cost one byte.
+//
+// The compressed form halves-or-better the edge traffic of the PageRank
+// sweep (4 B/edge raw vs ~1.2 B/edge on power-law webs) at the cost of a
+// sequential decode; pagerank/kernel.cc decodes on the fly with the
+// unchecked inline helpers below. Untrusted bytes (the binary loader) must
+// go through the bounds-checked DecodeRow / ValidateCompressedAdjacency.
+
+#ifndef SPAMMASS_GRAPH_CSR_CODEC_H_
+#define SPAMMASS_GRAPH_CSR_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spammass::graph {
+
+/// Node identifier; identical to the WebGraph declaration (web_graph.h) —
+/// redeclared here so the codec stays includable from the kernel without
+/// pulling in the full graph type.
+using NodeId = uint32_t;
+
+/// One compressed adjacency direction: `bytes` holds the concatenated
+/// varint-encoded rows, `byte_offsets` (num_nodes + 1 entries) frames row x
+/// as bytes[byte_offsets[x], byte_offsets[x + 1]).
+struct CompressedAdjacency {
+  std::vector<uint64_t> byte_offsets{0};
+  std::vector<uint8_t> bytes;
+
+  bool empty() const { return byte_offsets.size() <= 1; }
+  uint32_t num_rows() const {
+    return static_cast<uint32_t>(byte_offsets.size() - 1);
+  }
+};
+
+/// Appends the LEB128 encoding of `value` (1..5 bytes) to `out`.
+inline void AppendVarint32(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<uint8_t>(value | 0x80u));
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+/// Decodes one varint from `p`, advancing it. No bounds checking — callers
+/// guarantee a whole well-formed varint is present (the sweep decodes rows
+/// that EncodeAdjacency produced or that DecodeRow already validated).
+inline uint32_t DecodeVarint32Unchecked(const uint8_t** p) {
+  const uint8_t* s = *p;
+  uint32_t value = *s & 0x7fu;
+  uint32_t shift = 7;
+  while (*s & 0x80u) {
+    ++s;
+    value |= static_cast<uint32_t>(*s & 0x7fu) << shift;
+    shift += 7;
+  }
+  *p = s + 1;
+  return value;
+}
+
+/// Encodes `num_nodes` CSR rows (offsets has num_nodes + 1 entries,
+/// adjacency holds the concatenated strictly-ascending rows) into the
+/// delta+varint form. Trusted input: rows must already satisfy ValidateCsr.
+CompressedAdjacency EncodeAdjacency(NodeId num_nodes,
+                                    std::span<const uint64_t> offsets,
+                                    std::span<const NodeId> adjacency);
+
+/// Bounds-checked decode of row `node` into `out` (resized to `degree`).
+/// Fails on truncated/overlong varints, ids that are not strictly
+/// ascending, ids >= num_nodes, or rows that do not consume exactly their
+/// framed byte range. Safe on hostile bytes.
+util::Status DecodeRow(const CompressedAdjacency& compressed, NodeId node,
+                       uint32_t degree, NodeId num_nodes,
+                       std::vector<NodeId>* out);
+
+/// Full-structure validation against the plain CSR it claims to encode:
+/// frame shape, then every row decoded (checked) and compared
+/// element-for-element. Used by the binary loader before adopting an
+/// untrusted compressed section.
+util::Status ValidateCompressedAdjacency(const CompressedAdjacency& compressed,
+                                         NodeId num_nodes,
+                                         std::span<const uint64_t> offsets,
+                                         std::span<const NodeId> adjacency);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_CSR_CODEC_H_

@@ -7,7 +7,10 @@
 //     writes with a trailing interleaved-FNV checksum, and loads them back
 //     into WebGraph without re-materializing an edge-pair list, re-sorting,
 //     or rebuilding the transpose; see docs/graph_format.md for the byte
-//     layout. Version 1 (per-row records, no checksum, no names) is still
+//     layout. Format 2.1 adds an optional checksummed delta+varint
+//     compressed in-adjacency section (csr_codec.h) between the CSR arrays
+//     and the names; files without it remain byte-identical to 2.0
+//     output. Version 1 (per-row records, no checksum, no names) is still
 //     readable for migration.
 // Host names travel inside the v2 binary when present; the companion
 // "<id>\t<host>" text map remains available for the text format.
@@ -38,8 +41,9 @@ util::Result<WebGraph> ReadEdgeListText(const std::string& path,
                                         util::ThreadPool* pool = nullptr);
 
 /// Writes the current binary container (magic "SMWG", version 2): both CSR
-/// directions and, when the graph carries host names, the name blob, ending
-/// in a whole-file checksum.
+/// directions and, when the graph carries them, the compressed
+/// in-adjacency section (format 2.1) and the host-name blob, ending in a
+/// whole-file checksum.
 util::Status WriteBinary(const WebGraph& graph, const std::string& path);
 
 /// Writes the legacy version-1 container (per-row degree + target records,

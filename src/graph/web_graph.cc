@@ -212,6 +212,17 @@ void WebGraph::BuildDerivedArrays(util::ThreadPool* pool) {
   }
 }
 
+void WebGraph::BuildCompressedInAdjacency() {
+  if (has_compressed_in()) return;
+  compressed_in_ = EncodeAdjacency(num_nodes_, in_offsets_, sources_);
+}
+
+void WebGraph::AdoptCompressedInAdjacency(CompressedAdjacency compressed) {
+  DCHECK_OK(ValidateCompressedAdjacency(compressed, num_nodes_, in_offsets_,
+                                        sources_));
+  compressed_in_ = std::move(compressed);
+}
+
 bool WebGraph::HasEdge(NodeId x, NodeId y) const {
   auto nbrs = OutNeighbors(x);
   return std::binary_search(nbrs.begin(), nbrs.end(), y);

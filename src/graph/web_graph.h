@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/csr_codec.h"
+
 namespace spammass::util {
 class ThreadPool;
 }  // namespace spammass::util
@@ -135,6 +137,22 @@ class WebGraph {
     return static_cast<uint32_t>(dangling_nodes_.size());
   }
 
+  /// Optional delta+varint compressed form of the in-neighbor adjacency
+  /// (csr_codec.h), used by the bandwidth-optimized PageRank sweeps when
+  /// SolverOptions::compressed_gather is on. Absent unless built or adopted.
+  bool has_compressed_in() const { return !compressed_in_.empty(); }
+  const CompressedAdjacency& compressed_in() const { return compressed_in_; }
+
+  /// Builds the compressed in-adjacency from the plain CSR arrays.
+  /// Idempotent; costs one pass over the edges.
+  void BuildCompressedInAdjacency();
+
+  /// Adopts an already-validated compressed in-adjacency (the v2 binary
+  /// loader's zero-rebuild path). The section must decode to exactly the
+  /// in-CSR arrays; debug builds re-validate, release builds trust the
+  /// caller (the loader validates untrusted bytes before adopting).
+  void AdoptCompressedInAdjacency(CompressedAdjacency compressed);
+
   /// Optional per-node host names (empty when unset). When set, the vector
   /// has exactly num_nodes() entries.
   const std::vector<std::string>& host_names() const { return host_names_; }
@@ -162,6 +180,9 @@ class WebGraph {
   // construction (graph_validate re-checks in debug builds).
   std::vector<double> inv_out_degree_;
   std::vector<NodeId> dangling_nodes_;
+  // Optional compressed in-adjacency; empty (one zero offset) unless
+  // BuildCompressedInAdjacency or AdoptCompressedInAdjacency ran.
+  CompressedAdjacency compressed_in_;
   std::vector<std::string> host_names_;
 
   // Both builders produce output bit-identical to their serial versions

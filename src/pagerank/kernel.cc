@@ -10,6 +10,9 @@ namespace spammass::pagerank::kernel {
 using graph::NodeId;
 using graph::WebGraph;
 
+static_assert(simd::kMaxSweepLanes == kMaxVectorsPerSweep,
+              "simd_sweep_body.h lane cap must match the kernel's");
+
 uint64_t ChunkSize(uint64_t total) {
   const uint64_t spread = (total + kMaxChunks - 1) / kMaxChunks;
   return std::max(kMinChunkSize, spread);
@@ -193,6 +196,160 @@ void WeightedJacobiSweepMulti(const WebGraph& graph, uint32_t k,
     const double* slot = partials->data() + c * k;
     for (uint32_t j = 0; j < k; ++j) diffs[j] += slot[j];
   }
+}
+
+namespace {
+
+/// Fills the variant-independent SweepArgs fields. The jump multipliers
+/// land in caller-owned `m` storage (hoisted once per kernel call; the
+/// reference path computes the same expression per chunk).
+template <typename Real>
+simd::SweepArgs<Real> MakeSweepArgs(const WebGraph& graph, uint32_t k,
+                                    const Real* v, double damping,
+                                    const double* dangling, const Real* inv,
+                                    const Real* p, const Real* scaled,
+                                    Real* next, Real* next_scaled,
+                                    bool compressed, Real* m) {
+  simd::SweepArgs<Real> args;
+  args.k = k;
+  args.in_offsets = graph.InOffsets().data();
+  if (compressed) {
+    CHECK(graph.has_compressed_in())
+        << "compressed sweep variant requires WebGraph::"
+           "BuildCompressedInAdjacency";
+    args.comp_offsets = graph.compressed_in().byte_offsets.data();
+    args.comp_bytes = graph.compressed_in().bytes.data();
+  } else {
+    args.sources = graph.Sources().data();
+  }
+  args.inv = inv;
+  args.v = v;
+  args.c = static_cast<Real>(damping);
+  for (uint32_t j = 0; j < k; ++j) {
+    m[j] = static_cast<Real>((1.0 - damping) + damping * dangling[j]);
+  }
+  args.m = m;
+  args.p = p;
+  args.scaled = scaled;
+  args.next = next;
+  args.next_scaled = next_scaled;
+  return args;
+}
+
+template <typename Real>
+void RunVariantSweep(const simd::SweepRangeFn<Real> sweep,
+                     const simd::SweepArgs<Real>& args, uint32_t k,
+                     uint64_t n, std::vector<double>* partials, double* diffs,
+                     util::ThreadPool* pool) {
+  const uint64_t chunks = NumChunks(n);
+  partials->assign(chunks * k, 0.0);
+  ForEachChunk(pool, n, [&](uint64_t c, uint64_t begin, uint64_t end) {
+    sweep(args, partials->data() + c * k, static_cast<NodeId>(begin),
+          static_cast<NodeId>(end));
+  });
+  for (uint32_t j = 0; j < k; ++j) diffs[j] = 0.0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const double* slot = partials->data() + c * k;
+    for (uint32_t j = 0; j < k; ++j) diffs[j] += slot[j];
+  }
+}
+
+}  // namespace
+
+void WeightedJacobiSweepMulti(const WebGraph& graph, uint32_t k,
+                              const double* v, double damping,
+                              const double* dangling, const double* p,
+                              const double* scaled, double* next,
+                              double* next_scaled,
+                              std::vector<double>* partials, double* diffs,
+                              const SweepVariant& variant,
+                              util::ThreadPool* pool) {
+  if (variant.IsDefault()) {
+    // The reference path must stay byte-for-byte the pre-variant code, so
+    // the bit-exact guarantee never depends on template instantiation
+    // details.
+    WeightedJacobiSweepMulti(graph, k, v, damping, dangling, p, scaled, next,
+                             next_scaled, partials, diffs, pool);
+    return;
+  }
+  CHECK_GE(k, 1u);
+  CHECK_LE(k, kMaxVectorsPerSweep);
+  double m[kMaxVectorsPerSweep];
+  const simd::SweepArgs<double> args = MakeSweepArgs<double>(
+      graph, k, v, damping, dangling, graph.InvOutDegrees().data(), p,
+      scaled, next, next_scaled, variant.compressed, m);
+  RunVariantSweep<double>(
+      simd::PickSweepF64(variant.level, k, variant.compressed), args, k,
+      graph.num_nodes(), partials, diffs, pool);
+}
+
+void InvOutDegreesF32(const WebGraph& graph, std::vector<float>* out) {
+  const auto inv = graph.InvOutDegrees();
+  out->resize(inv.size());
+  for (size_t x = 0; x < inv.size(); ++x) {
+    (*out)[x] = static_cast<float>(inv[x]);
+  }
+}
+
+void ScaleByInvOutDegreeF32(uint32_t num_nodes, uint32_t k, const float* inv,
+                            const float* p, float* scaled,
+                            util::ThreadPool* pool) {
+  CHECK_GE(k, 1u);
+  ForEachChunk(pool, num_nodes, [&](uint64_t, uint64_t begin, uint64_t end) {
+    for (uint64_t x = begin; x < end; ++x) {
+      const float w = inv[x];
+      const float* in = p + x * k;
+      float* out = scaled + x * k;
+      for (uint32_t j = 0; j < k; ++j) out[j] = in[j] * w;
+    }
+  });
+}
+
+void DanglingSumsF32(const WebGraph& graph, uint32_t k, const float* p,
+                     std::vector<double>* partials, double* sums,
+                     util::ThreadPool* pool) {
+  CHECK_GE(k, 1u);
+  CHECK_LE(k, kMaxVectorsPerSweep);
+  const auto dangling = graph.DanglingNodes();
+  const uint64_t total = dangling.size();
+  for (uint32_t j = 0; j < k; ++j) sums[j] = 0.0;
+  if (total == 0) return;
+  const uint64_t chunks = NumChunks(total);
+  partials->assign(chunks * k, 0.0);
+  ForEachChunk(pool, total, [&](uint64_t c, uint64_t begin, uint64_t end) {
+    double acc[kMaxVectorsPerSweep] = {0.0};
+    for (uint64_t i = begin; i < end; ++i) {
+      const float* row = p + static_cast<uint64_t>(dangling[i]) * k;
+      for (uint32_t j = 0; j < k; ++j) {
+        acc[j] += static_cast<double>(row[j]);
+      }
+    }
+    double* slot = partials->data() + c * k;
+    for (uint32_t j = 0; j < k; ++j) slot[j] = acc[j];
+  });
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const double* slot = partials->data() + c * k;
+    for (uint32_t j = 0; j < k; ++j) sums[j] += slot[j];
+  }
+}
+
+void WeightedJacobiSweepMultiF32(const WebGraph& graph, uint32_t k,
+                                 const float* v, double damping,
+                                 const double* dangling, const float* inv,
+                                 const float* p, const float* scaled,
+                                 float* next, float* next_scaled,
+                                 std::vector<double>* partials, double* diffs,
+                                 const SweepVariant& variant,
+                                 util::ThreadPool* pool) {
+  CHECK_GE(k, 1u);
+  CHECK_LE(k, kMaxVectorsPerSweep);
+  float m[kMaxVectorsPerSweep];
+  const simd::SweepArgs<float> args =
+      MakeSweepArgs<float>(graph, k, v, damping, dangling, inv, p, scaled,
+                           next, next_scaled, variant.compressed, m);
+  RunVariantSweep<float>(
+      simd::PickSweepF32(variant.level, k, variant.compressed), args, k,
+      graph.num_nodes(), partials, diffs, pool);
 }
 
 }  // namespace spammass::pagerank::kernel

@@ -38,9 +38,24 @@
 #include <vector>
 
 #include "graph/web_graph.h"
+#include "pagerank/simd.h"
 #include "util/thread_pool.h"
 
 namespace spammass::pagerank::kernel {
+
+/// Selects the sweep implementation: instruction-set tier (simd.h) and
+/// edge encoding. The default — scalar, plain CSR — is the bit-exact
+/// reference path; every other combination is validated against it by
+/// pagerank_sweep_variant_test.cc. `compressed` requires the graph to
+/// carry a compressed in-adjacency (WebGraph::has_compressed_in).
+struct SweepVariant {
+  simd::Level level = simd::Level::kScalar;
+  bool compressed = false;
+
+  bool IsDefault() const {
+    return level == simd::Level::kScalar && !compressed;
+  }
+};
 
 /// Maximum number of interleaved vectors one sweep advances. Callers batch
 /// larger multi-solves into groups of at most this many (the solver does
@@ -120,6 +135,55 @@ void WeightedJacobiSweepMulti(const graph::WebGraph& graph, uint32_t k,
                               double* next_scaled,
                               std::vector<double>* partials, double* diffs,
                               util::ThreadPool* pool);
+
+/// Variant-selecting overload: `variant` picks the instruction set and the
+/// edge encoding. The default variant routes through the exact code path
+/// of the overload above (bit-identical results); vectorized and
+/// compressed variants preserve each lane's accumulation order but may
+/// differ from the reference by FMA contraction (see simd.h).
+void WeightedJacobiSweepMulti(const graph::WebGraph& graph, uint32_t k,
+                              const double* v, double damping,
+                              const double* dangling, const double* p,
+                              const double* scaled, double* next,
+                              double* next_scaled,
+                              std::vector<double>* partials, double* diffs,
+                              const SweepVariant& variant,
+                              util::ThreadPool* pool);
+
+/// Narrows the graph's cached inverse out-degrees to float32 scratch for
+/// the f32 sweep family (resizes `out` to num_nodes()).
+void InvOutDegreesF32(const graph::WebGraph& graph, std::vector<float>* out);
+
+/// float32 twin of ScaleByInvOutDegree over explicit arrays: scaled[x·k+j]
+/// = p[x·k+j] · inv[x] for `num_nodes` nodes. `inv` is the
+/// InvOutDegreesF32 output.
+void ScaleByInvOutDegreeF32(uint32_t num_nodes, uint32_t k, const float* inv,
+                            const float* p, float* scaled,
+                            util::ThreadPool* pool);
+
+/// float32 twin of DanglingSums: sums[j] = Σ_{x dangling} p[x·k+j], each
+/// term widened to double before accumulating, so the sums (and the jump
+/// multipliers derived from them) are full-precision measurements of the
+/// float iterate. Deterministic chunked reduction, same policy as the f64
+/// path.
+void DanglingSumsF32(const graph::WebGraph& graph, uint32_t k, const float* p,
+                     std::vector<double>* partials, double* sums,
+                     util::ThreadPool* pool);
+
+/// float32 twin of the variant-selecting WeightedJacobiSweepMulti. Lane
+/// storage (`v`, `p`, `scaled`, `next`, `next_scaled`) is float32 — half
+/// the sweep's memory traffic — while `dangling` carries the f64
+/// DanglingSumsF32 measurements and every L1 difference accumulates in
+/// double (diffs[j] is a float64 residual of the float32 iterate). `inv`
+/// is the InvOutDegreesF32 output.
+void WeightedJacobiSweepMultiF32(const graph::WebGraph& graph, uint32_t k,
+                                 const float* v, double damping,
+                                 const double* dangling, const float* inv,
+                                 const float* p, const float* scaled,
+                                 float* next, float* next_scaled,
+                                 std::vector<double>* partials, double* diffs,
+                                 const SweepVariant& variant,
+                                 util::ThreadPool* pool);
 
 }  // namespace spammass::pagerank::kernel
 

@@ -39,9 +39,14 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
   json.KV("tolerance", config.solver.tolerance);
   json.KV("max_iterations", config.solver.max_iterations);
   json.KV("num_threads", config.solver.num_threads);
+  json.KV("simd", pagerank::SimdPolicyToString(config.solver.simd));
+  json.KV("precision",
+          pagerank::SweepPrecisionToString(config.solver.precision));
+  json.KV("compressed_gather", config.solver.compressed_gather);
   json.EndObject();
   json.KV("gamma", config.gamma);
   json.KV("scale_core_jump", config.scale_core_jump);
+  json.KV("reorder", graph::ReorderKindToString(config.reorder));
   json.Key("detection").BeginObject();
   json.KV("relative_mass_threshold",
           config.detection.relative_mass_threshold);

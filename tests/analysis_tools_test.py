@@ -48,10 +48,14 @@ class SpammassLintFixtureTest(unittest.TestCase):
 
     def test_exit_code_and_count(self):
         self.assertEqual(self.code, 1, self.stdout + self.stderr)
-        self.assertIn("7 violation(s)", self.stderr)
+        self.assertIn("11 violation(s)", self.stderr)
 
     def test_exact_violation_set(self):
         self.assertEqual(violation_keys(self.stdout), [
+            ("src/core/bad_intrinsics.cc", 3, "simd-isolation"),
+            ("src/core/bad_intrinsics.cc", 10, "simd-isolation"),
+            ("src/core/bad_intrinsics.cc", 13, "simd-isolation"),
+            ("src/core/bad_intrinsics.cc", 16, "simd-isolation"),
             ("src/graph/bad_iteration.cc", 13, "unordered-iteration"),
             ("src/graph/bad_iteration.cc", 21, "unordered-iteration"),
             ("src/pipeline/bad_clock.cc", 10, "wall-clock"),
@@ -63,14 +67,36 @@ class SpammassLintFixtureTest(unittest.TestCase):
 
     def test_messages_name_the_offenders(self):
         lines = self.stdout.splitlines()
-        self.assertIn("'host_index'", lines[0])
-        self.assertIn("bucket order", lines[0])
-        self.assertIn("'index'", lines[1])
-        self.assertIn("wall-clock source in src/", lines[2])
-        self.assertIn("steady_clock outside the timing layers", lines[3])
-        self.assertIn("std::random_device", lines[4])
-        self.assertIn("srand()", lines[5])
-        self.assertIn("rand()", lines[6])
+        self.assertIn("vector intrinsics outside src/pagerank/simd*",
+                      lines[0])
+        self.assertIn("runtime-dispatched shim", lines[1])
+        self.assertIn("'host_index'", lines[4])
+        self.assertIn("bucket order", lines[4])
+        self.assertIn("'index'", lines[5])
+        self.assertIn("wall-clock source in src/", lines[6])
+        self.assertIn("steady_clock outside the timing layers", lines[7])
+        self.assertIn("std::random_device", lines[8])
+        self.assertIn("srand()", lines[9])
+        self.assertIn("rand()", lines[10])
+
+    def test_simd_fallback_post_pass(self):
+        # A tree whose vector backend TU exists but whose dispatch shim
+        # lost the scalar fallback must fail the post-pass.
+        with tempfile.TemporaryDirectory(prefix="spammass_simd_") as tree:
+            pagerank = os.path.join(tree, "src", "pagerank")
+            os.makedirs(pagerank)
+            with open(os.path.join(pagerank, "simd_avx2.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write("#include <immintrin.h>\n")
+            with open(os.path.join(pagerank, "simd.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write("// dispatch shim without a fallback\n")
+            code, stdout, _ = run_tool(LINT, "--root", tree)
+            self.assertEqual(code, 1, stdout)
+            self.assertIn(
+                ("src/pagerank/simd.cc", 1, "simd-isolation"),
+                violation_keys(stdout))
+            self.assertIn("ScalarSweepRange", stdout)
 
 
 class CheckLayersFixtureTest(unittest.TestCase):

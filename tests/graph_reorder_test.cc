@@ -1,0 +1,203 @@
+// Vertex reordering: permutation/inverse consistency for every kind,
+// structural equivalence of the reordered graph (edges relabeled, nothing
+// created or lost), host-name and compressed-adjacency carry-over, and the
+// property the whole feature rests on — PageRank scores are
+// permutation-equivariant, so solving on the reordered graph and mapping
+// back through the inverse changes nothing.
+
+#include "graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/web_graph.h"
+#include "pagerank/jump_vector.h"
+#include "pagerank/solver.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Reordering;
+using graph::ReorderKind;
+using graph::WebGraph;
+
+WebGraph MakeGraph(uint32_t n, uint32_t edges, uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+  for (uint32_t e = 0; e < edges; ++e) {
+    // Skewed sources so the degree ordering has real work to do.
+    auto u = static_cast<NodeId>(rng.UniformIndex(n / 2));
+    auto v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+void ExpectValidPermutation(const Reordering& r, uint32_t n) {
+  ASSERT_EQ(r.perm.size(), n);
+  ASSERT_EQ(r.inverse.size(), n);
+  std::vector<bool> seen(n, false);
+  for (NodeId x = 0; x < n; ++x) {
+    ASSERT_LT(r.perm[x], n);
+    EXPECT_FALSE(seen[r.perm[x]]) << "duplicate image " << r.perm[x];
+    seen[r.perm[x]] = true;
+    EXPECT_EQ(r.inverse[r.perm[x]], x) << "inverse mismatch at " << x;
+  }
+}
+
+/// The edge set as (old-id, old-id) pairs, from a graph whose IDs are
+/// translated through `to_old` (identity for the original graph).
+std::set<std::pair<NodeId, NodeId>> EdgeSet(const WebGraph& g,
+                                            const std::vector<NodeId>& to_old) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    for (NodeId y : g.OutNeighbors(x)) {
+      edges.insert({to_old[x], to_old[y]});
+    }
+  }
+  return edges;
+}
+
+TEST(ReorderTest, KindStringsRoundTrip) {
+  for (ReorderKind kind :
+       {ReorderKind::kNone, ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+    auto parsed =
+        graph::ReorderKindFromString(graph::ReorderKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(graph::ReorderKindFromString("hilbert").ok());
+}
+
+TEST(ReorderTest, ComputesValidPermutations) {
+  WebGraph g = MakeGraph(400, 2500, /*seed=*/7);
+  for (ReorderKind kind :
+       {ReorderKind::kNone, ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+    Reordering r = graph::ComputeReordering(g, kind);
+    ExpectValidPermutation(r, g.num_nodes());
+  }
+  // kNone is the identity.
+  Reordering identity = graph::ComputeReordering(g, ReorderKind::kNone);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    EXPECT_EQ(identity.perm[x], x);
+  }
+}
+
+TEST(ReorderTest, DegreeDescSortsByTotalDegree) {
+  WebGraph g = MakeGraph(300, 1800, /*seed=*/11);
+  Reordering r = graph::ComputeReordering(g, ReorderKind::kDegreeDesc);
+  auto total_degree = [&g](NodeId x) {
+    return g.OutDegree(x) + g.InDegree(x);
+  };
+  // inverse is the degree-sorted order: new id 0 holds the hottest node.
+  for (NodeId x = 0; x + 1 < g.num_nodes(); ++x) {
+    const uint64_t a = total_degree(r.inverse[x]);
+    const uint64_t b = total_degree(r.inverse[x + 1]);
+    EXPECT_GE(a, b) << "positions " << x << ", " << x + 1;
+    if (a == b) {
+      // Equal degrees keep ascending original-ID order (determinism).
+      EXPECT_LT(r.inverse[x], r.inverse[x + 1]);
+    }
+  }
+}
+
+TEST(ReorderTest, ApplyPreservesStructure) {
+  WebGraph g = MakeGraph(350, 2000, /*seed=*/13);
+  std::vector<std::string> names(g.num_nodes());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    names[x] = "host-" + std::to_string(x);
+  }
+  g.set_host_names(std::move(names));
+  g.BuildCompressedInAdjacency();
+
+  std::vector<NodeId> identity(g.num_nodes());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) identity[x] = x;
+
+  for (ReorderKind kind : {ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+    Reordering r = graph::ComputeReordering(g, kind);
+    WebGraph permuted = graph::ApplyReordering(g, r);
+    ASSERT_EQ(permuted.num_nodes(), g.num_nodes());
+    ASSERT_EQ(permuted.num_edges(), g.num_edges());
+    EXPECT_EQ(EdgeSet(permuted, r.inverse), EdgeSet(g, identity));
+    // Names travel with their nodes; the compressed adjacency is rebuilt.
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      EXPECT_EQ(permuted.HostName(x), g.HostName(r.inverse[x]));
+    }
+    ASSERT_TRUE(permuted.has_compressed_in());
+    EXPECT_TRUE(graph::ValidateCompressedAdjacency(
+                    permuted.compressed_in(), permuted.num_nodes(),
+                    permuted.InOffsets(), permuted.Sources())
+                    .ok());
+  }
+}
+
+TEST(ReorderTest, MapNodeIdsTranslatesBothWays) {
+  WebGraph g = MakeGraph(100, 500, /*seed=*/17);
+  Reordering r = graph::ComputeReordering(g, ReorderKind::kDegreeDesc);
+  std::vector<NodeId> nodes = {0, 13, 50, 99};
+  std::vector<NodeId> mapped = graph::MapNodeIds(nodes, r.perm);
+  std::vector<NodeId> back = graph::MapNodeIds(mapped, r.inverse);
+  EXPECT_EQ(back, nodes);
+}
+
+TEST(ReorderTest, PageRankIsPermutationEquivariant) {
+  WebGraph g = MakeGraph(500, 3000, /*seed=*/19);
+  pagerank::SolverOptions opt;
+  opt.method = pagerank::Method::kJacobi;
+  opt.tolerance = 1e-12;
+
+  auto base = pagerank::ComputeUniformPageRank(g, opt);
+  ASSERT_TRUE(base.ok());
+
+  for (ReorderKind kind : {ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+    Reordering r = graph::ComputeReordering(g, kind);
+    WebGraph permuted = graph::ApplyReordering(g, r);
+    auto reordered = pagerank::ComputeUniformPageRank(permuted, opt);
+    ASSERT_TRUE(reordered.ok());
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      // Same mathematical system under relabeling; only the CSR traversal
+      // order (and hence fp addition order) changes, so near-equality.
+      EXPECT_NEAR(base.value().scores[x],
+                  reordered.value().scores[r.perm[x]], 1e-10)
+          << "node " << x << " kind " << graph::ReorderKindToString(kind);
+    }
+  }
+}
+
+TEST(ReorderTest, BfsKeepsNeighborsClose) {
+  // A long path: BFS from the highest-degree node must label the path in
+  // contiguous runs, far tighter than crawl order reversed.
+  GraphBuilder b(64);
+  for (NodeId x = 0; x + 1 < 64; ++x) {
+    b.AddEdge(63 - x, 62 - x);  // reversed path, worst-case locality
+    b.AddEdge(62 - x, 63 - x);
+  }
+  WebGraph g = b.Build();
+  Reordering r = graph::ComputeReordering(g, ReorderKind::kBfs);
+  ExpectValidPermutation(r, g.num_nodes());
+  uint64_t total_jump = 0;
+  uint64_t edges = 0;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    for (NodeId y : g.OutNeighbors(x)) {
+      const auto a = static_cast<int64_t>(r.perm[x]);
+      const auto bb = static_cast<int64_t>(r.perm[y]);
+      total_jump += static_cast<uint64_t>(a > bb ? a - bb : bb - a);
+      ++edges;
+    }
+  }
+  // A BFS order of a path keeps every edge within distance 2.
+  EXPECT_LE(total_jump, edges * 2);
+}
+
+}  // namespace
+}  // namespace spammass

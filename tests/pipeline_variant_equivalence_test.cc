@@ -1,0 +1,299 @@
+// End-to-end variant equivalence: the Figure-4-style detection outcome —
+// who is flagged, which candidates surface, their ordering — must be
+// identical across every sweep variant (SIMD, mixed precision, compressed
+// gather) and every vertex reordering, because those are storage/traversal
+// choices, not model changes. Also the permutation-invariance property
+// test: spam mass, relative mass and verdicts are invariant under random,
+// degree and BFS node permutations for Jacobi and Gauss-Seidel at 1 and 4
+// threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/spam_mass.h"
+#include "graph/reorder.h"
+#include "pagerank/simd.h"
+#include "pagerank/solver.h"
+#include "pipeline/context.h"
+#include "pipeline/graph_source.h"
+#include "pipeline/pipeline.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using graph::NodeId;
+using graph::Reordering;
+using graph::ReorderKind;
+using graph::WebGraph;
+using pagerank::SimdPolicy;
+using pagerank::SweepPrecision;
+namespace simd = pagerank::simd;
+
+pipeline::PipelineConfig BaseConfig() {
+  pipeline::PipelineConfig config;
+  config.solver.method = pagerank::Method::kJacobi;
+  config.solver.tolerance = 1e-12;
+  config.solver.max_iterations = 500;
+  return config;
+}
+
+util::Result<pipeline::PipelineRun> RunScenario(
+    const pipeline::PipelineConfig& config) {
+  pipeline::GraphSource source = pipeline::GraphSource::Scenario(0.03, 17);
+  // spam_mass only: its verdicts are threshold tests with a margin this
+  // suite asserts, so exact equality across variants is well-defined.
+  // Rank-cutoff detectors (TrustRank demotion) can legitimately flip on
+  // tolerance-level score differences and are out of scope here.
+  return pipeline::RunDetectors(source, config, {"spam_mass"});
+}
+
+void ExpectSameVerdicts(const pipeline::PipelineRun& want,
+                        const pipeline::PipelineRun& got,
+                        const std::string& label) {
+  ASSERT_EQ(want.detectors.size(), got.detectors.size()) << label;
+  for (size_t d = 0; d < want.detectors.size(); ++d) {
+    const pipeline::DetectorOutput& a = want.detectors[d];
+    const pipeline::DetectorOutput& b = got.detectors[d];
+    EXPECT_EQ(a.detector, b.detector) << label;
+    EXPECT_EQ(a.flagged_count, b.flagged_count) << label;
+    ASSERT_EQ(a.flagged.size(), b.flagged.size()) << label;
+    for (size_t x = 0; x < a.flagged.size(); ++x) {
+      EXPECT_EQ(a.flagged[x], b.flagged[x])
+          << label << " detector " << a.detector << " node " << x;
+    }
+    ASSERT_EQ(a.candidates.size(), b.candidates.size()) << label;
+    for (size_t i = 0; i < a.candidates.size(); ++i) {
+      EXPECT_EQ(a.candidates[i].node, b.candidates[i].node)
+          << label << " candidate " << i;
+      EXPECT_NEAR(a.candidates[i].relative_mass,
+                  b.candidates[i].relative_mass, 1e-6)
+          << label << " candidate " << i;
+    }
+  }
+}
+
+TEST(PipelineVariantEquivalenceTest, BaselineVerdictMarginsAreRobust) {
+  // Guard for this whole suite: every candidate's relative mass must sit a
+  // safe distance from the τ threshold, so tolerance-level perturbations
+  // (FMA contraction, f32 pre-phases, traversal reordering) cannot flip a
+  // verdict and the exact-equality assertions below are meaningful.
+  pipeline::PipelineConfig config = BaseConfig();
+  auto run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const double tau = config.detection.relative_mass_threshold;
+  const double rho = config.detection.scaled_pagerank_threshold;
+  double min_tau_margin = 1.0;
+  double min_rho_margin = 1.0;
+  size_t counted = 0;
+  for (const auto& detector : run.value().detectors) {
+    for (const auto& candidate : detector.candidates) {
+      min_tau_margin = std::min(min_tau_margin,
+                                std::abs(candidate.relative_mass - tau));
+      min_rho_margin = std::min(
+          min_rho_margin, std::abs(candidate.scaled_pagerank - rho));
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(min_tau_margin, 1e-6) << "verdicts too close to tau for the "
+                                     "variant-equality assertions to be "
+                                     "sound";
+  EXPECT_GT(min_rho_margin, 1e-5) << "candidates too close to rho";
+}
+
+TEST(PipelineVariantEquivalenceTest, SweepVariantsPreserveDetection) {
+  auto baseline = RunScenario(BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  struct Case {
+    const char* label;
+    SimdPolicy simd;
+    SweepPrecision precision;
+    bool compressed;
+  };
+  std::vector<Case> cases = {
+      {"compressed", SimdPolicy::kScalar, SweepPrecision::kFloat64, true},
+      {"mixed_f32", SimdPolicy::kScalar, SweepPrecision::kMixedF32, false},
+  };
+  if (simd::Best() != simd::Level::kScalar) {
+    cases.push_back(
+        {"simd", SimdPolicy::kAuto, SweepPrecision::kFloat64, false});
+    cases.push_back({"simd_f32_compressed", SimdPolicy::kAuto,
+                     SweepPrecision::kMixedF32, true});
+  }
+  for (const Case& c : cases) {
+    pipeline::PipelineConfig config = BaseConfig();
+    config.solver.simd = c.simd;
+    config.solver.precision = c.precision;
+    config.solver.compressed_gather = c.compressed;
+    auto run = RunScenario(config);
+    ASSERT_TRUE(run.ok()) << c.label << ": " << run.status().ToString();
+    ExpectSameVerdicts(baseline.value(), run.value(), c.label);
+  }
+}
+
+TEST(PipelineVariantEquivalenceTest, ReorderingsPreserveDetection) {
+  auto baseline = RunScenario(BaseConfig());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (ReorderKind kind : {ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+    pipeline::PipelineConfig config = BaseConfig();
+    config.reorder = kind;
+    auto run = RunScenario(config);
+    const std::string label = graph::ReorderKindToString(kind);
+    ASSERT_TRUE(run.ok()) << label << ": " << run.status().ToString();
+    ExpectSameVerdicts(baseline.value(), run.value(), label);
+    // The returned source graph is the ORIGINAL, not the permuted copy.
+    pipeline::GraphSource source = pipeline::GraphSource::Scenario(0.03, 17);
+    auto reference = source.Load();
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(run.value().source.graph().num_nodes(),
+              reference.value().graph().num_nodes());
+    for (NodeId x = 0; x < reference.value().graph().num_nodes(); ++x) {
+      auto a = run.value().source.graph().OutNeighbors(x);
+      auto b = reference.value().graph().OutNeighbors(x);
+      ASSERT_EQ(a.size(), b.size()) << label << " node " << x;
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+          << label << " node " << x;
+    }
+  }
+}
+
+TEST(PipelineVariantEquivalenceTest, ReorderingWithVariantsCombined) {
+  auto baseline = RunScenario(BaseConfig());
+  ASSERT_TRUE(baseline.ok());
+
+  pipeline::PipelineConfig config = BaseConfig();
+  config.reorder = ReorderKind::kDegreeDesc;
+  config.solver.compressed_gather = true;
+  if (simd::Best() != simd::Level::kScalar) {
+    config.solver.simd = SimdPolicy::kAuto;
+  }
+  config.solver.precision = SweepPrecision::kMixedF32;
+  config.solver.num_threads = 4;
+  auto run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectSameVerdicts(baseline.value(), run.value(), "combined");
+}
+
+TEST(PipelineVariantEquivalenceTest, TrustRankRunsUnderCompressedGather) {
+  // Regression: TrustRank's seed selection solves inverse PageRank on a
+  // throwaway transposed graph, which has no compressed in-adjacency; the
+  // seed solve must drop compressed_gather rather than fail the whole run.
+  // Scalar f64 compressed gather reads the identical sources in the
+  // identical order, so the full run stays bit-identical to plain.
+  pipeline::GraphSource source = pipeline::GraphSource::Scenario(0.03, 17);
+  auto plain = pipeline::RunDetectors(source, BaseConfig(),
+                                      {"spam_mass", "trustrank"});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  pipeline::PipelineConfig config = BaseConfig();
+  config.solver.compressed_gather = true;
+  auto compressed =
+      pipeline::RunDetectors(source, config, {"spam_mass", "trustrank"});
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  ExpectSameVerdicts(plain.value(), compressed.value(), "trustrank");
+}
+
+TEST(PipelineVariantEquivalenceTest, ManifestEchoesVariantConfig) {
+  pipeline::PipelineConfig config = BaseConfig();
+  config.solver.simd = SimdPolicy::kAuto;
+  config.solver.precision = SweepPrecision::kMixedF32;
+  config.solver.compressed_gather = true;
+  config.reorder = ReorderKind::kBfs;
+  auto run = RunScenario(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string& json = run.value().manifest_json;
+  for (const char* needle :
+       {"\"simd\":\"auto\"", "\"precision\":\"mixed-f32\"",
+        "\"compressed_gather\":true", "\"reorder\":\"bfs\"",
+        "\"name\":\"reorder\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "manifest missing " << needle << "\n" << json;
+  }
+}
+
+// ---- Permutation-invariance property test (core level) ------------------
+
+struct PermCase {
+  pagerank::Method method;
+  uint32_t threads;
+};
+
+class MassPermutationInvarianceTest
+    : public ::testing::TestWithParam<PermCase> {};
+
+TEST_P(MassPermutationInvarianceTest, MassAndVerdictsInvariant) {
+  pipeline::GraphSource source = pipeline::GraphSource::Scenario(0.03, 23);
+  auto loaded = source.Load();
+  ASSERT_TRUE(loaded.ok());
+  const WebGraph& g = loaded.value().graph();
+  const uint32_t n = g.num_nodes();
+
+  core::SpamMassOptions options;
+  options.solver.method = GetParam().method;
+  options.solver.num_threads = GetParam().threads;
+  options.solver.tolerance = 1e-12;
+  options.solver.max_iterations = 500;
+  options.gamma = 0.8;
+  auto base =
+      core::EstimateSpamMass(g, loaded.value().good_core, options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  // Three permutations: the two locality orders plus a seeded random one.
+  std::vector<std::pair<std::string, Reordering>> permutations;
+  permutations.emplace_back(
+      "degree", graph::ComputeReordering(g, ReorderKind::kDegreeDesc));
+  permutations.emplace_back("bfs",
+                            graph::ComputeReordering(g, ReorderKind::kBfs));
+  Reordering random;
+  random.perm.resize(n);
+  std::iota(random.perm.begin(), random.perm.end(), 0u);
+  util::Rng rng(99);
+  for (uint32_t x = n; x > 1; --x) {
+    std::swap(random.perm[x - 1], random.perm[rng.UniformIndex(x)]);
+  }
+  random.inverse.resize(n);
+  for (NodeId x = 0; x < n; ++x) random.inverse[random.perm[x]] = x;
+  permutations.emplace_back("random", std::move(random));
+
+  for (const auto& [label, reordering] : permutations) {
+    WebGraph permuted = graph::ApplyReordering(g, reordering);
+    std::vector<NodeId> permuted_core =
+        graph::MapNodeIds(loaded.value().good_core, reordering.perm);
+    std::sort(permuted_core.begin(), permuted_core.end());
+    auto got = core::EstimateSpamMass(permuted, permuted_core, options);
+    ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+    for (NodeId x = 0; x < n; ++x) {
+      const NodeId y = reordering.perm[x];
+      EXPECT_NEAR(base.value().relative_mass[x],
+                  got.value().relative_mass[y], 1e-6)
+          << label << " node " << x;
+      EXPECT_NEAR(base.value().absolute_mass[x],
+                  got.value().absolute_mass[y], 1e-10)
+          << label << " node " << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndThreads, MassPermutationInvarianceTest,
+    ::testing::Values(PermCase{pagerank::Method::kJacobi, 1},
+                      PermCase{pagerank::Method::kJacobi, 4},
+                      PermCase{pagerank::Method::kGaussSeidel, 1},
+                      PermCase{pagerank::Method::kGaussSeidel, 4}),
+    [](const ::testing::TestParamInfo<PermCase>& info) {
+      return std::string(info.param.method == pagerank::Method::kJacobi
+                             ? "Jacobi"
+                             : "GaussSeidel") +
+             std::to_string(info.param.threads) + "Threads";
+    });
+
+}  // namespace
+}  // namespace spammass

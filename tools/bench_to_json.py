@@ -18,6 +18,15 @@ Suite `solver` (bench_solver_perf + bench_multi_solve):
         BM_ParallelJacobiFreshPool/<k> / BM_ParallelJacobiWorkspace/<k>
   * multi_solve_amortization_k<k>:
         BM_IndependentSolves/<k> / BM_FusedMultiSolve/<k>
+  * simd_multi_rhs_speedup_k4 (bench_sweep_variants, power-law web):
+        BM_SweepScalarF64Plain / BM_SweepSimdF64Plain
+  * compressed_gather_speedup_k4 / mixed_precision_speedup_k4 /
+    full_variant_speedup_k4: the scalar/f64/plain sweep over the
+    compressed, mixed-f32, and simd+f32+compressed variants
+  * reorder_degree_sweep_speedup / reorder_bfs_sweep_speedup:
+        crawl-order sweep over the locality-reordered sweep
+    plus `bytes_per_edge`: the modelled traffic counters of the plain
+    f64 sweep vs. the f32+compressed sweep and the relative reduction.
 
 Suite `graph` (bench_graph_ops, 100k-node ingest fixtures):
 
@@ -48,11 +57,21 @@ obs_disabled_overhead_T* stays ≤1.02:
 
 Usage:
     tools/bench_to_json.py --bench-dir build/bench --out BENCH_solver.json \
-        [--suite solver|graph] [--min-time 0.1]
+        [--suite solver|graph] [--min-time 0.1] [--baseline BENCH_solver.json]
 
-The CI perf-smoke job uploads the resulting files as artifacts; no
-thresholds are enforced here (machine variance makes hard gates flaky) —
-the ratios are recorded for human inspection and trend tracking.
+Build-type guard: every bench binary stamps `spammass_build_type`
+(release/debug, from its own NDEBUG) into the report context via
+SPAMMASS_BENCHMARK_MAIN(). Reports from a non-release build are refused —
+debug numbers are meaningless and once burned us by landing in the
+committed BENCH_solver.json (its context still said
+"library_build_type": "debug"). `--allow-non-release` downgrades the
+refusal to a loud warning and stamps `"non_release_build": true` into the
+output so the file can never masquerade as a real measurement.
+
+Regression guard: `--baseline <committed BENCH_*.json>` compares every
+derived ratio against the committed run and warns when one drops by more
+than 10%. Warnings only — machine variance makes hard gates flaky — but
+they make a silent slowdown visible in the CI log.
 """
 
 import argparse
@@ -79,6 +98,18 @@ SOLVER_RATIO_PAIRS = [
      "BM_FusedMultiSolve/4"),
     ("multi_solve_amortization_k8", "BM_IndependentSolves/8",
      "BM_FusedMultiSolve/8"),
+    ("simd_multi_rhs_speedup_k4", "BM_SweepScalarF64Plain",
+     "BM_SweepSimdF64Plain"),
+    ("compressed_gather_speedup_k4", "BM_SweepScalarF64Plain",
+     "BM_SweepScalarF64Compressed"),
+    ("mixed_precision_speedup_k4", "BM_SweepScalarF64Plain",
+     "BM_SweepScalarF32Plain"),
+    ("full_variant_speedup_k4", "BM_SweepScalarF64Plain",
+     "BM_SweepSimdF32Compressed"),
+    ("reorder_degree_sweep_speedup", "BM_SweepScalarF64Plain",
+     "BM_SweepReorderedDegree"),
+    ("reorder_bfs_sweep_speedup", "BM_SweepScalarF64Plain",
+     "BM_SweepReorderedBfs"),
 ]
 
 GRAPH_RATIO_PAIRS = [
@@ -119,7 +150,8 @@ OBS_RATIO_PAIRS = [
 
 SUITES = {
     "solver": {
-        "binaries": ["bench_solver_perf", "bench_multi_solve"],
+        "binaries": ["bench_solver_perf", "bench_multi_solve",
+                     "bench_sweep_variants"],
         "ratios": SOLVER_RATIO_PAIRS,
     },
     "graph": {
@@ -162,6 +194,63 @@ def real_time_ms(entry):
     return entry["real_time"] * scale
 
 
+def report_build_type(report, binary):
+    """The build type a bench report was produced by.
+
+    Prefers the `spammass_build_type` context key (stamped by
+    SPAMMASS_BENCHMARK_MAIN from the bench binary's own NDEBUG); falls
+    back to google-benchmark's `library_build_type`, which only describes
+    the benchmark *library* and may disagree with the bench code.
+    """
+    context = report.get("context") or {}
+    build_type = context.get("spammass_build_type")
+    if build_type is None:
+        build_type = context.get("library_build_type", "unknown")
+        print(f"warning: {binary} lacks spammass_build_type context; "
+              f"falling back to library_build_type={build_type!r}",
+              file=sys.stderr)
+    return build_type
+
+
+def check_regressions(speedups, baseline_path, threshold=0.10):
+    """Warns about ratios that dropped >threshold vs. the committed run."""
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f).get("speedups", {})
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: cannot read baseline {baseline_path}: {e}",
+              file=sys.stderr)
+        return []
+    regressions = []
+    for label, old in baseline.items():
+        new = speedups.get(label)
+        if new is None or old <= 0:
+            continue
+        drop = 1.0 - new / old
+        if drop > threshold:
+            regressions.append((label, old, new, drop))
+            print(f"warning: REGRESSION {label}: {old:.2f}x -> {new:.2f}x "
+                  f"({drop:.0%} drop vs. baseline)", file=sys.stderr)
+    return regressions
+
+
+def bytes_per_edge_summary(merged):
+    """Derives the bytes-per-edge reduction from the variant counters."""
+    counters = {}
+    for entry in merged["benchmarks"]:
+        if "bytes_per_edge" in entry:
+            counters[entry["name"]] = entry["bytes_per_edge"]
+    plain = counters.get("BM_SweepScalarF64Plain")
+    packed = counters.get("BM_SweepScalarF32Compressed")
+    if not plain or packed is None:
+        return None
+    return {
+        "plain_f64": plain,
+        "compressed_f32": packed,
+        "reduction": 1.0 - packed / plain,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench-dir", required=True,
@@ -172,17 +261,27 @@ def main():
                         help="which benchmark suite to run (default: solver)")
     parser.add_argument("--min-time", default=None,
                         help="forwarded as --benchmark_min_time in seconds (e.g. 0.1)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_*.json to compare ratios "
+                             "against; drops >10%% print a warning")
+    parser.add_argument("--allow-non-release", action="store_true",
+                        help="downgrade the non-release refusal to a "
+                             "warning (output is stamped non_release_build)")
     args = parser.parse_args()
     suite = SUITES[args.suite]
 
     merged = {"context": None, "benchmarks": [], "speedups": {}}
     times = {}
+    non_release = []
     for name in suite["binaries"]:
         binary = os.path.join(args.bench_dir, name)
         if not os.path.exists(binary):
             print(f"error: {binary} not built", file=sys.stderr)
             return 1
         report = run_bench(binary, args.min_time)
+        build_type = report_build_type(report, name)
+        if build_type != "release":
+            non_release.append((name, build_type))
         if merged["context"] is None:
             merged["context"] = report.get("context")
         for entry in report.get("benchmarks", []):
@@ -190,9 +289,30 @@ def main():
             merged["benchmarks"].append(entry)
             times[entry["name"]] = real_time_ms(entry)
 
+    if non_release:
+        detail = ", ".join(f"{n} ({t})" for n, t in non_release)
+        if args.allow_non_release:
+            print(f"warning: NON-RELEASE BENCH RUN: {detail} — numbers are "
+                  "not comparable to committed results", file=sys.stderr)
+            merged["non_release_build"] = True
+        else:
+            print(f"error: refusing to publish non-release bench run: "
+                  f"{detail}\nRebuild with -DCMAKE_BUILD_TYPE=Release or "
+                  "pass --allow-non-release to record anyway.",
+                  file=sys.stderr)
+            return 1
+
     for label, baseline, optimized in suite["ratios"]:
         if baseline in times and optimized in times and times[optimized] > 0:
             merged["speedups"][label] = times[baseline] / times[optimized]
+
+    if args.suite == "solver":
+        summary = bytes_per_edge_summary(merged)
+        if summary is not None:
+            merged["bytes_per_edge"] = summary
+
+    if args.baseline:
+        check_regressions(merged["speedups"], args.baseline)
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2)

@@ -25,6 +25,7 @@
 #include "eval/metrics.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "graph/reorder.h"
 #include "graph/site_aggregation.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
@@ -160,6 +161,14 @@ void DefineSolverFlags(util::FlagParser* flags) {
                     "record per-iteration residual curves (manifest "
                     "convergence[].residual_curve; plot with "
                     "tools/plot_convergence.py)");
+  flags->Define("simd", pagerank::SimdPolicyToString(preset.simd),
+                "sweep instruction set: scalar | auto | avx2 | neon "
+                "(Jacobi/power only; forcing an unsupported level fails)");
+  flags->Define("precision", pagerank::SweepPrecisionToString(preset.precision),
+                "sweep lane precision: f64 | mixed-f32 (Jacobi only)");
+  flags->DefineBool("compressed-gather",
+                    "gather in-edges from the delta+varint compressed "
+                    "adjacency (built on load; Jacobi/power only)");
 }
 
 util::Result<pagerank::SolverOptions> SolverFromFlags(
@@ -173,6 +182,14 @@ util::Result<pagerank::SolverOptions> SolverFromFlags(
   solver.max_iterations = static_cast<int>(flags.GetInt("max-iterations"));
   solver.num_threads = static_cast<uint32_t>(flags.GetInt("threads"));
   solver.track_residuals = flags.GetBool("record-convergence");
+  auto simd = pagerank::SimdPolicyFromString(flags.GetString("simd"));
+  if (!simd.ok()) return simd.status();
+  solver.simd = simd.value();
+  auto precision =
+      pagerank::SweepPrecisionFromString(flags.GetString("precision"));
+  if (!precision.ok()) return precision.status();
+  solver.precision = precision.value();
+  solver.compressed_gather = flags.GetBool("compressed-gather");
   return solver;
 }
 
@@ -540,6 +557,9 @@ int CmdRun(int argc, const char* const* argv) {
   DefineSolverFlags(&flags);
   flags.Define("tau", "0.98", "relative-mass threshold (Algorithm 2)");
   flags.Define("rho", "10", "scaled-PageRank threshold (Algorithm 2)");
+  flags.Define("reorder", "none",
+               "locality-aware vertex reordering before the solves: none | "
+               "degree | bfs (outputs stay in original node IDs)");
   ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "run", argc, argv, &code)) return code;
@@ -557,6 +577,9 @@ int CmdRun(int argc, const char* const* argv) {
   if (!config.ok()) return Fail(config.status());
   config.value().detection.relative_mass_threshold = flags.GetDouble("tau");
   config.value().detection.scaled_pagerank_threshold = flags.GetDouble("rho");
+  auto reorder = graph::ReorderKindFromString(flags.GetString("reorder"));
+  if (!reorder.ok()) return Fail(reorder.status());
+  config.value().reorder = reorder.value();
 
   std::vector<std::string> detector_names;
   for (const std::string& name : util::Split(flags.GetString("detectors"),
