@@ -1,0 +1,191 @@
+// Out-of-core scale benches: the v2.2 mmap load path against the heap
+// loaders (the PR 8 acceptance metric `mmap_load_speedup` — the zero-copy
+// load must beat full-validation ReadBinary by ≥10× on a web whose CSR is
+// tens of megabytes), and the host-range sharded Jacobi sweep across
+// shard counts on a power-law web whose working set defeats the LLC.
+// tools/bench_to_json.py --suite shard derives the ratios into
+// BENCH_shard.json; the sharded entries also report the plan's
+// max_working_set_bytes so the cache-blocking story is visible next to
+// the timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json_main.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/shard.h"
+#include "graph/web_graph.h"
+#include "pagerank/jump_vector.h"
+#include "pagerank/solver.h"
+#include "pagerank/workspace.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using graph::NodeId;
+using graph::WebGraph;
+using pagerank::JumpVector;
+
+constexpr uint32_t kLanes = 4;
+constexpr uint32_t kThreads = 4;
+
+/// Power-law web, same shape as the sweep-variant benches: hub-heavy
+/// sources, uniform targets, a long near-dangling tail. Big enough that
+/// the CSR (~50 MB both directions) defeats typical LLCs and makes the
+/// load path measurable.
+WebGraph BuildBenchGraph() {
+  constexpr uint32_t n = 300'000;
+  constexpr uint32_t m = 3'000'000;
+  util::Rng rng(4242);
+  graph::GraphBuilder b(n);
+  for (uint32_t e = 0; e < m; ++e) {
+    const double u = rng.Uniform01();
+    const double rank = (n - 1) * (1.0 - u * u * u * u * u);
+    auto src = static_cast<NodeId>(rank);
+    auto dst = static_cast<NodeId>(rng.UniformIndex(n));
+    if (src != dst) b.AddEdge(src, dst);
+  }
+  return b.Build();
+}
+
+const WebGraph& BenchGraph() {
+  static WebGraph* graph = new WebGraph(BuildBenchGraph());
+  return *graph;
+}
+
+/// The bench graph serialized once per format; later iterations reuse the
+/// files (the writes are not part of any timed region).
+const std::string& V2Path() {
+  static std::string* path = [] {
+    auto* p = new std::string(
+        (std::filesystem::temp_directory_path() / "bench_shard_v2.smwg")
+            .string());
+    CHECK_OK(graph::WriteBinary(BenchGraph(), *p));
+    return p;
+  }();
+  return *path;
+}
+
+const std::string& V22Path() {
+  static std::string* path = [] {
+    auto* p = new std::string(
+        (std::filesystem::temp_directory_path() / "bench_shard_v22.smwg")
+            .string());
+    CHECK_OK(graph::WriteBinaryV22(BenchGraph(), *p));
+    return p;
+  }();
+  return *path;
+}
+
+// ---- Load path: heap readers vs. the zero-copy mmap loader. ----
+
+void BM_BinaryLoadV2Heap(benchmark::State& state) {
+  const std::string& path = V2Path();
+  for (auto _ : state) {
+    auto g = graph::ReadBinary(path);
+    CHECK_OK(g.status());
+    benchmark::DoNotOptimize(g.value());
+  }
+}
+BENCHMARK(BM_BinaryLoadV2Heap)->Unit(benchmark::kMillisecond);
+
+void BM_PagedLoadHeap(benchmark::State& state) {
+  const std::string& path = V22Path();
+  for (auto _ : state) {
+    auto g = graph::ReadBinary(path);
+    CHECK_OK(g.status());
+    benchmark::DoNotOptimize(g.value());
+  }
+}
+BENCHMARK(BM_PagedLoadHeap)->Unit(benchmark::kMillisecond);
+
+void BM_PagedLoadMmap(benchmark::State& state) {
+  const std::string& path = V22Path();
+  uint64_t mapped = 0;
+  for (auto _ : state) {
+    auto g = graph::ReadBinaryMmap(path);
+    CHECK_OK(g.status());
+    mapped = g.value().mapped_bytes();
+    benchmark::DoNotOptimize(g.value());
+  }
+  state.counters["mapped_bytes"] = static_cast<double>(mapped);
+}
+BENCHMARK(BM_PagedLoadMmap)->Unit(benchmark::kMillisecond);
+
+// ---- Sharded sweeps: the k=4 multi-RHS batch across shard counts. ----
+
+const std::vector<JumpVector>& BenchJumps() {
+  static std::vector<JumpVector>* jumps = [] {
+    const NodeId n = BenchGraph().num_nodes();
+    auto* v = new std::vector<JumpVector>();
+    v->push_back(JumpVector::Uniform(n));
+    for (uint32_t j = 0; j < kLanes - 1; ++j) {
+      std::vector<NodeId> core;
+      for (NodeId x = j; x < n; x += 5 + j) core.push_back(x);
+      v->push_back(JumpVector::ScaledCore(n, core, 0.85));
+    }
+    return v;
+  }();
+  return *jumps;
+}
+
+void BM_ShardedSweep(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  const WebGraph& g = BenchGraph();
+  pagerank::SolverOptions opt;
+  opt.method = pagerank::Method::kJacobi;
+  opt.tolerance = 1e-10;
+  opt.max_iterations = 500;
+  opt.num_threads = kThreads;
+  opt.shards = shards;
+  pagerank::SolverWorkspace ws(kThreads);
+  int sweeps = 0;
+  for (auto _ : state) {
+    auto r = pagerank::ComputePageRankMulti(g, BenchJumps(), opt, &ws);
+    CHECK_OK(r.status());
+    sweeps = r.value()[0].iterations;
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.counters["sweeps"] = sweeps;
+  state.counters["lanes"] = kLanes;
+  if (shards > 1) {
+    // The plan the solve used (the workspace caches it); its working-set
+    // ceiling is the number the cache-blocking heuristic steers on.
+    graph::ShardPlan plan =
+        graph::ShardPlan::Build(g, shards, /*alignment=*/256);
+    state.counters["max_working_set_bytes"] =
+        static_cast<double>(plan.max_working_set_bytes());
+    state.counters["total_ghosts"] =
+        static_cast<double>(plan.total_ghosts());
+  }
+}
+BENCHMARK(BM_ShardedSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Plan construction cost — paid once per (graph, shard count) and
+/// amortized across every solve through the workspace cache.
+void BM_ShardPlanBuild(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  const WebGraph& g = BenchGraph();
+  for (auto _ : state) {
+    graph::ShardPlan plan = graph::ShardPlan::Build(g, shards, 256);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ShardPlanBuild)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spammass
+
+SPAMMASS_BENCHMARK_MAIN();

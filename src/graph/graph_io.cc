@@ -1,9 +1,11 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "graph/graph_validate.h"
 #include "obs/trace.h"
 #include "util/checksum.h"
+#include "util/debug.h"
+#include "util/mmap_file.h"
 #include "util/string_util.h"
 
 namespace spammass::graph {
@@ -132,8 +136,41 @@ constexpr uint32_t kFlagHostNames = 1u << 0;
 // minor-version-0 output and old readers only reject files that actually
 // carry the new section.
 constexpr uint32_t kFlagCompressedIn = 1u << 1;
+// Format 2.2: page-aligned paged layout for mmap loading. The flag and the
+// minor version are both set so pre-2.2 readers reject paged files with a
+// clean "unknown header flags" error instead of misparsing the section
+// table as CSR data.
+constexpr uint32_t kFlagPaged = 1u << 2;
 constexpr uint32_t kMinorPlain = 0;
 constexpr uint32_t kMinorCompressed = 1;
+constexpr uint32_t kMinorPaged = 2;
+
+// v2.2 geometry: the header page and every section start on a 4 KiB
+// boundary (the ubiquitous page size; mappings of the file are at least
+// page-aligned, so each section pointer is safely castable to its element
+// type). Section checksums cover the full body (verified in debug and on
+// the ReadBinary heap path) and a bounded head+tail sample (always
+// verified, catches truncation and localized corruption at O(1) cost).
+constexpr uint64_t kPageSize = 4096;
+constexpr uint64_t kSampleBytes = 64 * 1024;
+constexpr uint64_t kHeaderChecksumOffset = kPageSize - 8;
+constexpr uint64_t kSectionTableOffset = 40;
+constexpr uint64_t kSectionEntryBytes = 40;
+
+enum SectionKind : uint32_t {
+  kSecOutOffsets = 1,
+  kSecTargets = 2,
+  kSecInOffsets = 3,
+  kSecSources = 4,
+  kSecInvOutDegree = 5,
+  kSecDangling = 6,
+  kSecNameOffsets = 7,
+  kSecNameBlob = 8,
+};
+
+constexpr uint64_t AlignUp(uint64_t v) {
+  return (v + kPageSize - 1) / kPageSize * kPageSize;
+}
 
 template <typename T>
 void WritePod(std::ofstream& f, const T& v) {
@@ -211,6 +248,9 @@ Result<WebGraph> ReadBinaryV1(std::ifstream& f, const std::string& path) {
   return WebGraph::FromSortedEdges(static_cast<NodeId>(num_nodes), edges);
 }
 
+Result<WebGraph> ReadBinaryV22Heap(const std::string& path,
+                                   util::ThreadPool* pool);
+
 Result<WebGraph> ReadBinaryV2(std::ifstream& f, const std::string& path,
                               uint64_t file_size, util::Fnv1a64x8 hasher,
                               util::ThreadPool* pool) {
@@ -225,6 +265,15 @@ Result<WebGraph> ReadBinaryV2(std::ifstream& f, const std::string& path,
   std::memcpy(&reserved, head + 4, sizeof(reserved));
   std::memcpy(&num_nodes, head + 8, sizeof(num_nodes));
   std::memcpy(&num_edges, head + 16, sizeof(num_edges));
+  // Paged (v2.2) files re-dispatch to the mmap-backed loader, which
+  // validates everything and copies the arrays to the heap — ReadBinary's
+  // contract is an owned graph regardless of on-disk layout.
+  if ((flags & kFlagPaged) != 0 || reserved == kMinorPaged) {
+    if ((flags & kFlagPaged) == 0 || reserved != kMinorPaged) {
+      return Status::InvalidArgument(path + ": unknown header flags");
+    }
+    return ReadBinaryV22Heap(path, pool);
+  }
   if ((flags & ~(kFlagHostNames | kFlagCompressedIn)) != 0) {
     return Status::InvalidArgument(path + ": unknown header flags");
   }
@@ -360,6 +409,308 @@ Result<WebGraph> ReadBinaryV2(std::ifstream& f, const std::string& path,
   return g;
 }
 
+// ---- v2.2 paged layout ----------------------------------------------------
+
+/// One row of the v2.2 section table (40 bytes on disk, see
+/// docs/graph_format.md).
+struct SectionEntry {
+  uint32_t kind = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum_full = 0;
+  uint64_t checksum_sample = 0;
+};
+
+void StoreEntry(const SectionEntry& e, uint8_t* out) {
+  std::memcpy(out, &e.kind, 4);
+  std::memcpy(out + 4, &e.reserved, 4);
+  std::memcpy(out + 8, &e.offset, 8);
+  std::memcpy(out + 16, &e.length, 8);
+  std::memcpy(out + 24, &e.checksum_full, 8);
+  std::memcpy(out + 32, &e.checksum_sample, 8);
+}
+
+SectionEntry LoadEntry(const uint8_t* in) {
+  SectionEntry e;
+  std::memcpy(&e.kind, in, 4);
+  std::memcpy(&e.reserved, in + 4, 4);
+  std::memcpy(&e.offset, in + 8, 8);
+  std::memcpy(&e.length, in + 16, 8);
+  std::memcpy(&e.checksum_full, in + 24, 8);
+  std::memcpy(&e.checksum_sample, in + 32, 8);
+  return e;
+}
+
+uint64_t FullSectionDigest(const uint8_t* data, uint64_t len) {
+  util::Fnv1a64x8 hasher;
+  if (len > 0) hasher.Update(data, len);
+  return hasher.digest();
+}
+
+/// Bounded-sample digest: the first min(len, 64 KiB) bytes plus — when the
+/// section is larger than one sample — its last 64 KiB. O(1) in the
+/// section size; catches truncation, header/trailer damage, and any
+/// corruption that lands in the sampled windows. Sections no larger than
+/// the sample are covered in full, so the sample digest then equals a
+/// whole-body check.
+uint64_t SampleSectionDigest(const uint8_t* data, uint64_t len) {
+  util::Fnv1a64x8 hasher;
+  const uint64_t head = std::min(len, kSampleBytes);
+  if (head > 0) hasher.Update(data, head);
+  if (len > kSampleBytes) {
+    hasher.Update(data + (len - kSampleBytes), kSampleBytes);
+  }
+  return hasher.digest();
+}
+
+/// A validated v2.2 mapping: typed views into the file plus the mapping
+/// that keeps them alive. Host names are materialized (they are the one
+/// non-bulk payload; zero-copy std::string is not possible anyway).
+struct MappedV22 {
+  std::shared_ptr<util::MmapFile> file;
+  NodeId num_nodes = 0;
+  uint64_t num_edges = 0;
+  std::span<const uint64_t> out_offsets;
+  std::span<const NodeId> targets;
+  std::span<const uint64_t> in_offsets;
+  std::span<const NodeId> sources;
+  std::span<const double> inv_out_degree;
+  std::span<const NodeId> dangling;
+  bool has_names = false;
+  std::vector<std::string> names;
+};
+
+template <typename T>
+std::span<const T> SectionSpan(const uint8_t* base, const SectionEntry& e) {
+  // Section offsets are 4 KiB-aligned within a page-aligned mapping, so
+  // the pointer satisfies any element alignment.
+  return {reinterpret_cast<const T*>(base + e.offset),
+          static_cast<size_t>(e.length / sizeof(T))};
+}
+
+/// Maps `path` and validates it as a v2.2 file. Always verified: header
+/// page checksum, the complete section-table geometry (every section
+/// 4 KiB-aligned, in canonical order, with the exact length its kind
+/// demands, inside the file — after this no array access can fault),
+/// every section's bounded sample checksum, the dangling list's structure
+/// (it indexes solver arrays), and the host-name sections in full (they
+/// are copied anyway). With `full_validate` — debug builds and the
+/// ReadBinary heap path — every full-section checksum and the O(n+m)
+/// structural validators run too. Release mmap loads otherwise trust the
+/// bulk array *contents* past their sample checksums; this is the same
+/// trust model v2 applies to the transpose property, extended to the
+/// paged arrays (docs/graph_format.md, "v2.2 trust model").
+Result<MappedV22> MapV22(const std::string& path, bool full_validate) {
+  auto open = util::MmapFile::Open(path);
+  if (!open.ok()) return open.status();
+  MappedV22 m;
+  m.file = std::make_shared<util::MmapFile>(std::move(open).value());
+  const uint8_t* base = m.file->data();
+  const uint64_t file_size = m.file->size();
+  if (file_size < kPageSize) {
+    return Status::IoError(path + ": truncated (no v2.2 header page)");
+  }
+
+  // Header-page checksum before interpreting any field past the version.
+  uint64_t stored_header_digest = 0;
+  std::memcpy(&stored_header_digest, base + kHeaderChecksumOffset, 8);
+  if (FullSectionDigest(base, kHeaderChecksumOffset) != stored_header_digest) {
+    return Status::InvalidArgument(path + ": header page checksum mismatch");
+  }
+
+  uint32_t version = 0, flags = 0, minor = 0, section_count = 0;
+  uint32_t page_size = 0;
+  uint64_t num_nodes = 0, num_edges = 0;
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a spammass binary graph");
+  }
+  std::memcpy(&version, base + 4, 4);
+  std::memcpy(&flags, base + 8, 4);
+  std::memcpy(&minor, base + 12, 4);
+  std::memcpy(&num_nodes, base + 16, 8);
+  std::memcpy(&num_edges, base + 24, 8);
+  std::memcpy(&section_count, base + 32, 4);
+  std::memcpy(&page_size, base + 36, 4);
+  if (version != kVersionCurrent || minor != kMinorPaged ||
+      (flags & kFlagPaged) == 0) {
+    return Status::InvalidArgument(path +
+                                   ": not a v2.2 paged graph (use "
+                                   "ReadBinary for v1/v2.0/v2.1 files)");
+  }
+  if ((flags & ~(kFlagHostNames | kFlagPaged)) != 0) {
+    return Status::InvalidArgument(path + ": unknown header flags");
+  }
+  if (page_size != kPageSize) {
+    return Status::InvalidArgument(path + ": unsupported page size");
+  }
+  if (num_nodes >= kInvalidNode) {
+    return Status::OutOfRange(path + ": node count exceeds 32-bit range");
+  }
+  // Each edge occupies 4 bytes in `targets` alone; this bound also keeps
+  // the length arithmetic below overflow-free on garbage counts.
+  if (num_edges > file_size / 4 || num_nodes > file_size) {
+    return Status::IoError(path + ": file shorter than header claims");
+  }
+  const bool has_names = (flags & kFlagHostNames) != 0;
+  const uint32_t expected_sections = has_names ? 8 : 6;
+  if (section_count != expected_sections) {
+    return Status::InvalidArgument(path + ": unexpected section count");
+  }
+
+  const uint64_t offsets_len = (num_nodes + 1) * 8;
+  const uint64_t ids_len = num_edges * 4;
+  // kind, exact length (kInvalidLength = variable).
+  constexpr uint64_t kVariableLength = ~uint64_t{0};
+  struct ExpectedSection {
+    uint32_t kind;
+    uint64_t length;
+  };
+  const ExpectedSection expected[8] = {
+      {kSecOutOffsets, offsets_len}, {kSecTargets, ids_len},
+      {kSecInOffsets, offsets_len},  {kSecSources, ids_len},
+      {kSecInvOutDegree, num_nodes * 8},
+      {kSecDangling, kVariableLength},
+      {kSecNameOffsets, offsets_len}, {kSecNameBlob, kVariableLength}};
+
+  SectionEntry entries[8];
+  uint64_t expected_offset = kPageSize;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const SectionEntry e =
+        LoadEntry(base + kSectionTableOffset + i * kSectionEntryBytes);
+    if (e.kind != expected[i].kind || e.reserved != 0) {
+      return Status::InvalidArgument(path + ": unexpected section table");
+    }
+    if (e.offset % kPageSize != 0) {
+      return Status::InvalidArgument(path + ": misaligned section " +
+                                     std::to_string(e.kind));
+    }
+    if (e.offset != expected_offset) {
+      return Status::InvalidArgument(path + ": non-canonical section layout");
+    }
+    if (expected[i].length != kVariableLength &&
+        e.length != expected[i].length) {
+      return Status::InvalidArgument(path + ": section " +
+                                     std::to_string(e.kind) +
+                                     " length mismatch");
+    }
+    if (e.kind == kSecDangling &&
+        (e.length % 4 != 0 || e.length / 4 > num_nodes)) {
+      return Status::InvalidArgument(path + ": dangling section malformed");
+    }
+    if (e.offset > file_size || e.length > file_size - e.offset) {
+      return Status::IoError(path + ": file shorter than header claims");
+    }
+    entries[i] = e;
+    expected_offset = AlignUp(e.offset + e.length);
+  }
+  if (file_size != expected_offset) {
+    return Status::InvalidArgument(path + ": trailing bytes after payload");
+  }
+
+  // Every byte the spans below can reach is now inside the mapping, so no
+  // access past this point can SIGBUS on a file matching its stat size.
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const SectionEntry& e = entries[i];
+    if (SampleSectionDigest(base + e.offset, e.length) != e.checksum_sample) {
+      return Status::InvalidArgument(path + ": section " +
+                                     std::to_string(e.kind) +
+                                     " checksum mismatch");
+    }
+    if (full_validate &&
+        FullSectionDigest(base + e.offset, e.length) != e.checksum_full) {
+      return Status::InvalidArgument(path + ": section " +
+                                     std::to_string(e.kind) +
+                                     " checksum mismatch");
+    }
+  }
+
+  m.num_nodes = static_cast<NodeId>(num_nodes);
+  m.num_edges = num_edges;
+  m.out_offsets = SectionSpan<uint64_t>(base, entries[0]);
+  m.targets = SectionSpan<NodeId>(base, entries[1]);
+  m.in_offsets = SectionSpan<uint64_t>(base, entries[2]);
+  m.sources = SectionSpan<NodeId>(base, entries[3]);
+  m.inv_out_degree = SectionSpan<double>(base, entries[4]);
+  m.dangling = SectionSpan<NodeId>(base, entries[5]);
+  m.has_names = has_names;
+
+  // Cheap structural spot checks on the offset arrays (two pages each).
+  if (m.out_offsets.front() != 0 || m.out_offsets.back() != num_edges ||
+      m.in_offsets.front() != 0 || m.in_offsets.back() != num_edges) {
+    return Status::InvalidArgument(path + ": CSR offsets corrupt");
+  }
+  // The dangling list indexes the solver's rank arrays, so its entries are
+  // always fully bounds-checked (it is tiny next to the CSR).
+  for (size_t i = 0; i < m.dangling.size(); ++i) {
+    if (m.dangling[i] >= num_nodes ||
+        (i > 0 && m.dangling[i] <= m.dangling[i - 1])) {
+      return Status::InvalidArgument(path + ": dangling section malformed");
+    }
+  }
+
+  if (full_validate) {
+    Status csr = ValidateCsr(m.num_nodes, m.out_offsets, m.targets, "out");
+    if (!csr.ok()) return Status(csr.code(), path + ": " + csr.message());
+    csr = ValidateCsr(m.num_nodes, m.in_offsets, m.sources, "in");
+    if (!csr.ok()) return Status(csr.code(), path + ": " + csr.message());
+    Status derived = ValidateDerivedArrays(m.num_nodes, m.out_offsets,
+                                           m.inv_out_degree, m.dangling);
+    if (!derived.ok()) {
+      return Status(derived.code(), path + ": " + derived.message());
+    }
+  }
+
+  if (has_names) {
+    const SectionEntry& off_entry = entries[6];
+    const SectionEntry& blob_entry = entries[7];
+    // Fully verified: the names are materialized here regardless, so the
+    // whole-body checksum costs nothing extra.
+    if (!full_validate) {
+      if (FullSectionDigest(base + off_entry.offset, off_entry.length) !=
+              off_entry.checksum_full ||
+          FullSectionDigest(base + blob_entry.offset, blob_entry.length) !=
+              blob_entry.checksum_full) {
+        return Status::InvalidArgument(path + ": host-name checksum mismatch");
+      }
+    }
+    const auto name_offsets = SectionSpan<uint64_t>(base, off_entry);
+    const uint8_t* blob = base + blob_entry.offset;
+    const uint64_t blob_size = blob_entry.length;
+    if (name_offsets.front() != 0 || name_offsets.back() != blob_size) {
+      return Status::InvalidArgument(path + ": bad host-name offsets");
+    }
+    m.names.reserve(num_nodes);
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      if (name_offsets[i] > name_offsets[i + 1]) {
+        return Status::InvalidArgument(path + ": bad host-name offsets");
+      }
+      m.names.emplace_back(reinterpret_cast<const char*>(blob) +
+                               name_offsets[i],
+                           name_offsets[i + 1] - name_offsets[i]);
+    }
+  }
+  return m;
+}
+
+/// ReadBinary's owned-storage path for paged files: full validation, then
+/// the arrays are copied out of a temporary mapping and the derived arrays
+/// rebuilt exactly as for a v2.0 load.
+Result<WebGraph> ReadBinaryV22Heap(const std::string& path,
+                                   util::ThreadPool* pool) {
+  auto mapped = MapV22(path, /*full_validate=*/true);
+  if (!mapped.ok()) return mapped.status();
+  MappedV22& m = mapped.value();
+  WebGraph g = WebGraph::FromCsrPair(
+      m.num_nodes,
+      std::vector<uint64_t>(m.out_offsets.begin(), m.out_offsets.end()),
+      std::vector<NodeId>(m.targets.begin(), m.targets.end()),
+      std::vector<uint64_t>(m.in_offsets.begin(), m.in_offsets.end()),
+      std::vector<NodeId>(m.sources.begin(), m.sources.end()), pool);
+  if (m.has_names) g.set_host_names(std::move(m.names));
+  return g;
+}
+
 }  // namespace
 
 util::Status WriteBinary(const WebGraph& graph, const std::string& path) {
@@ -413,6 +764,115 @@ util::Status WriteBinary(const WebGraph& graph, const std::string& path) {
   WritePod(f, out.digest());
   if (!f) return Status::IoError("write failed: " + path);
   return Status::OK();
+}
+
+util::Status WriteBinaryV22(const WebGraph& graph, const std::string& path) {
+  SPAMMASS_TRACE_SPAN("graph.write_paged", "path", std::string_view(path));
+  const bool has_names = !graph.host_names().empty();
+
+  // Materialize the host-name sections first so every section is a stable
+  // (pointer, length) pair below.
+  std::vector<uint64_t> name_offsets;
+  std::string name_blob;
+  if (has_names) {
+    name_offsets.reserve(graph.host_names().size() + 1);
+    name_offsets.push_back(0);
+    for (const std::string& name : graph.host_names()) {
+      name_blob += name;
+      name_offsets.push_back(name_blob.size());
+    }
+  }
+
+  struct Section {
+    uint32_t kind;
+    const void* data;
+    uint64_t length;
+  };
+  const auto out_offsets = graph.OutOffsets();
+  const auto targets = graph.Targets();
+  const auto in_offsets = graph.InOffsets();
+  const auto sources = graph.Sources();
+  const auto inv = graph.InvOutDegrees();
+  const auto dangling = graph.DanglingNodes();
+  std::vector<Section> sections = {
+      {kSecOutOffsets, out_offsets.data(), out_offsets.size_bytes()},
+      {kSecTargets, targets.data(), targets.size_bytes()},
+      {kSecInOffsets, in_offsets.data(), in_offsets.size_bytes()},
+      {kSecSources, sources.data(), sources.size_bytes()},
+      {kSecInvOutDegree, inv.data(), inv.size_bytes()},
+      {kSecDangling, dangling.data(), dangling.size_bytes()},
+  };
+  if (has_names) {
+    sections.push_back({kSecNameOffsets, name_offsets.data(),
+                        name_offsets.size() * sizeof(uint64_t)});
+    sections.push_back({kSecNameBlob, name_blob.data(), name_blob.size()});
+  }
+
+  // Header page: fixed fields, section table, trailing page checksum.
+  std::vector<uint8_t> page(kPageSize, 0);
+  std::memcpy(page.data(), kMagic, sizeof(kMagic));
+  const uint32_t version = kVersionCurrent;
+  const uint32_t flags = kFlagPaged | (has_names ? kFlagHostNames : 0u);
+  const uint32_t minor = kMinorPaged;
+  const uint64_t num_nodes = graph.num_nodes();
+  const uint64_t num_edges = graph.num_edges();
+  const uint32_t section_count = static_cast<uint32_t>(sections.size());
+  const uint32_t page_size = static_cast<uint32_t>(kPageSize);
+  std::memcpy(page.data() + 4, &version, 4);
+  std::memcpy(page.data() + 8, &flags, 4);
+  std::memcpy(page.data() + 12, &minor, 4);
+  std::memcpy(page.data() + 16, &num_nodes, 8);
+  std::memcpy(page.data() + 24, &num_edges, 8);
+  std::memcpy(page.data() + 32, &section_count, 4);
+  std::memcpy(page.data() + 36, &page_size, 4);
+
+  uint64_t cursor = kPageSize;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    const auto* bytes = static_cast<const uint8_t*>(s.data);
+    SectionEntry entry;
+    entry.kind = s.kind;
+    entry.offset = cursor;
+    entry.length = s.length;
+    entry.checksum_full = FullSectionDigest(bytes, s.length);
+    entry.checksum_sample = SampleSectionDigest(bytes, s.length);
+    StoreEntry(entry,
+               page.data() + kSectionTableOffset + i * kSectionEntryBytes);
+    cursor = AlignUp(cursor + s.length);
+  }
+  const uint64_t header_digest =
+      FullSectionDigest(page.data(), kHeaderChecksumOffset);
+  std::memcpy(page.data() + kHeaderChecksumOffset, &header_digest, 8);
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open for writing: " + path);
+  f.write(reinterpret_cast<const char*>(page.data()),
+          static_cast<std::streamsize>(page.size()));
+  const std::vector<char> zeros(kPageSize, 0);
+  for (const Section& s : sections) {
+    if (s.length > 0) {
+      f.write(static_cast<const char*>(s.data),
+              static_cast<std::streamsize>(s.length));
+    }
+    const uint64_t padding = AlignUp(s.length) - s.length;
+    if (padding > 0) {
+      f.write(zeros.data(), static_cast<std::streamsize>(padding));
+    }
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+util::Result<WebGraph> ReadBinaryMmap(const std::string& path) {
+  SPAMMASS_TRACE_SPAN("graph.read_mmap", "path", std::string_view(path));
+  auto mapped = MapV22(path, /*full_validate=*/util::kDebugBuild);
+  if (!mapped.ok()) return mapped.status();
+  MappedV22& m = mapped.value();
+  WebGraph g = WebGraph::FromMappedSections(
+      m.num_nodes, m.out_offsets, m.targets, m.in_offsets, m.sources,
+      m.inv_out_degree, m.dangling, m.file);
+  if (m.has_names) g.set_host_names(std::move(m.names));
+  return g;
 }
 
 util::Status WriteBinaryV1(const WebGraph& graph, const std::string& path) {

@@ -10,7 +10,11 @@
 //     layout. Format 2.1 adds an optional checksummed delta+varint
 //     compressed in-adjacency section (csr_codec.h) between the CSR arrays
 //     and the names; files without it remain byte-identical to 2.0
-//     output. Version 1 (per-row records, no checksum, no names) is still
+//     output. Format 2.2 (WriteBinaryV22) is the page-aligned *paged*
+//     layout: a section table in a 4 KiB header page, every array stored
+//     4 KiB-aligned with per-section checksums, so ReadBinaryMmap can back
+//     a WebGraph zero-copy by the mapped file and load in O(1) instead of
+//     O(n+m). Version 1 (per-row records, no checksum, no names) is still
 //     readable for migration.
 // Host names travel inside the v2 binary when present; the companion
 // "<id>\t<host>" text map remains available for the text format.
@@ -46,16 +50,41 @@ util::Result<WebGraph> ReadEdgeListText(const std::string& path,
 /// whole-file checksum.
 util::Status WriteBinary(const WebGraph& graph, const std::string& path);
 
+/// Writes the page-aligned v2.2 container for mmap loading: a 4 KiB header
+/// page holding a checksummed section table, then every array — both CSR
+/// directions plus the derived solver arrays (inverse out-degrees,
+/// dangling list) and the optional host-name sections — at a 4 KiB-aligned
+/// offset with full and bounded-sample FNV checksums per section. The
+/// compressed in-adjacency is NOT persisted (rebuild on demand with
+/// BuildCompressedInAdjacency); see docs/graph_format.md for the layout
+/// and the v2.2 trust model.
+util::Status WriteBinaryV22(const WebGraph& graph, const std::string& path);
+
+/// Maps a v2.2 file and returns a WebGraph whose arrays are zero-copy
+/// views into the mapping (WebGraph::is_mapped()). Load cost is O(1) in
+/// the graph size: the header page is validated (magic, section table,
+/// header checksum, all section bounds — so no access can fault past EOF),
+/// each section's bounded head/tail sample checksum is verified, and the
+/// small dangling section is fully validated; debug builds additionally
+/// verify every full-section checksum and run the O(n+m) structural
+/// validators. Host names (when present) are copied to the heap. Fails
+/// with InvalidArgument on v1/v2.0/v2.1 files — those load via ReadBinary.
+util::Result<WebGraph> ReadBinaryMmap(const std::string& path);
+
 /// Writes the legacy version-1 container (per-row degree + target records,
 /// no checksum, no host names). Kept only as a fixture for migration
 /// tests and the v1-vs-v2 load benchmarks; new code writes v2.
 util::Status WriteBinaryV1(const WebGraph& graph, const std::string& path);
 
-/// Reads a binary graph written by WriteBinary (v2) or WriteBinaryV1.
-/// Version 2 payloads are checksum-verified and structurally validated
-/// (ValidateCsr on both directions), then adopted directly as the graph's
-/// CSR arrays; only the cheap derived solver arrays are rebuilt — in
-/// parallel when `pool` is non-null.
+/// Reads a binary graph written by WriteBinary (v2), WriteBinaryV22, or
+/// WriteBinaryV1, always into heap-owned storage. Version 2 payloads are
+/// checksum-verified and structurally validated (ValidateCsr on both
+/// directions), then adopted directly as the graph's CSR arrays; only the
+/// cheap derived solver arrays are rebuilt — in parallel when `pool` is
+/// non-null. v2.2 files take the same full-validation path (every section
+/// checksum verified, both CSR directions validated) with the arrays
+/// copied out of a temporary mapping — use ReadBinaryMmap for the
+/// zero-copy load.
 util::Result<WebGraph> ReadBinary(const std::string& path,
                                   util::ThreadPool* pool = nullptr);
 

@@ -22,6 +22,8 @@ const char* ReorderKindToString(ReorderKind kind) {
       return "degree";
     case ReorderKind::kBfs:
       return "bfs";
+    case ReorderKind::kRcm:
+      return "rcm";
   }
   return "none";
 }
@@ -30,8 +32,9 @@ util::Result<ReorderKind> ReorderKindFromString(std::string_view name) {
   if (name == "none") return ReorderKind::kNone;
   if (name == "degree") return ReorderKind::kDegreeDesc;
   if (name == "bfs") return ReorderKind::kBfs;
+  if (name == "rcm") return ReorderKind::kRcm;
   return util::Status::InvalidArgument(util::StringPrintf(
-      "unknown reordering '%.*s' (want none | degree | bfs)",
+      "unknown reordering '%.*s' (want none | degree | bfs | rcm)",
       static_cast<int>(name.size()), name.data()));
 }
 
@@ -115,6 +118,65 @@ Reordering BfsReordering(const WebGraph& graph) {
   return FromInverse(std::move(order));
 }
 
+Reordering RcmReordering(const WebGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint64_t> degree(n);
+  for (NodeId x = 0; x < n; ++x) {
+    degree[x] = static_cast<uint64_t>(graph.OutDegree(x)) + graph.InDegree(x);
+  }
+  // Component starts: minimum-degree unvisited node (lowest ID on ties —
+  // stable_sort over ascending-id input), scanned in one sorted pass like
+  // BfsReordering's restart scan.
+  std::vector<NodeId> restart(n);
+  for (NodeId x = 0; x < n; ++x) restart[x] = x;
+  std::stable_sort(restart.begin(), restart.end(),
+                   [&](NodeId a, NodeId b) { return degree[a] < degree[b]; });
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue;
+  std::vector<NodeId> merged;
+  std::vector<NodeId> frontier;
+  size_t restart_scan = 0;
+  while (order.size() < n) {
+    while (restart_scan < n && visited[restart[restart_scan]]) {
+      ++restart_scan;
+    }
+    CHECK_LT(restart_scan, static_cast<size_t>(n));
+    const NodeId start = restart[restart_scan];
+    visited[start] = true;
+    queue.clear();
+    queue.push_back(start);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId x = queue[head];
+      order.push_back(x);
+      const auto outs = graph.OutNeighbors(x);
+      const auto ins = graph.InNeighbors(x);
+      merged.clear();
+      merged.reserve(outs.size() + ins.size());
+      std::merge(outs.begin(), outs.end(), ins.begin(), ins.end(),
+                 std::back_inserter(merged));
+      // Cuthill–McKee expansion: the unvisited union-neighbors of x enqueue
+      // in ascending-degree order, lowest ID on ties (merged is
+      // id-ascending and the sort is stable).
+      frontier.clear();
+      for (const NodeId y : merged) {
+        if (!visited[y]) {
+          visited[y] = true;
+          frontier.push_back(y);
+        }
+      }
+      std::stable_sort(
+          frontier.begin(), frontier.end(),
+          [&](NodeId a, NodeId b) { return degree[a] < degree[b]; });
+      queue.insert(queue.end(), frontier.begin(), frontier.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return FromInverse(std::move(order));
+}
+
 }  // namespace
 
 Reordering ComputeReordering(const WebGraph& graph, ReorderKind kind) {
@@ -125,6 +187,8 @@ Reordering ComputeReordering(const WebGraph& graph, ReorderKind kind) {
       return DegreeDescReordering(graph);
     case ReorderKind::kBfs:
       return BfsReordering(graph);
+    case ReorderKind::kRcm:
+      return RcmReordering(graph);
   }
   return IdentityReordering(graph.num_nodes());
 }

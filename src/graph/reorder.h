@@ -33,9 +33,17 @@ enum class ReorderKind {
   /// BFS from the highest-degree node over the union adjacency (restarted
   /// per weakly connected component): neighbors land near each other.
   kBfs,
+  /// Reverse Cuthill–McKee over the union adjacency: Cuthill–McKee visits
+  /// each component from a minimum-degree start, expanding neighbors in
+  /// ascending-degree order, and the whole order is reversed — the classic
+  /// bandwidth-minimizing permutation. Narrow bandwidth means a sweep's
+  /// gather window is a short, mostly-resident slice of the score array;
+  /// it also concentrates each host-range shard's ghosts near its
+  /// boundaries (docs/performance.md).
+  kRcm,
 };
 
-/// Stable lowercase name ("none", "degree", "bfs").
+/// Stable lowercase name ("none", "degree", "bfs", "rcm").
 const char* ReorderKindToString(ReorderKind kind);
 
 /// Inverse of ReorderKindToString. Fails with InvalidArgument on unknown

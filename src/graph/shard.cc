@@ -1,0 +1,208 @@
+#include "graph/shard.h"
+
+#include <algorithm>
+
+#include "graph/csr_codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace spammass::graph {
+
+namespace {
+
+// PickShardCount's search ceiling; far above any sensible in-process
+// shard count (the sweep parallelism comes from chunks, not shards).
+constexpr uint32_t kMaxShardCount = 64;
+
+constexpr NodeId AlignUpNode(uint64_t v, uint64_t alignment) {
+  const uint64_t aligned = (v + alignment - 1) / alignment * alignment;
+  return static_cast<NodeId>(aligned);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeExchangeList(std::span<const NodeId> nodes) {
+  std::vector<uint8_t> encoded;
+  encoded.reserve(nodes.size());  // ~1-2 bytes/id on locality-ordered webs.
+  NodeId prev = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId id = nodes[i];
+    if (i == 0) {
+      AppendVarint32(id, &encoded);
+    } else {
+      CHECK_GT(id, prev) << "exchange lists must be strictly ascending";
+      AppendVarint32(id - prev - 1, &encoded);
+    }
+    prev = id;
+  }
+  return encoded;
+}
+
+std::vector<NodeId> DecodeExchangeList(std::span<const uint8_t> encoded,
+                                       uint64_t count) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(count);
+  const uint8_t* p = encoded.data();
+  NodeId prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t gap = DecodeVarint32Unchecked(&p);
+    const NodeId id = (i == 0) ? gap : prev + gap + 1;
+    nodes.push_back(id);
+    prev = id;
+  }
+  CHECK_EQ(static_cast<size_t>(p - encoded.data()), encoded.size())
+      << "exchange list decode did not consume its byte range";
+  return nodes;
+}
+
+ShardPlan ShardPlan::Build(const WebGraph& graph, uint32_t num_shards,
+                           uint64_t alignment) {
+  CHECK_GE(num_shards, 1u);
+  CHECK_GE(alignment, 1u);
+  const NodeId n = graph.num_nodes();
+  const uint64_t m = graph.num_edges();
+  SPAMMASS_TRACE_SPAN("graph.shard_plan", "shards",
+                      static_cast<uint64_t>(num_shards), "nodes",
+                      static_cast<uint64_t>(n));
+  obs::MetricsRegistry::Global().GetCounter("graph.shard_plans")->Increment();
+
+  ShardPlan plan;
+  plan.num_nodes_ = n;
+  plan.alignment_ = alignment;
+
+  // Cut points: for shard s the smallest alignment multiple whose in-edge
+  // prefix reaches s/num_shards of the total. Monotone by construction;
+  // trailing shards collapse to empty when the graph runs out of aligned
+  // cut points.
+  const auto in_offsets = graph.InOffsets();
+  plan.boundaries_.reserve(num_shards + 1);
+  plan.boundaries_.push_back(0);
+  for (uint32_t s = 1; s < num_shards; ++s) {
+    const uint64_t target =
+        m / num_shards * s + (m % num_shards) * s / num_shards;
+    const auto it =
+        std::lower_bound(in_offsets.begin(), in_offsets.end(), target);
+    const uint64_t cut = static_cast<uint64_t>(it - in_offsets.begin());
+    NodeId b = AlignUpNode(cut, alignment);
+    if (b > n) b = n;
+    if (b < plan.boundaries_.back()) b = plan.boundaries_.back();
+    plan.boundaries_.push_back(b);
+  }
+  plan.boundaries_.push_back(n);
+  plan.ranges_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    plan.ranges_.push_back({plan.boundaries_[s], plan.boundaries_[s + 1]});
+  }
+
+  // Ghost tables and the remapped sources array. Shard by shard: collect
+  // the sorted-unique foreign sources of the shard's rows, then rewrite
+  // each foreign entry to num_nodes + its global ghost slot. Edge
+  // positions never move.
+  const auto sources = graph.Sources();
+  plan.sources_local_.assign(sources.begin(), sources.end());
+  plan.ghost_base_.reserve(num_shards + 1);
+  plan.stats_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const ShardRange range = plan.ranges_[s];
+    SPAMMASS_TRACE_SPAN("graph.shard_plan.shard", "shard",
+                        static_cast<uint64_t>(s), "rows", range.size());
+    plan.ghost_base_.push_back(plan.ghost_nodes_.size());
+    const uint64_t row_begin = in_offsets[range.begin];
+    const uint64_t row_end = in_offsets[range.end];
+
+    std::vector<NodeId> ghosts;
+    for (uint64_t e = row_begin; e < row_end; ++e) {
+      const NodeId src = sources[e];
+      if (src < range.begin || src >= range.end) ghosts.push_back(src);
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+    const uint64_t slot_base =
+        static_cast<uint64_t>(n) + plan.ghost_base_.back();
+    for (uint64_t e = row_begin; e < row_end; ++e) {
+      const NodeId src = plan.sources_local_[e];
+      if (src < range.begin || src >= range.end) {
+        const auto it =
+            std::lower_bound(ghosts.begin(), ghosts.end(), src);
+        plan.sources_local_[e] =
+            static_cast<NodeId>(slot_base + (it - ghosts.begin()));
+      }
+    }
+
+    ShardStats& stats = plan.stats_[s];
+    stats.in_edges = row_end - row_begin;
+    stats.ghosts = ghosts.size();
+    stats.working_set_bytes = range.size() * (3 * 8 + 8 + 8) +
+                              ghosts.size() * 8 + stats.in_edges * 4;
+
+    plan.ghost_nodes_.insert(plan.ghost_nodes_.end(), ghosts.begin(),
+                             ghosts.end());
+  }
+  plan.ghost_base_.push_back(plan.ghost_nodes_.size());
+  CHECK_LE(static_cast<uint64_t>(n) + plan.ghost_nodes_.size(),
+           static_cast<uint64_t>(kInvalidNode))
+      << "ghost slots exceed the 32-bit id space";
+
+  // Exchange lists: each shard's ghost table is ascending by global id,
+  // so the slice owned by one producer shard is one contiguous run —
+  // encode each run with the csr_codec gap scheme, then decode it back so
+  // the runtime consumes exactly what the wire form carries.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const uint64_t g_begin = plan.ghost_base_[s];
+    const uint64_t g_end = plan.ghost_base_[s + 1];
+    uint64_t i = g_begin;
+    while (i < g_end) {
+      const uint32_t producer = plan.ShardOf(plan.ghost_nodes_[i]);
+      uint64_t j = i;
+      while (j < g_end &&
+             plan.ghost_nodes_[j] < plan.ranges_[producer].end) {
+        ++j;
+      }
+      ShardExchange exchange;
+      exchange.producer = producer;
+      exchange.consumer = s;
+      exchange.slot_begin = static_cast<uint64_t>(n) + i;
+      exchange.encoded = EncodeExchangeList(
+          std::span<const NodeId>(plan.ghost_nodes_.data() + i, j - i));
+      exchange.nodes = DecodeExchangeList(exchange.encoded, j - i);
+      plan.stats_[s].boundary_bytes += exchange.encoded.size();
+      plan.exchanges_.push_back(std::move(exchange));
+      i = j;
+    }
+  }
+  return plan;
+}
+
+uint32_t ShardPlan::ShardOf(NodeId y) const {
+  DCHECK_LT(y, num_nodes_);
+  const auto it =
+      std::upper_bound(boundaries_.begin() + 1, boundaries_.end(), y);
+  return static_cast<uint32_t>(it - (boundaries_.begin() + 1));
+}
+
+uint64_t ShardPlan::max_working_set_bytes() const {
+  uint64_t max_bytes = 0;
+  for (const ShardStats& s : stats_) {
+    max_bytes = std::max(max_bytes, s.working_set_bytes);
+  }
+  return max_bytes;
+}
+
+uint32_t PickShardCount(const WebGraph& graph, uint64_t llc_bytes) {
+  CHECK_GE(llc_bytes, 1u);
+  // Same per-row cost model as ShardStats::working_set_bytes, ghost-free:
+  // prev/next/scaled + in-offsets + inverse out-degrees per node, one
+  // sources entry per edge.
+  const uint64_t total_bytes =
+      static_cast<uint64_t>(graph.num_nodes()) * (3 * 8 + 8 + 8) +
+      graph.num_edges() * 4;
+  uint32_t shards = 1;
+  while (shards < kMaxShardCount && total_bytes / shards > llc_bytes) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+}  // namespace spammass::graph

@@ -1,0 +1,147 @@
+// Host-range sharding of a WebGraph: the node range is cut into
+// contiguous source-id shards and every cross-shard in-edge is rerouted
+// through a per-shard "ghost" table, so a sharded PageRank sweep can run
+// each shard against a compact working set and exchange only the boundary
+// rank values between sweeps (ROADMAP item 3).
+//
+// The plan is pure data about the partition — which rows each shard owns,
+// which foreign nodes it reads (its ghosts), and the per-producer exchange
+// lists, stored delta+varint-compressed with the csr_codec scheme exactly
+// as a future multi-process boundary exchange would put them on the wire.
+// The sweep loop that consumes the plan lives one layer up
+// (pagerank/shard_sweep.h), where the bit-identity argument is made.
+//
+// Determinism: everything here is derived from sorted scans of the CSR —
+// no hashing, no thread-order dependence — so the same (graph, shard
+// count, alignment) always yields byte-identical plans.
+
+#ifndef SPAMMASS_GRAPH_SHARD_H_
+#define SPAMMASS_GRAPH_SHARD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/web_graph.h"
+
+namespace spammass::graph {
+
+/// Contiguous node range [begin, end) owned by one shard. May be empty
+/// when the graph has fewer aligned cut points than requested shards.
+struct ShardRange {
+  NodeId begin = 0;
+  NodeId end = 0;
+  uint64_t size() const { return static_cast<uint64_t>(end) - begin; }
+};
+
+/// Per-shard partition statistics, for the cache-blocking heuristics, the
+/// obs gauges, and `spammass_cli graph stats`.
+struct ShardStats {
+  /// In-edges gathered by this shard's rows (the sweep's work measure;
+  /// ranges are balanced on it).
+  uint64_t in_edges = 0;
+  /// Distinct foreign nodes this shard reads (its ghost table size).
+  uint64_t ghosts = 0;
+  /// Varint-encoded bytes of all exchange lists consumed by this shard —
+  /// the per-sweep boundary traffic a multi-process run would receive.
+  uint64_t boundary_bytes = 0;
+  /// Estimated bytes the shard touches per single-vector sweep: owned
+  /// rows of the three rank arrays (prev/next/scaled) + ghost reads +
+  /// in-offsets + inverse out-degrees + the sources entries it gathers.
+  /// The cache-blocking rule of thumb: sweeps scale once this fits LLC.
+  uint64_t working_set_bytes = 0;
+};
+
+/// One boundary-exchange list: `count` nodes owned by shard `producer`,
+/// ascending, whose rank values shard `consumer` reads through ghost slots
+/// [slot_begin, slot_begin + count). `nodes` is decoded from `encoded`
+/// (delta+varint, csr_codec scheme: first id as-is, then id − prev − 1),
+/// which is the canonical wire form of the list.
+struct ShardExchange {
+  uint32_t producer = 0;
+  uint32_t consumer = 0;
+  uint64_t slot_begin = 0;
+  std::vector<uint8_t> encoded;
+  std::vector<NodeId> nodes;
+};
+
+/// Encodes an ascending node list with the csr_codec gap scheme.
+std::vector<uint8_t> EncodeExchangeList(std::span<const NodeId> nodes);
+
+/// Decodes an EncodeExchangeList blob back into the ascending list.
+std::vector<NodeId> DecodeExchangeList(std::span<const uint8_t> encoded,
+                                       uint64_t count);
+
+/// An immutable sharding of one graph. Built once, reused across solves
+/// (pagerank::SolverWorkspace caches it per graph + shard count).
+class ShardPlan {
+ public:
+  /// Partitions `graph` into `num_shards` contiguous source ranges with
+  /// every boundary a multiple of `alignment`, balancing the per-shard
+  /// in-edge counts. The caller picks the alignment; the sharded sweep
+  /// passes its deterministic-reduction chunk size so no reduction chunk
+  /// ever straddles a shard boundary (the bit-identity requirement —
+  /// splitting a chunk would re-associate its float sum).
+  static ShardPlan Build(const WebGraph& graph, uint32_t num_shards,
+                         uint64_t alignment);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(ranges_.size());
+  }
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t alignment() const { return alignment_; }
+  const std::vector<ShardRange>& ranges() const { return ranges_; }
+
+  /// Shard owning node y (binary search over the range boundaries).
+  uint32_t ShardOf(NodeId y) const;
+
+  /// The graph's in-CSR `sources` array with every cross-shard entry
+  /// remapped to its ghost slot id: an entry e in a row of shard s is
+  /// either the original global id (same shard) or
+  /// num_nodes() + ghost slot. Edge positions are untouched, so a gather
+  /// that walks this array visits exactly the same edge sequence as the
+  /// unsharded kernel — the heart of the bit-identity argument.
+  std::span<const NodeId> sources_local() const { return sources_local_; }
+
+  /// Total ghost slots across all shards. Rank buffers extended for
+  /// sharded sweeps hold (num_nodes() + total_ghosts()) rows.
+  uint64_t total_ghosts() const { return ghost_nodes_.size(); }
+
+  /// Global node behind each ghost slot; shard s owns the slot range
+  /// [ghost_slot_begin(s), ghost_slot_begin(s) + stats()[s].ghosts),
+  /// ascending by global id within a shard.
+  std::span<const NodeId> ghost_nodes() const { return ghost_nodes_; }
+  uint64_t ghost_slot_begin(uint32_t shard) const {
+    return ghost_base_[shard];
+  }
+
+  /// All boundary-exchange lists, grouped by consumer shard, producers
+  /// ascending within a consumer. Pairs with an empty list are omitted.
+  const std::vector<ShardExchange>& exchanges() const { return exchanges_; }
+
+  const std::vector<ShardStats>& stats() const { return stats_; }
+
+  /// Largest per-shard working-set estimate (see ShardStats).
+  uint64_t max_working_set_bytes() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  uint64_t alignment_ = 1;
+  std::vector<ShardRange> ranges_;
+  std::vector<NodeId> boundaries_;  // ranges_[s].begin, plus num_nodes_.
+  std::vector<NodeId> sources_local_;
+  std::vector<NodeId> ghost_nodes_;
+  std::vector<uint64_t> ghost_base_;  // per shard, plus total.
+  std::vector<ShardExchange> exchanges_;
+  std::vector<ShardStats> stats_;
+};
+
+/// Smallest power-of-two shard count (≤ 64) whose estimated per-shard
+/// working set fits `llc_bytes`, ignoring ghost overhead (a few percent on
+/// locality-ordered webs — reorder with kRcm first; see
+/// docs/performance.md). Returns 1 when the whole graph already fits.
+uint32_t PickShardCount(const WebGraph& graph, uint64_t llc_bytes);
+
+}  // namespace spammass::graph
+
+#endif  // SPAMMASS_GRAPH_SHARD_H_

@@ -5,6 +5,7 @@
 #include "graph/graph_validate.h"
 #include "util/debug.h"
 #include "util/logging.h"
+#include "util/mmap_file.h"
 #include "util/thread_pool.h"
 
 namespace spammass::graph {
@@ -30,6 +31,15 @@ uint64_t IngestChunkNodes(uint64_t num_nodes, util::ThreadPool* pool) {
 
 }  // namespace
 
+void WebGraph::SyncViews() {
+  out_offsets_v_ = out_offsets_;
+  targets_v_ = targets_;
+  in_offsets_v_ = in_offsets_;
+  sources_v_ = sources_;
+  inv_out_degree_v_ = inv_out_degree_;
+  dangling_v_ = dangling_nodes_;
+}
+
 WebGraph WebGraph::FromSortedEdges(
     NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
   WebGraph g;
@@ -50,6 +60,7 @@ WebGraph WebGraph::FromSortedEdges(
   for (size_t i = 1; i < g.out_offsets_.size(); ++i) {
     g.out_offsets_[i] += g.out_offsets_[i - 1];
   }
+  g.SyncViews();
   g.BuildTranspose();
   g.BuildDerivedArrays();
   DCHECK_OK(ValidateGraph(g));
@@ -66,6 +77,7 @@ WebGraph WebGraph::FromCsr(NodeId num_nodes,
   g.num_nodes_ = num_nodes;
   g.out_offsets_ = std::move(out_offsets);
   g.targets_ = std::move(targets);
+  g.SyncViews();
   g.BuildTranspose(pool);
   g.BuildDerivedArrays(pool);
   DCHECK_OK(ValidateGraph(g));
@@ -89,15 +101,53 @@ WebGraph WebGraph::FromCsrPair(NodeId num_nodes,
   g.targets_ = std::move(targets);
   g.in_offsets_ = std::move(in_offsets);
   g.sources_ = std::move(sources);
+  g.SyncViews();
   g.BuildDerivedArrays(pool);
   DCHECK_OK(ValidateGraph(g));
   return g;
+}
+
+WebGraph WebGraph::FromMappedSections(
+    NodeId num_nodes, std::span<const uint64_t> out_offsets,
+    std::span<const NodeId> targets, std::span<const uint64_t> in_offsets,
+    std::span<const NodeId> sources, std::span<const double> inv_out_degree,
+    std::span<const NodeId> dangling_nodes,
+    std::shared_ptr<const util::MmapFile> mapping) {
+  CHECK(mapping != nullptr);
+  CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  CHECK_EQ(targets.size(), sources.size());
+  CHECK_EQ(inv_out_degree.size(), static_cast<size_t>(num_nodes));
+  WebGraph g;
+  g.num_nodes_ = num_nodes;
+  g.out_offsets_.clear();
+  g.in_offsets_.clear();
+  g.out_offsets_v_ = out_offsets;
+  g.targets_v_ = targets;
+  g.in_offsets_v_ = in_offsets;
+  g.sources_v_ = sources;
+  g.inv_out_degree_v_ = inv_out_degree;
+  g.dangling_v_ = dangling_nodes;
+  g.mapping_ = std::move(mapping);
+  DCHECK_OK(ValidateGraph(g));
+  return g;
+}
+
+uint64_t WebGraph::mapped_bytes() const {
+  return mapping_ == nullptr ? 0 : mapping_->size();
+}
+
+uint64_t WebGraph::resident_bytes() const {
+  return mapping_ == nullptr ? 0 : mapping_->ResidentBytes();
 }
 
 void WebGraph::BuildTranspose(util::ThreadPool* pool) {
   const uint64_t n = num_nodes_;
   in_offsets_.assign(n + 1, 0);
   sources_.assign(targets_.size(), 0);
+  // The assigns above may reallocate; re-point the in-direction views (the
+  // out-direction views feeding OutNeighbors below are already current).
+  SyncViews();
   if (n == 0) return;
 
   if (pool == nullptr || pool->num_threads() <= 1 ||
@@ -170,7 +220,10 @@ void WebGraph::BuildDerivedArrays(util::ThreadPool* pool) {
   const uint64_t n = num_nodes_;
   inv_out_degree_.assign(n, 0.0);
   dangling_nodes_.clear();
-  if (n == 0) return;
+  if (n == 0) {
+    SyncViews();
+    return;
+  }
 
   if (pool == nullptr || pool->num_threads() <= 1 ||
       n < kParallelIngestMinEdges) {
@@ -182,6 +235,7 @@ void WebGraph::BuildDerivedArrays(util::ThreadPool* pool) {
         inv_out_degree_[x] = 1.0 / d;
       }
     }
+    SyncViews();
     return;
   }
 
@@ -210,16 +264,17 @@ void WebGraph::BuildDerivedArrays(util::ThreadPool* pool) {
   for (const auto& local : chunk_dangling) {
     dangling_nodes_.insert(dangling_nodes_.end(), local.begin(), local.end());
   }
+  SyncViews();
 }
 
 void WebGraph::BuildCompressedInAdjacency() {
   if (has_compressed_in()) return;
-  compressed_in_ = EncodeAdjacency(num_nodes_, in_offsets_, sources_);
+  compressed_in_ = EncodeAdjacency(num_nodes_, in_offsets_v_, sources_v_);
 }
 
 void WebGraph::AdoptCompressedInAdjacency(CompressedAdjacency compressed) {
-  DCHECK_OK(ValidateCompressedAdjacency(compressed, num_nodes_, in_offsets_,
-                                        sources_));
+  DCHECK_OK(ValidateCompressedAdjacency(compressed, num_nodes_,
+                                        in_offsets_v_, sources_v_));
   compressed_in_ = std::move(compressed);
 }
 
@@ -231,11 +286,13 @@ bool WebGraph::HasEdge(NodeId x, NodeId y) const {
 WebGraph WebGraph::Transposed(util::ThreadPool* pool) const {
   WebGraph g;
   g.num_nodes_ = num_nodes_;
-  g.out_offsets_ = in_offsets_;
-  g.targets_ = sources_;
-  g.in_offsets_ = out_offsets_;
-  g.sources_ = targets_;
+  // Copy through the views so mapped graphs transpose into heap storage.
+  g.out_offsets_.assign(in_offsets_v_.begin(), in_offsets_v_.end());
+  g.targets_.assign(sources_v_.begin(), sources_v_.end());
+  g.in_offsets_.assign(out_offsets_v_.begin(), out_offsets_v_.end());
+  g.sources_.assign(targets_v_.begin(), targets_v_.end());
   g.host_names_ = host_names_;
+  g.SyncViews();
   g.BuildDerivedArrays(pool);
   DCHECK_OK(ValidateGraph(g));
   return g;

@@ -3,11 +3,19 @@
 // self-links, at most one link per ordered pair. Stored as CSR in both
 // directions so that PageRank iterations and contribution analyses can scan
 // either out-neighbors or in-neighbors sequentially.
+//
+// Storage model: every accessor reads through span *views*. For graphs
+// built in memory the views point at the owned std::vector storage
+// (SyncViews); for graphs loaded via the v2.2 mmap path
+// (FromMappedSections) they point straight into a read-only file mapping
+// and the vectors stay empty — the graph is then zero-copy and the page
+// cache, not the heap, holds the arrays.
 
 #ifndef SPAMMASS_GRAPH_WEB_GRAPH_H_
 #define SPAMMASS_GRAPH_WEB_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -16,6 +24,7 @@
 #include "graph/csr_codec.h"
 
 namespace spammass::util {
+class MmapFile;
 class ThreadPool;
 }  // namespace spammass::util
 
@@ -34,10 +43,12 @@ inline constexpr NodeId kInvalidNode = 0xffffffffu;
 class WebGraph {
  public:
   /// Empty graph.
-  WebGraph() = default;
+  WebGraph() { SyncViews(); }
 
   WebGraph(const WebGraph&) = delete;
   WebGraph& operator=(const WebGraph&) = delete;
+  // Moves transfer the vector heap buffers (or the file mapping), so the
+  // copied span views remain valid in the destination.
   WebGraph(WebGraph&&) = default;
   WebGraph& operator=(WebGraph&&) = default;
 
@@ -74,27 +85,41 @@ class WebGraph {
                               std::vector<NodeId> sources,
                               util::ThreadPool* pool = nullptr);
 
+  /// Zero-copy construction over sections of a read-only file mapping (the
+  /// v2.2 load path, graph_io.h). All six arrays — both CSR directions plus
+  /// the persisted derived arrays — are adopted as views into `mapping`,
+  /// which the graph keeps alive. The caller (graph::ReadBinaryMmap) must
+  /// have validated section sizes against the mapping bounds and the
+  /// structural invariants per the v2.2 trust model (docs/graph_format.md);
+  /// debug builds re-run the full O(n+m) ValidateGraph.
+  static WebGraph FromMappedSections(
+      NodeId num_nodes, std::span<const uint64_t> out_offsets,
+      std::span<const NodeId> targets, std::span<const uint64_t> in_offsets,
+      std::span<const NodeId> sources, std::span<const double> inv_out_degree,
+      std::span<const NodeId> dangling_nodes,
+      std::shared_ptr<const util::MmapFile> mapping);
+
   NodeId num_nodes() const { return num_nodes_; }
-  uint64_t num_edges() const { return targets_.size(); }
+  uint64_t num_edges() const { return targets_v_.size(); }
 
   /// Out-neighbors of x, sorted ascending.
   std::span<const NodeId> OutNeighbors(NodeId x) const {
-    return {targets_.data() + out_offsets_[x],
-            targets_.data() + out_offsets_[x + 1]};
+    return {targets_v_.data() + out_offsets_v_[x],
+            targets_v_.data() + out_offsets_v_[x + 1]};
   }
 
   /// In-neighbors of x, sorted ascending.
   std::span<const NodeId> InNeighbors(NodeId x) const {
-    return {sources_.data() + in_offsets_[x],
-            sources_.data() + in_offsets_[x + 1]};
+    return {sources_v_.data() + in_offsets_v_[x],
+            sources_v_.data() + in_offsets_v_[x + 1]};
   }
 
   uint32_t OutDegree(NodeId x) const {
-    return static_cast<uint32_t>(out_offsets_[x + 1] - out_offsets_[x]);
+    return static_cast<uint32_t>(out_offsets_v_[x + 1] - out_offsets_v_[x]);
   }
 
   uint32_t InDegree(NodeId x) const {
-    return static_cast<uint32_t>(in_offsets_[x + 1] - in_offsets_[x]);
+    return static_cast<uint32_t>(in_offsets_v_[x + 1] - in_offsets_v_[x]);
   }
 
   /// True if the directed edge (x, y) exists; O(log outdeg(x)).
@@ -109,33 +134,45 @@ class WebGraph {
   }
 
   /// Returns the transposed graph (every edge reversed) as a new graph.
-  /// `pool` parallelizes the derived-array rebuild when non-null.
+  /// `pool` parallelizes the derived-array rebuild when non-null. The
+  /// result always owns heap storage, even when this graph is mapped.
   WebGraph Transposed(util::ThreadPool* pool = nullptr) const;
 
   /// Raw CSR views (offset arrays have num_nodes()+1 entries). Exposed for
   /// the invariant validators (graph_validate.h) and bulk kernels that scan
   /// the arrays directly.
-  std::span<const uint64_t> OutOffsets() const { return out_offsets_; }
-  std::span<const NodeId> Targets() const { return targets_; }
-  std::span<const uint64_t> InOffsets() const { return in_offsets_; }
-  std::span<const NodeId> Sources() const { return sources_; }
+  std::span<const uint64_t> OutOffsets() const { return out_offsets_v_; }
+  std::span<const NodeId> Targets() const { return targets_v_; }
+  std::span<const uint64_t> InOffsets() const { return in_offsets_v_; }
+  std::span<const NodeId> Sources() const { return sources_v_; }
 
   /// Precomputed 1/outdeg(x) per node, exactly 0.0 for dangling nodes.
   /// Built once at construction so PageRank sweeps replace the per-edge
   /// division p[x]/outdeg(x) with a multiply (pagerank/kernel.h).
-  std::span<const double> InvOutDegrees() const { return inv_out_degree_; }
+  std::span<const double> InvOutDegrees() const { return inv_out_degree_v_; }
 
   /// 1/outdeg(x), or 0.0 when x is dangling.
-  double InvOutDegree(NodeId x) const { return inv_out_degree_[x]; }
+  double InvOutDegree(NodeId x) const { return inv_out_degree_v_[x]; }
 
   /// Ascending list of all dangling nodes (outdeg == 0), built once at
   /// construction so per-sweep dangling-mass sums scan |dangling| entries
   /// instead of all n nodes.
-  std::span<const NodeId> DanglingNodes() const { return dangling_nodes_; }
+  std::span<const NodeId> DanglingNodes() const { return dangling_v_; }
 
   uint32_t num_dangling() const {
-    return static_cast<uint32_t>(dangling_nodes_.size());
+    return static_cast<uint32_t>(dangling_v_.size());
   }
+
+  /// True when the CSR arrays are views into a file mapping
+  /// (FromMappedSections) rather than owned heap vectors.
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// Size of the backing file mapping in bytes; 0 for heap graphs.
+  uint64_t mapped_bytes() const;
+
+  /// Bytes of the backing mapping currently resident in memory (mincore);
+  /// 0 for heap graphs. Advisory — see util::MmapFile::ResidentBytes.
+  uint64_t resident_bytes() const;
 
   /// Optional delta+varint compressed form of the in-neighbor adjacency
   /// (csr_codec.h), used by the bandwidth-optimized PageRank sweeps when
@@ -144,7 +181,8 @@ class WebGraph {
   const CompressedAdjacency& compressed_in() const { return compressed_in_; }
 
   /// Builds the compressed in-adjacency from the plain CSR arrays.
-  /// Idempotent; costs one pass over the edges.
+  /// Idempotent; costs one pass over the edges. Works for mapped graphs
+  /// too (the compressed form is heap-owned; v2.2 files don't persist it).
   void BuildCompressedInAdjacency();
 
   /// Adopts an already-validated compressed in-adjacency (the v2 binary
@@ -169,21 +207,39 @@ class WebGraph {
   friend class GraphBuilder;
 
   NodeId num_nodes_ = 0;
-  // CSR forward: out_offsets_ has num_nodes_+1 entries; targets_ holds the
-  // concatenated sorted out-neighbor lists.
+  // Owned storage for heap-built graphs; empty when mapped. CSR forward:
+  // out_offsets_ has num_nodes_+1 entries; targets_ holds the concatenated
+  // sorted out-neighbor lists. in_offsets_/sources_ are the transpose.
   std::vector<uint64_t> out_offsets_{0};
   std::vector<NodeId> targets_;
-  // CSR transposed.
   std::vector<uint64_t> in_offsets_{0};
   std::vector<NodeId> sources_;
   // Derived solver-support arrays, kept consistent with the CSR arrays by
   // construction (graph_validate re-checks in debug builds).
   std::vector<double> inv_out_degree_;
   std::vector<NodeId> dangling_nodes_;
+
+  // The views every accessor reads. SyncViews points them at the owned
+  // vectors; FromMappedSections points them into mapping_.
+  std::span<const uint64_t> out_offsets_v_;
+  std::span<const NodeId> targets_v_;
+  std::span<const uint64_t> in_offsets_v_;
+  std::span<const NodeId> sources_v_;
+  std::span<const double> inv_out_degree_v_;
+  std::span<const NodeId> dangling_v_;
+
+  // Keeps the file mapping alive for mapped graphs; null for heap graphs.
+  std::shared_ptr<const util::MmapFile> mapping_;
+
   // Optional compressed in-adjacency; empty (one zero offset) unless
   // BuildCompressedInAdjacency or AdoptCompressedInAdjacency ran.
   CompressedAdjacency compressed_in_;
   std::vector<std::string> host_names_;
+
+  /// Re-points all views at the owned vectors. Must run after any build
+  /// step that may have (re)allocated a vector and before accessors are
+  /// used; every factory and build helper ends with it.
+  void SyncViews();
 
   // Both builders produce output bit-identical to their serial versions
   // for every pool size: all scatter positions are computed exactly from

@@ -1,0 +1,198 @@
+#include "pagerank/shard_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pagerank/kernel.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace spammass::pagerank {
+
+using graph::NodeId;
+using graph::ShardExchange;
+using graph::WebGraph;
+
+namespace {
+
+// Sweep telemetry, cached like solver.cc's counters (registration takes a
+// lock, incrementing does not).
+obs::Counter* ShardSweepsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("pagerank.shard_sweeps");
+  return counter;
+}
+
+obs::Counter* ExchangeRowsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "pagerank.shard_exchange_rows");
+  return counter;
+}
+
+/// Bounded structural fingerprint for ShardRuntime::Matches: the first and
+/// last 64 in-offset entries. Cheap, and distinguishes any two graphs that
+/// agree on (pointer, n, m) by accident of allocator reuse.
+uint64_t GraphFingerprint(const WebGraph& graph) {
+  const auto offsets = graph.InOffsets();
+  util::Fnv1a64 hasher;
+  const size_t head = std::min<size_t>(offsets.size(), 64);
+  hasher.Update(offsets.data(), head * sizeof(uint64_t));
+  if (offsets.size() > head) {
+    const size_t tail = std::min<size_t>(offsets.size() - head, 64);
+    hasher.Update(offsets.data() + (offsets.size() - tail),
+                  tail * sizeof(uint64_t));
+  }
+  return hasher.digest();
+}
+
+/// The kernel's SweepRange (kernel.cc) with exactly one change: the gather
+/// walks the plan's shard-local sources instead of graph.Sources(). Same
+/// per-lane arithmetic, same accumulation order — specializations only
+/// unroll, never reassociate — so a sweep over bitwise-equal inputs yields
+/// bitwise-equal outputs.
+template <uint32_t K>
+void ShardSweepRange(const WebGraph& graph, const NodeId* sources,
+                     uint32_t k, const double* v, double c,
+                     const double* dangling, const double* p,
+                     const double* scaled, double* next, double* next_scaled,
+                     double* diff_slot, NodeId begin, NodeId end) {
+  const uint32_t lanes = K == 0 ? k : K;
+  const double* inv = graph.InvOutDegrees().data();
+  const uint64_t* in_offsets = graph.InOffsets().data();
+  double m[kernel::kMaxVectorsPerSweep];
+  for (uint32_t j = 0; j < lanes; ++j) {
+    m[j] = (1.0 - c) + c * dangling[j];
+  }
+  double diff[kernel::kMaxVectorsPerSweep] = {0.0};
+  for (NodeId y = begin; y < end; ++y) {
+    double in_sum[kernel::kMaxVectorsPerSweep];
+    for (uint32_t j = 0; j < lanes; ++j) in_sum[j] = 0.0;
+    for (uint64_t e = in_offsets[y]; e < in_offsets[y + 1]; ++e) {
+      const double* row = scaled + static_cast<uint64_t>(sources[e]) * lanes;
+      for (uint32_t j = 0; j < lanes; ++j) in_sum[j] += row[j];
+    }
+    const double* vrow = v + static_cast<uint64_t>(y) * lanes;
+    const double* prow = p + static_cast<uint64_t>(y) * lanes;
+    double* nrow = next + static_cast<uint64_t>(y) * lanes;
+    const double w = inv[y];
+    double* srow = next_scaled + static_cast<uint64_t>(y) * lanes;
+    for (uint32_t j = 0; j < lanes; ++j) {
+      const double out = c * in_sum[j] + vrow[j] * m[j];
+      diff[j] += std::abs(out - prow[j]);
+      nrow[j] = out;
+      srow[j] = out * w;
+    }
+  }
+  for (uint32_t j = 0; j < lanes; ++j) diff_slot[j] = diff[j];
+}
+
+using ShardSweepRangeFn = void (*)(const WebGraph&, const NodeId*, uint32_t,
+                                   const double*, double, const double*,
+                                   const double*, const double*, double*,
+                                   double*, double*, NodeId, NodeId);
+
+ShardSweepRangeFn PickShardSweepRange(uint32_t k) {
+  switch (k) {
+    case 1:
+      return ShardSweepRange<1>;
+    case 2:
+      return ShardSweepRange<2>;
+    case 4:
+      return ShardSweepRange<4>;
+    case 8:
+      return ShardSweepRange<8>;
+    case 16:
+      return ShardSweepRange<16>;
+    default:
+      return ShardSweepRange<0>;
+  }
+}
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(const WebGraph& graph, uint32_t num_shards)
+    : graph_(&graph),
+      num_nodes_(graph.num_nodes()),
+      num_edges_(graph.num_edges()),
+      fingerprint_(GraphFingerprint(graph)),
+      plan_(graph::ShardPlan::Build(graph, num_shards,
+                                    kernel::ChunkSize(graph.num_nodes()))) {
+  SPAMMASS_TRACE_SPAN("pagerank.shard_runtime", "shards",
+                      static_cast<uint64_t>(num_shards), "ghosts",
+                      plan_.total_ghosts());
+  obs::MetricsRegistry::Global()
+      .GetGauge("pagerank.shard_max_working_set_bytes")
+      ->Set(static_cast<double>(plan_.max_working_set_bytes()));
+}
+
+bool ShardRuntime::Matches(const WebGraph& graph, uint32_t num_shards) const {
+  return graph_ == &graph && num_nodes_ == graph.num_nodes() &&
+         num_edges_ == graph.num_edges() &&
+         plan_.num_shards() == num_shards &&
+         fingerprint_ == GraphFingerprint(graph);
+}
+
+void ShardRuntime::SweepMulti(const WebGraph& graph, uint32_t k,
+                              const double* v, double damping,
+                              const double* dangling, const double* p,
+                              double* scaled, double* next,
+                              double* next_scaled,
+                              std::vector<double>* partials, double* diffs,
+                              util::ThreadPool* pool) const {
+  CHECK_GE(k, 1u);
+  CHECK_LE(k, kernel::kMaxVectorsPerSweep);
+  DCHECK_EQ(num_nodes_, graph.num_nodes());
+  const NodeId n = num_nodes_;
+
+  // Phase 1: boundary exchange. Copy each exchanged node's scaled row into
+  // its consumer's ghost slots. Exchanges write disjoint slot ranges and
+  // only read owned rows [0, n), so the copies parallelize with no
+  // ordering concerns — a copy is a copy.
+  const std::vector<ShardExchange>& exchanges = plan_.exchanges();
+  uint64_t exchange_rows = 0;
+  const auto exchange_body = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      const ShardExchange& ex = exchanges[i];
+      double* dst = scaled + ex.slot_begin * k;
+      for (size_t t = 0; t < ex.nodes.size(); ++t) {
+        const double* src =
+            scaled + static_cast<uint64_t>(ex.nodes[t]) * k;
+        double* out = dst + t * k;
+        for (uint32_t j = 0; j < k; ++j) out[j] = src[j];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(exchanges.size(), exchange_body);
+  } else {
+    exchange_body(0, exchanges.size());
+  }
+  for (const ShardExchange& ex : exchanges) exchange_rows += ex.nodes.size();
+
+  // Phase 2: the sweep itself — the kernel's global chunk decomposition
+  // (chunk c of the unsharded kernel is chunk c here, inside one shard by
+  // the alignment argument), gathering through sources_local.
+  const uint64_t chunks = kernel::NumChunks(n);
+  partials->assign(chunks * k, 0.0);
+  const ShardSweepRangeFn sweep = PickShardSweepRange(k);
+  const NodeId* sources = plan_.sources_local().data();
+  kernel::ForEachChunk(pool, n, [&](uint64_t c, uint64_t begin,
+                                    uint64_t end) {
+    sweep(graph, sources, k, v, damping, dangling, p, scaled, next,
+          next_scaled, partials->data() + c * k, static_cast<NodeId>(begin),
+          static_cast<NodeId>(end));
+  });
+  for (uint32_t j = 0; j < k; ++j) diffs[j] = 0.0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const double* slot = partials->data() + c * k;
+    for (uint32_t j = 0; j < k; ++j) diffs[j] += slot[j];
+  }
+
+  ShardSweepsCounter()->Increment();
+  ExchangeRowsCounter()->Add(exchange_rows);
+}
+
+}  // namespace spammass::pagerank

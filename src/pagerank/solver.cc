@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pagerank/kernel.h"
+#include "pagerank/shard_sweep.h"
 #include "pagerank/solver_validate.h"
 #include "util/debug.h"
 #include "util/logging.h"
@@ -292,6 +293,16 @@ std::vector<PageRankResult> SolveJacobiBatch(
   SPAMMASS_TRACE_SPAN("pagerank.solve", "method", "jacobi", "lanes", k);
   util::ThreadPool* pool = ws->EnsurePool(opt.num_threads);
 
+  // Sharded mode (opt.shards > 1): the sweeps run through a cached
+  // ShardRuntime, and the two scaled buffers grow a ghost region the
+  // exchange phase refreshes every sweep. Everything else — seeding,
+  // convergence, lane compaction — is shard-oblivious, because rows
+  // [0, n) of every buffer mean exactly what they mean unsharded.
+  ShardRuntime* shard_rt =
+      opt.shards > 1 ? ws->EnsureShardRuntime(graph, opt.shards) : nullptr;
+  const uint64_t scaled_rows =
+      shard_rt != nullptr ? shard_rt->extended_rows() : n;
+
   std::vector<double>& cur = ws->iterate();
   std::vector<double>& next = ws->next();
   std::vector<double>& scaled = ws->scaled();
@@ -299,8 +310,8 @@ std::vector<PageRankResult> SolveJacobiBatch(
   std::vector<double>& vflat = ws->jump_flat();
   cur.resize(n * k);
   next.resize(n * k);
-  scaled.resize(n * k);
-  scaled_next.resize(n * k);
+  scaled.resize(scaled_rows * k);
+  scaled_next.resize(scaled_rows * k);
   vflat.resize(n * k);
 
   for (uint64_t x = 0; x < n; ++x) {
@@ -342,12 +353,17 @@ std::vector<PageRankResult> SolveJacobiBatch(
       kernel::DanglingSums(graph, live, cur.data(), &ws->dangling_partials(),
                            dangling.data(), pool);
     }
-    kernel::WeightedJacobiSweepMulti(graph, live, vflat.data(), opt.damping,
-                                     dangling.data(), cur.data(),
-                                     scaled.data(), next.data(),
-                                     scaled_next.data(),
-                                     &ws->node_partials(), diffs.data(),
-                                     variant, pool);
+    if (shard_rt != nullptr) {
+      shard_rt->SweepMulti(graph, live, vflat.data(), opt.damping,
+                           dangling.data(), cur.data(), scaled.data(),
+                           next.data(), scaled_next.data(),
+                           &ws->node_partials(), diffs.data(), pool);
+    } else {
+      kernel::WeightedJacobiSweepMulti(
+          graph, live, vflat.data(), opt.damping, dangling.data(),
+          cur.data(), scaled.data(), next.data(), scaled_next.data(),
+          &ws->node_partials(), diffs.data(), variant, pool);
+    }
     cur.swap(next);
     scaled.swap(scaled_next);
     SweepsCounter()->Increment();
@@ -584,6 +600,30 @@ Status CheckGraphAndOptions(const WebGraph& graph,
   if (options.precision == SweepPrecision::kMixedF32 &&
       !(options.f32_switch_tolerance >= 0.0)) {
     return Status::InvalidArgument("f32_switch_tolerance must be >= 0");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  // Sharded sweeps exist to make the bit-exact reference scale; the
+  // vectorized / narrowed / compressed sweep bodies have no shard-local
+  // gather, so combining them is rejected rather than silently unsharded.
+  // Sequential Gauss-Seidel/SOR ignore shards (like num_threads).
+  if (options.shards > 1 && options.method == Method::kPowerIteration) {
+    return Status::InvalidArgument(
+        "shards > 1 supports the Jacobi method only");
+  }
+  if (options.shards > 1 && options.method == Method::kJacobi) {
+    if (options.simd != SimdPolicy::kScalar) {
+      return Status::InvalidArgument(
+          "shards > 1 requires the scalar simd policy");
+    }
+    if (options.precision != SweepPrecision::kFloat64) {
+      return Status::InvalidArgument("shards > 1 requires f64 precision");
+    }
+    if (options.compressed_gather) {
+      return Status::InvalidArgument(
+          "shards > 1 is incompatible with compressed_gather");
+    }
   }
   if (options.compressed_gather) {
     if (options.method != Method::kJacobi &&

@@ -104,6 +104,17 @@ struct SolverOptions {
   /// max(f32_switch_tolerance, tolerance). Near the float32 unit roundoff
   /// by default; raising it shifts work to the float64 phase.
   double f32_switch_tolerance = 1e-6;
+  /// Host-range shard count for the Jacobi sweep (pagerank/shard_sweep.h):
+  /// the node range is partitioned into this many contiguous shards, each
+  /// sweeping against its own compact working set with boundary rank
+  /// exchanged through ghost slots — the cache-blocking/out-of-core mode.
+  /// 1 (the default) is the unsharded kernel. Sharded scores and residuals
+  /// are bit-identical to unsharded for every shard and thread count.
+  /// Jacobi + scalar f64 + plain gather only: shards > 1 rejects other
+  /// simd/precision/compressed_gather settings, and the sequential
+  /// Gauss-Seidel/SOR sweeps ignore it (like num_threads). Use
+  /// graph::PickShardCount to size it from the cache budget.
+  uint32_t shards = 1;
 
   /// The solver configuration shared by the eval pipeline, the CLI
   /// defaults, and the paper-reproduction benches: Gauss-Seidel at 1e-10 /

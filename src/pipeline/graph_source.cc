@@ -113,6 +113,11 @@ GraphSource& GraphSource::WithGoodCore(std::vector<graph::NodeId> core) {
   return *this;
 }
 
+GraphSource& GraphSource::WithMmap(bool mmap) {
+  mmap_ = mmap;
+  return *this;
+}
+
 namespace {
 
 /// Post-load bookkeeping shared by every exit path: graph-shape gauges and
@@ -122,9 +127,15 @@ void RecordLoadMetrics(const LoadedGraph& loaded) {
   static obs::Counter* loads = registry.GetCounter("graph.loads");
   static obs::Gauge* nodes = registry.GetGauge("graph.nodes");
   static obs::Gauge* edges = registry.GetGauge("graph.edges");
+  static obs::Gauge* mapped = registry.GetGauge("graph.mapped_bytes");
+  static obs::Gauge* resident = registry.GetGauge("graph.resident_bytes");
   loads->Increment();
   nodes->Set(static_cast<double>(loaded.web.graph.num_nodes()));
   edges->Set(static_cast<double>(loaded.web.graph.num_edges()));
+  // 0/0 for heap-backed graphs; the residency sample is advisory (mincore
+  // at one instant) but cheap enough to take on every load.
+  mapped->Set(static_cast<double>(loaded.web.graph.mapped_bytes()));
+  resident->Set(static_cast<double>(loaded.web.graph.resident_bytes()));
 }
 
 }  // namespace
@@ -135,6 +146,10 @@ Result<LoadedGraph> GraphSource::Load(util::ThreadPool* pool) {
   LoadedGraph loaded;
   loaded.description = description_;
 
+  if (mmap_ && kind_ != Kind::kFile) {
+    return Status::InvalidArgument(
+        "mmap loading requires a file source (v2.2 binary container)");
+  }
   switch (kind_) {
     case Kind::kSynthetic: {
       auto web = synth::GenerateWeb(config_);
@@ -152,9 +167,16 @@ Result<LoadedGraph> GraphSource::Load(util::ThreadPool* pool) {
       auto format = SniffGraphFormat(path_);
       if (!format.ok()) return format.status();
       loaded.format = format.value();
-      auto graph = loaded.format == GraphFormat::kBinary
-                       ? graph::ReadBinary(path_, pool)
-                       : graph::ReadEdgeListText(path_, pool);
+      if (mmap_ && loaded.format != GraphFormat::kBinary) {
+        return Status::InvalidArgument(
+            "mmap loading requires a v2.2 binary container, got a text "
+            "edge list: " +
+            path_);
+      }
+      auto graph = loaded.format != GraphFormat::kBinary
+                       ? graph::ReadEdgeListText(path_, pool)
+                       : (mmap_ ? graph::ReadBinaryMmap(path_)
+                                : graph::ReadBinary(path_, pool));
       if (!graph.ok()) return graph.status();
       loaded.web.graph = std::move(graph.value());
       break;

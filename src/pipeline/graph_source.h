@@ -91,6 +91,14 @@ class GraphSource {
   /// Uses an explicit in-memory good core (in-memory or file sources).
   GraphSource& WithGoodCore(std::vector<graph::NodeId> core);
 
+  /// Loads a binary file source zero-copy via graph::ReadBinaryMmap — the
+  /// O(1)-load out-of-core path. Strict: the file must be the v2.2 paged
+  /// container (write one with `spammass_cli convert --format paged` or
+  /// graph::WriteBinaryV22), and a text or synthetic source with mmap
+  /// requested fails with InvalidArgument instead of silently ignoring the
+  /// flag.
+  GraphSource& WithMmap(bool mmap = true);
+
   /// Materializes the graph. `pool` parallelizes file ingest (sort/dedup /
   /// derived arrays); null loads serially. Synthetic and file sources can
   /// be loaded repeatedly; an in-memory source is one-shot (WebGraph is
@@ -112,6 +120,7 @@ class GraphSource {
   std::string core_path_;
   std::string host_names_path_;
   std::vector<graph::NodeId> good_core_;
+  bool mmap_ = false;
 };
 
 }  // namespace spammass::pipeline

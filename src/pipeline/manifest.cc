@@ -30,6 +30,7 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
   json.KV("has_labels", source.has_labels);
   json.KV("good_core_size", static_cast<uint64_t>(source.good_core.size()));
   json.KV("load_seconds", source.load_seconds);
+  json.KV("mmap", source.web.graph.is_mapped());
   json.EndObject();
 
   json.Key("config").BeginObject();
@@ -43,6 +44,7 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
   json.KV("precision",
           pagerank::SweepPrecisionToString(config.solver.precision));
   json.KV("compressed_gather", config.solver.compressed_gather);
+  json.KV("shards", config.solver.shards);
   json.EndObject();
   json.KV("gamma", config.gamma);
   json.KV("scale_core_jump", config.scale_core_jump);

@@ -1,0 +1,98 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace spammass::util {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Errno("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("mmap open: '" + path + "' is not a regular file");
+  }
+
+  MmapFile file;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Errno("mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  return file;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+uint64_t MmapFile::ResidentBytes() const {
+  if (data_ == nullptr || size_ == 0) return 0;
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t num_pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(num_pages);
+  if (::mincore(const_cast<uint8_t*>(data_), size_, vec.data()) != 0) {
+    return 0;
+  }
+  uint64_t resident_pages = 0;
+  for (unsigned char flags : vec) {
+    resident_pages += flags & 1u;
+  }
+  // The last page may extend past EOF; count bytes, not pages, so the
+  // report can never exceed the mapped size.
+  uint64_t bytes = resident_pages * page;
+  return bytes > size_ ? size_ : bytes;
+}
+
+}  // namespace spammass::util

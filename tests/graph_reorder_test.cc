@@ -69,8 +69,8 @@ std::set<std::pair<NodeId, NodeId>> EdgeSet(const WebGraph& g,
 }
 
 TEST(ReorderTest, KindStringsRoundTrip) {
-  for (ReorderKind kind :
-       {ReorderKind::kNone, ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+  for (ReorderKind kind : {ReorderKind::kNone, ReorderKind::kDegreeDesc,
+                           ReorderKind::kBfs, ReorderKind::kRcm}) {
     auto parsed =
         graph::ReorderKindFromString(graph::ReorderKindToString(kind));
     ASSERT_TRUE(parsed.ok());
@@ -81,8 +81,8 @@ TEST(ReorderTest, KindStringsRoundTrip) {
 
 TEST(ReorderTest, ComputesValidPermutations) {
   WebGraph g = MakeGraph(400, 2500, /*seed=*/7);
-  for (ReorderKind kind :
-       {ReorderKind::kNone, ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+  for (ReorderKind kind : {ReorderKind::kNone, ReorderKind::kDegreeDesc,
+                           ReorderKind::kBfs, ReorderKind::kRcm}) {
     Reordering r = graph::ComputeReordering(g, kind);
     ExpectValidPermutation(r, g.num_nodes());
   }
@@ -123,7 +123,8 @@ TEST(ReorderTest, ApplyPreservesStructure) {
   std::vector<NodeId> identity(g.num_nodes());
   for (NodeId x = 0; x < g.num_nodes(); ++x) identity[x] = x;
 
-  for (ReorderKind kind : {ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+  for (ReorderKind kind :
+       {ReorderKind::kDegreeDesc, ReorderKind::kBfs, ReorderKind::kRcm}) {
     Reordering r = graph::ComputeReordering(g, kind);
     WebGraph permuted = graph::ApplyReordering(g, r);
     ASSERT_EQ(permuted.num_nodes(), g.num_nodes());
@@ -159,7 +160,8 @@ TEST(ReorderTest, PageRankIsPermutationEquivariant) {
   auto base = pagerank::ComputeUniformPageRank(g, opt);
   ASSERT_TRUE(base.ok());
 
-  for (ReorderKind kind : {ReorderKind::kDegreeDesc, ReorderKind::kBfs}) {
+  for (ReorderKind kind :
+       {ReorderKind::kDegreeDesc, ReorderKind::kBfs, ReorderKind::kRcm}) {
     Reordering r = graph::ComputeReordering(g, kind);
     WebGraph permuted = graph::ApplyReordering(g, r);
     auto reordered = pagerank::ComputeUniformPageRank(permuted, opt);
@@ -197,6 +199,76 @@ TEST(ReorderTest, BfsKeepsNeighborsClose) {
   }
   // A BFS order of a path keeps every edge within distance 2.
   EXPECT_LE(total_jump, edges * 2);
+}
+
+/// Max |perm[x] − perm[y]| over the (undirected) edges — the bandwidth
+/// RCM exists to minimize.
+uint64_t Bandwidth(const WebGraph& g, const Reordering& r) {
+  uint64_t bandwidth = 0;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    for (NodeId y : g.OutNeighbors(x)) {
+      const auto a = static_cast<int64_t>(r.perm[x]);
+      const auto b = static_cast<int64_t>(r.perm[y]);
+      bandwidth = std::max(
+          bandwidth, static_cast<uint64_t>(a > b ? a - b : b - a));
+    }
+  }
+  return bandwidth;
+}
+
+TEST(ReorderTest, RcmMinimizesPathBandwidth) {
+  // The classic RCM showcase: a path graph presented in scrambled order.
+  // Crawl order leaves edges spanning nearly the whole id range; RCM must
+  // recover a contiguous labeling (bandwidth 1).
+  constexpr NodeId kN = 128;
+  GraphBuilder b(kN);
+  for (NodeId x = 0; x + 1 < kN; ++x) {
+    // Interleave low/high ids along the path for worst-case crawl order.
+    const NodeId u = (x % 2 == 0) ? x / 2 : kN - 1 - x / 2;
+    const NodeId v = (x % 2 == 0) ? kN - 1 - x / 2 : x / 2 + 1;
+    b.AddEdge(u, v);
+    b.AddEdge(v, u);
+  }
+  WebGraph g = b.Build();
+  Reordering identity;
+  identity.perm.resize(kN);
+  identity.inverse.resize(kN);
+  for (NodeId x = 0; x < kN; ++x) identity.perm[x] = identity.inverse[x] = x;
+  ASSERT_GT(Bandwidth(g, identity), kN / 2);
+
+  Reordering r = graph::ComputeReordering(g, ReorderKind::kRcm);
+  ExpectValidPermutation(r, kN);
+  EXPECT_EQ(Bandwidth(g, r), 1u);
+}
+
+TEST(ReorderTest, RcmImprovesBandwidthOnRandomGraphs) {
+  WebGraph g = MakeGraph(500, 1500, /*seed=*/23);
+  Reordering identity;
+  identity.perm.resize(g.num_nodes());
+  identity.inverse.resize(g.num_nodes());
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    identity.perm[x] = identity.inverse[x] = x;
+  }
+  Reordering r = graph::ComputeReordering(g, ReorderKind::kRcm);
+  ExpectValidPermutation(r, g.num_nodes());
+  // Sparse random graphs are not band matrices, but RCM should never make
+  // the envelope wider than the raw crawl order.
+  EXPECT_LE(Bandwidth(g, r), Bandwidth(g, identity));
+}
+
+TEST(ReorderTest, RcmIsDeterministicAndCoversAllComponents) {
+  // Several disconnected components plus isolated nodes: every node gets
+  // exactly one slot, and rebuilding yields the identical permutation.
+  GraphBuilder b(60);
+  for (NodeId x = 0; x + 1 < 20; ++x) b.AddEdge(x, x + 1);
+  for (NodeId x = 25; x + 1 < 40; ++x) b.AddEdge(x + 1, x);
+  // Nodes 40..59 isolated.
+  WebGraph g = b.Build();
+  Reordering a = graph::ComputeReordering(g, ReorderKind::kRcm);
+  Reordering b2 = graph::ComputeReordering(g, ReorderKind::kRcm);
+  ExpectValidPermutation(a, g.num_nodes());
+  EXPECT_EQ(a.perm, b2.perm);
+  EXPECT_EQ(a.inverse, b2.inverse);
 }
 
 }  // namespace

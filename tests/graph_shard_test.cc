@@ -1,0 +1,263 @@
+// ShardPlan structure: boundary alignment and coverage, the
+// sources-local remap (same-shard entries untouched, cross-shard entries
+// pointing at the right ghost slot — edge positions never move, which is
+// what the sharded sweep's bit-identity argument stands on), ghost-table
+// ordering, the varint boundary-exchange round trip, the per-shard
+// accounting, and the PickShardCount sizing heuristic.
+
+#include "graph/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/web_graph.h"
+#include "util/random.h"
+
+namespace spammass {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::ShardExchange;
+using graph::ShardPlan;
+using graph::WebGraph;
+
+WebGraph MakeGraph(uint32_t n, uint32_t edges, uint64_t seed) {
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+  for (uint32_t e = 0; e < edges; ++e) {
+    auto u = static_cast<NodeId>(rng.UniformIndex(n));
+    auto v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+/// Checks the invariants every plan must satisfy regardless of shape:
+/// contiguous coverage of [0, n), aligned internal boundaries, ShardOf
+/// agreement, the remap bijection, ghost tables ascending-unique-foreign,
+/// and exchanges that exactly reproduce the ghost tables.
+void ExpectValidPlan(const WebGraph& g, const ShardPlan& plan,
+                     uint64_t alignment) {
+  const NodeId n = g.num_nodes();
+  ASSERT_EQ(plan.num_nodes(), n);
+  ASSERT_EQ(plan.alignment(), alignment);
+  ASSERT_GE(plan.num_shards(), 1u);
+
+  // Ranges tile [0, n) in order; every internal boundary is aligned.
+  NodeId cursor = 0;
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const auto& r = plan.ranges()[s];
+    EXPECT_EQ(r.begin, cursor) << "gap before shard " << s;
+    EXPECT_LE(r.begin, r.end);
+    if (s > 0) {
+      // A boundary is an aligned cut, except when clamping ran out of
+      // aligned cut points and parked trailing shards (empty) at n — the
+      // final reduction chunk ends at n anyway, so a cut there never
+      // splits a chunk.
+      EXPECT_TRUE(r.begin % alignment == 0 || r.begin == n)
+          << "unaligned boundary " << r.begin;
+    }
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, n);
+  for (NodeId y = 0; y < n; ++y) {
+    const uint32_t s = plan.ShardOf(y);
+    ASSERT_LT(s, plan.num_shards());
+    EXPECT_GE(y, plan.ranges()[s].begin);
+    EXPECT_LT(y, plan.ranges()[s].end);
+  }
+
+  // The remap: same edge positions, same-shard ids verbatim, cross-shard
+  // ids pointing into the consumer's own ghost slot range and decoding
+  // back to the original global id.
+  const auto sources = g.Sources();
+  const auto local = plan.sources_local();
+  ASSERT_EQ(local.size(), sources.size());
+  const auto in_offsets = g.InOffsets();
+  const auto ghosts = plan.ghost_nodes();
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const auto& r = plan.ranges()[s];
+    const uint64_t slot_begin = plan.ghost_slot_begin(s);
+    const uint64_t slot_end = slot_begin + plan.stats()[s].ghosts;
+    for (NodeId y = r.begin; y < r.end; ++y) {
+      for (uint64_t e = in_offsets[y]; e < in_offsets[y + 1]; ++e) {
+        const NodeId global = sources[e];
+        const NodeId mapped = local[e];
+        if (plan.ShardOf(global) == s) {
+          EXPECT_EQ(mapped, global) << "edge " << e;
+        } else {
+          ASSERT_GE(mapped, n) << "edge " << e;
+          const uint64_t slot = static_cast<uint64_t>(mapped) - n;
+          ASSERT_GE(slot, slot_begin) << "edge " << e;
+          ASSERT_LT(slot, slot_end) << "edge " << e;
+          EXPECT_EQ(ghosts[slot], global) << "edge " << e;
+        }
+      }
+    }
+  }
+
+  // Ghost tables: ascending, unique, foreign to their shard.
+  uint64_t total_ghosts = 0;
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const uint64_t begin = plan.ghost_slot_begin(s);
+    const uint64_t count = plan.stats()[s].ghosts;
+    total_ghosts += count;
+    for (uint64_t i = 0; i < count; ++i) {
+      const NodeId node = ghosts[begin + i];
+      EXPECT_NE(plan.ShardOf(node), s) << "own node in ghost table";
+      if (i > 0) EXPECT_LT(ghosts[begin + i - 1], node) << "not ascending";
+    }
+  }
+  EXPECT_EQ(plan.total_ghosts(), total_ghosts);
+
+  // Exchanges, concatenated per consumer in producer order, ARE the ghost
+  // table — and each list survives the varint wire round trip.
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    std::vector<NodeId> from_exchanges;
+    // Exchange slot ids are extended-row ids: the ghost region starts at
+    // row n, so shard s's slots begin at n + its ghost-table offset.
+    uint64_t expected_slot = n + plan.ghost_slot_begin(s);
+    uint32_t last_producer = 0;
+    bool first = true;
+    for (const ShardExchange& ex : plan.exchanges()) {
+      if (ex.consumer != s) continue;
+      EXPECT_NE(ex.producer, s);
+      if (!first) EXPECT_GT(ex.producer, last_producer);
+      first = false;
+      last_producer = ex.producer;
+      EXPECT_EQ(ex.slot_begin, expected_slot);
+      EXPECT_FALSE(ex.nodes.empty()) << "empty exchange list not omitted";
+      for (NodeId node : ex.nodes) {
+        EXPECT_EQ(plan.ShardOf(node), ex.producer);
+        from_exchanges.push_back(node);
+      }
+      expected_slot += ex.nodes.size();
+      EXPECT_EQ(graph::DecodeExchangeList(ex.encoded, ex.nodes.size()),
+                ex.nodes);
+      EXPECT_EQ(graph::EncodeExchangeList(ex.nodes), ex.encoded);
+    }
+    const uint64_t begin = plan.ghost_slot_begin(s);
+    ASSERT_EQ(from_exchanges.size(), plan.stats()[s].ghosts);
+    for (uint64_t i = 0; i < from_exchanges.size(); ++i) {
+      EXPECT_EQ(from_exchanges[i], ghosts[begin + i]);
+    }
+  }
+}
+
+TEST(ShardPlanTest, PartitionsWithAlignedBoundaries) {
+  WebGraph g = MakeGraph(1000, 6000, /*seed=*/3);
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardPlan plan = ShardPlan::Build(g, shards, /*alignment=*/64);
+    EXPECT_LE(plan.num_shards(), shards);
+    ExpectValidPlan(g, plan, 64);
+  }
+}
+
+TEST(ShardPlanTest, SingleShardIsTheIdentity) {
+  WebGraph g = MakeGraph(400, 2000, /*seed=*/5);
+  ShardPlan plan = ShardPlan::Build(g, 1, /*alignment=*/256);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.total_ghosts(), 0u);
+  EXPECT_TRUE(plan.exchanges().empty());
+  const auto sources = g.Sources();
+  const auto local = plan.sources_local();
+  ASSERT_EQ(local.size(), sources.size());
+  EXPECT_TRUE(std::equal(local.begin(), local.end(), sources.begin()));
+}
+
+TEST(ShardPlanTest, ClampsWhenFewerAlignedCutsThanShards) {
+  // 10 nodes at alignment 8 admits a single internal cut; asking for 8
+  // shards must degrade gracefully, never produce unaligned boundaries.
+  WebGraph g = MakeGraph(10, 40, /*seed=*/7);
+  ShardPlan plan = ShardPlan::Build(g, 8, /*alignment=*/8);
+  ExpectValidPlan(g, plan, 8);
+  EXPECT_LE(plan.num_shards(), 8u);
+}
+
+TEST(ShardPlanTest, BalancesInEdges) {
+  // Uniform random graph, generous alignment slack: no shard should carry
+  // more than twice the ideal in-edge share.
+  WebGraph g = MakeGraph(4096, 40000, /*seed=*/11);
+  ShardPlan plan = ShardPlan::Build(g, 4, /*alignment=*/64);
+  ASSERT_EQ(plan.num_shards(), 4u);
+  const uint64_t ideal = g.num_edges() / 4;
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_LT(plan.stats()[s].in_edges, 2 * ideal) << "shard " << s;
+  }
+}
+
+TEST(ShardPlanTest, StatsAccountForEveryEdgeAndByte) {
+  WebGraph g = MakeGraph(800, 5000, /*seed=*/13);
+  ShardPlan plan = ShardPlan::Build(g, 4, /*alignment=*/64);
+  uint64_t in_edges = 0;
+  std::vector<uint64_t> boundary_bytes(plan.num_shards(), 0);
+  for (const ShardExchange& ex : plan.exchanges()) {
+    boundary_bytes[ex.consumer] += ex.encoded.size();
+  }
+  uint64_t max_ws = 0;
+  for (uint32_t s = 0; s < plan.num_shards(); ++s) {
+    const auto& stats = plan.stats()[s];
+    in_edges += stats.in_edges;
+    EXPECT_EQ(stats.boundary_bytes, boundary_bytes[s]) << "shard " << s;
+    if (plan.ranges()[s].size() > 0) EXPECT_GT(stats.working_set_bytes, 0u);
+    max_ws = std::max(max_ws, stats.working_set_bytes);
+  }
+  EXPECT_EQ(in_edges, g.num_edges());
+  EXPECT_EQ(plan.max_working_set_bytes(), max_ws);
+}
+
+TEST(ShardPlanTest, DeterministicAcrossRebuilds) {
+  WebGraph g = MakeGraph(600, 3500, /*seed=*/17);
+  ShardPlan a = ShardPlan::Build(g, 4, /*alignment=*/64);
+  ShardPlan b = ShardPlan::Build(g, 4, /*alignment=*/64);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  const auto al = a.sources_local();
+  const auto bl = b.sources_local();
+  EXPECT_TRUE(std::equal(al.begin(), al.end(), bl.begin(), bl.end()));
+  ASSERT_EQ(a.exchanges().size(), b.exchanges().size());
+  for (size_t i = 0; i < a.exchanges().size(); ++i) {
+    EXPECT_EQ(a.exchanges()[i].encoded, b.exchanges()[i].encoded);
+  }
+}
+
+TEST(ShardExchangeTest, EncodeDecodeRoundTrip) {
+  const std::vector<std::vector<NodeId>> lists = {
+      {},
+      {0},
+      {7},
+      {0, 1, 2, 3},
+      {5, 100, 101, 4000, 1u << 30},
+  };
+  for (const auto& nodes : lists) {
+    const std::vector<uint8_t> encoded = graph::EncodeExchangeList(nodes);
+    EXPECT_EQ(graph::DecodeExchangeList(encoded, nodes.size()), nodes);
+  }
+  // Dense ascending runs are the codec's best case: one byte per node
+  // after the first.
+  std::vector<NodeId> dense(1000);
+  for (NodeId i = 0; i < 1000; ++i) dense[i] = 5000 + i;
+  const std::vector<uint8_t> encoded = graph::EncodeExchangeList(dense);
+  EXPECT_EQ(graph::DecodeExchangeList(encoded, dense.size()), dense);
+  EXPECT_LE(encoded.size(), dense.size() + 4);
+}
+
+TEST(PickShardCountTest, ScalesWithCacheBudget) {
+  WebGraph g = MakeGraph(4096, 30000, /*seed=*/19);
+  // A budget bigger than the whole graph: no sharding.
+  EXPECT_EQ(graph::PickShardCount(g, 1ull << 40), 1u);
+  // A tiny budget forces splitting; the answer is a power of two ≤ 64.
+  const uint32_t shards = graph::PickShardCount(g, 16 * 1024);
+  EXPECT_GT(shards, 1u);
+  EXPECT_LE(shards, 64u);
+  EXPECT_EQ(shards & (shards - 1), 0u) << "not a power of two: " << shards;
+  // A looser budget never wants more shards than a tighter one.
+  EXPECT_LE(graph::PickShardCount(g, 256 * 1024), shards);
+}
+
+}  // namespace
+}  // namespace spammass

@@ -45,6 +45,21 @@ Suite `pipeline` (bench_pipeline, shared synthetic web):
     and TrustRank, with every forward solve fused into one multi-RHS
     stream, vs. each detector preparing its own context)
 
+Suite `shard` (bench_shard, 300k-node power-law web, ~50 MB CSR):
+
+  * mmap_load_speedup (the PR 8 acceptance metric, target ≥10×):
+        BM_PagedLoadHeap / BM_PagedLoadMmap
+    (full-validation heap load of a v2.2 file over the zero-copy
+    sample-checksum mmap load of the same file)
+  * mmap_vs_v2_load_speedup:
+        BM_BinaryLoadV2Heap / BM_PagedLoadMmap
+    (the legacy v2 streaming load over the paged mmap load — the
+    end-to-end win of migrating a deployment to the paged container)
+  * shard_sweep_speedup_S<k>:
+        BM_ShardedSweep/1 / BM_ShardedSweep/<k>
+    (unsharded multi-RHS Jacobi over the k-shard run, 4 threads; bit-
+    identical results by construction, so this is pure locality effect)
+
 Suite `obs` (bench_obs, 100k-node random web): ratios here are overhead
 factors (instrumented time / hooks-off baseline time), not speedups —
 values near 1.0 are good, and the PR 5 acceptance criterion is that
@@ -133,6 +148,14 @@ PIPELINE_RATIO_PAIRS = [
      "BM_TwoDetectorsSharedContext"),
 ]
 
+SHARD_RATIO_PAIRS = [
+    ("mmap_load_speedup", "BM_PagedLoadHeap", "BM_PagedLoadMmap"),
+    ("mmap_vs_v2_load_speedup", "BM_BinaryLoadV2Heap", "BM_PagedLoadMmap"),
+    ("shard_sweep_speedup_S2", "BM_ShardedSweep/1", "BM_ShardedSweep/2"),
+    ("shard_sweep_speedup_S4", "BM_ShardedSweep/1", "BM_ShardedSweep/4"),
+    ("shard_sweep_speedup_S8", "BM_ShardedSweep/1", "BM_ShardedSweep/8"),
+]
+
 # Overhead factors: instrumented entry over the hooks-off baseline. The
 # (label, numerator, denominator) order is flipped relative to the speedup
 # suites because the interesting number is how much slower telemetry makes
@@ -165,6 +188,10 @@ SUITES = {
     "obs": {
         "binaries": ["bench_obs"],
         "ratios": OBS_RATIO_PAIRS,
+    },
+    "shard": {
+        "binaries": ["bench_shard"],
+        "ratios": SHARD_RATIO_PAIRS,
     },
 }
 

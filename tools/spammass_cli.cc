@@ -2,6 +2,7 @@
 //
 //   generate   synthesize a Yahoo-2004-like host graph to disk
 //   stats      structural statistics of a graph
+//   convert    rewrite a graph between containers (text / v2 / paged v2.2)
 //   pagerank   compute (scaled) PageRank scores
 //   mass       estimate spam mass from a good-core file
 //   detect     run Algorithm 2 and print/save spam candidates
@@ -55,7 +56,8 @@ int Fail(const util::Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: spammass_cli "
-               "<generate|stats|pagerank|mass|detect|sites|run> [flags]\n");
+               "<generate|stats|convert|pagerank|mass|detect|sites|run> "
+               "[flags]\n");
   return 2;
 }
 
@@ -169,6 +171,11 @@ void DefineSolverFlags(util::FlagParser* flags) {
   flags->DefineBool("compressed-gather",
                     "gather in-edges from the delta+varint compressed "
                     "adjacency (built on load; Jacobi/power only)");
+  flags->Define("shards", "1",
+                "host-range shard count for the Jacobi sweep: each shard "
+                "sweeps its own compact working set, exchanging boundary "
+                "rank between sweeps; scores stay bit-identical to "
+                "--shards=1 (Jacobi + scalar f64 only)");
 }
 
 util::Result<pagerank::SolverOptions> SolverFromFlags(
@@ -190,6 +197,7 @@ util::Result<pagerank::SolverOptions> SolverFromFlags(
   if (!precision.ok()) return precision.status();
   solver.precision = precision.value();
   solver.compressed_gather = flags.GetBool("compressed-gather");
+  solver.shards = static_cast<uint32_t>(flags.GetInt("shards"));
   return solver;
 }
 
@@ -198,6 +206,10 @@ void DefineGraphFlags(util::FlagParser* flags) {
                 "graph input path (text edge list or SMWG binary, "
                 "auto-detected)");
   flags->Define("hosts", "", "optional host-name map input path");
+  flags->DefineBool("mmap",
+                    "map the graph zero-copy instead of reading it onto "
+                    "the heap (requires the paged v2.2 SMWG container; "
+                    "see 'convert --format paged')");
 }
 
 /// Builds a GraphSource from the shared graph flags.
@@ -207,6 +219,7 @@ pipeline::GraphSource SourceFromFlags(const util::FlagParser& flags) {
   if (!flags.GetString("hosts").empty()) {
     source.WithHostNamesFile(flags.GetString("hosts"));
   }
+  if (flags.GetBool("mmap")) source.WithMmap();
   return source;
 }
 
@@ -239,6 +252,9 @@ int CmdGenerate(int argc, const char* const* argv) {
   flags.Define("seed", "42", "generator seed");
   flags.Define("out-edges", "web.edges", "edge-list output path");
   flags.Define("out-binary", "", "optional SMWG binary (v2) output path");
+  flags.Define("out-paged", "",
+               "optional paged SMWG (v2.2) output path, mmap-loadable "
+               "with --mmap");
   flags.Define("out-hosts", "", "optional host-name map output path");
   flags.Define("out-labels", "", "optional ground-truth label output path");
   flags.Define("out-core", "", "optional assembled good-core output path");
@@ -258,6 +274,10 @@ int CmdGenerate(int argc, const char* const* argv) {
   if (!status.ok()) return Fail(status);
   if (!flags.GetString("out-binary").empty()) {
     status = graph::WriteBinary(w.graph, flags.GetString("out-binary"));
+    if (!status.ok()) return Fail(status);
+  }
+  if (!flags.GetString("out-paged").empty()) {
+    status = graph::WriteBinaryV22(w.graph, flags.GetString("out-paged"));
     if (!status.ok()) return Fail(status);
   }
   if (!flags.GetString("out-hosts").empty()) {
@@ -307,7 +327,54 @@ int CmdStats(int argc, const char* const* argv) {
   table.AddRow({"max indegree", std::to_string(stats.max_indegree)});
   table.AddRow({"max outdegree", std::to_string(stats.max_outdegree)});
   table.AddRow({"mean degree", util::FormatDouble(stats.mean_indegree, 2)});
+  const graph::WebGraph& g = loaded.value().graph();
+  if (g.is_mapped()) {
+    // Zero-copy load: how much of the mapping the page cache has actually
+    // faulted in so far (the out-of-core story in one number).
+    table.AddRow({"mapped bytes", util::FormatWithCommas(g.mapped_bytes())});
+    table.AddRow(
+        {"resident bytes", util::FormatWithCommas(g.resident_bytes())});
+  }
   std::printf("%s", table.ToString().c_str());
+  util::Status obs_status = obs.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
+  return 0;
+}
+
+int CmdConvert(int argc, const char* const* argv) {
+  util::FlagParser flags;
+  DefineGraphFlags(&flags);
+  flags.Define("out", "web.smwg", "converted graph output path");
+  flags.Define("format", "paged",
+               "output container: paged (v2.2, mmap-loadable) | binary "
+               "(v2) | text (edge list)");
+  ObsSession::DefineFlags(&flags);
+  int code = 0;
+  if (!ParseOrHelp(&flags, "convert", argc, argv, &code)) return code;
+  ObsSession obs(flags);
+
+  pipeline::GraphSource source = SourceFromFlags(flags);
+  auto loaded = source.Load();
+  if (!loaded.ok()) return Fail(loaded.status());
+  const graph::WebGraph& g = loaded.value().graph();
+  const std::string format = flags.GetString("format");
+  const std::string out = flags.GetString("out");
+  util::Status status;
+  if (format == "paged") {
+    status = graph::WriteBinaryV22(g, out);
+  } else if (format == "binary") {
+    status = graph::WriteBinary(g, out);
+  } else if (format == "text") {
+    status = graph::WriteEdgeListText(g, out);
+  } else {
+    return Fail(util::Status::InvalidArgument(
+        "unknown --format '" + format + "' (want paged | binary | text)"));
+  }
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s hosts, %s links as %s -> %s\n",
+              util::FormatWithCommas(g.num_nodes()).c_str(),
+              util::FormatWithCommas(g.num_edges()).c_str(), format.c_str(),
+              out.c_str());
   util::Status obs_status = obs.Finish();
   if (!obs_status.ok()) return Fail(obs_status);
   return 0;
@@ -559,7 +626,9 @@ int CmdRun(int argc, const char* const* argv) {
   flags.Define("rho", "10", "scaled-PageRank threshold (Algorithm 2)");
   flags.Define("reorder", "none",
                "locality-aware vertex reordering before the solves: none | "
-               "degree | bfs (outputs stay in original node IDs)");
+               "degree | bfs | rcm (outputs stay in original node IDs)");
+  flags.DefineBool("mmap",
+                   "map file graphs zero-copy (paged v2.2 containers only)");
   ObsSession::DefineFlags(&flags);
   int code = 0;
   if (!ParseOrHelp(&flags, "run", argc, argv, &code)) return code;
@@ -623,6 +692,7 @@ int CmdRun(int argc, const char* const* argv) {
       if (!flags.GetString("hosts").empty()) {
         source.WithHostNamesFile(flags.GetString("hosts"));
       }
+      if (flags.GetBool("mmap")) source.WithMmap();
     }
 
     auto run =
@@ -672,6 +742,7 @@ int main(int argc, char** argv) {
   const char* const* sub_argv = argv + 2;
   if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
   if (command == "stats") return CmdStats(sub_argc, sub_argv);
+  if (command == "convert") return CmdConvert(sub_argc, sub_argv);
   if (command == "pagerank") return CmdPageRank(sub_argc, sub_argv);
   if (command == "mass") return CmdMass(sub_argc, sub_argv);
   if (command == "detect") return CmdDetect(sub_argc, sub_argv);
