@@ -10,9 +10,13 @@
 //   BM_JacobiSweepNoHooks/<T>         seed baseline: hooks uninstalled
 //   BM_JacobiSweepObsDisabled/<T>     hooks installed, tracing off
 //   BM_JacobiSweepTracingEnabled/<T>  hooks installed, tracing on
+//   BM_JacobiSweepSampler10ms/<T>     + resource sampler at 10 ms
+//   BM_JacobiSweepSampler100ms/<T>    + resource sampler at 100 ms (the
+//                                     CLI default)
 //
 // plus micro-op costs of the primitives themselves (counter increment,
-// histogram observe, disabled/enabled span).
+// histogram observe, disabled/enabled span, perf-counter scope, one
+// /proc resource sample).
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +28,8 @@
 #include "graph/graph_builder.h"
 #include "graph/web_graph.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "pagerank/jump_vector.h"
 #include "pagerank/solver.h"
@@ -104,6 +110,34 @@ void BM_JacobiSweepTracingEnabled(benchmark::State& state) {
 BENCHMARK(BM_JacobiSweepTracingEnabled)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
+// The sampler thread competes for nothing the sweep uses (it reads /proc
+// and touches registry shards the solver threads do not), so its overhead
+// should be indistinguishable from ObsDisabled even at an aggressive
+// period; bench_to_json.py derives sampler ratios vs the NoHooks seed
+// under the same ≤1.02 budget.
+
+void BM_JacobiSweepSampler10ms(benchmark::State& state) {
+  obs::StopTracing();
+  obs::InstallThreadPoolTelemetry();
+  obs::ResourceSampler sampler(obs::ResourceSampler::Options{10});
+  sampler.Start();
+  RunJacobiSolve(state);
+  sampler.Stop();
+}
+BENCHMARK(BM_JacobiSweepSampler10ms)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_JacobiSweepSampler100ms(benchmark::State& state) {
+  obs::StopTracing();
+  obs::InstallThreadPoolTelemetry();
+  obs::ResourceSampler sampler(obs::ResourceSampler::Options{100});
+  sampler.Start();
+  RunJacobiSolve(state);
+  sampler.Stop();
+}
+BENCHMARK(BM_JacobiSweepSampler100ms)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
 // ---- Primitive micro-ops. ----------------------------------------------
 
 void BM_CounterIncrement(benchmark::State& state) {
@@ -142,6 +176,27 @@ void BM_ScopedSpanEnabled(benchmark::State& state) {
   obs::StopTracing();
 }
 BENCHMARK(BM_ScopedSpanEnabled);
+
+void BM_PerfCounterScope(benchmark::State& state) {
+  // Two group-read syscalls per iteration on supporting hosts; a pair of
+  // early-outs where perf_event_open is unavailable. Label the run so the
+  // JSON records which cost this machine measured.
+  state.SetLabel(obs::PerfCountersSupported() ? "hw" : "unsupported");
+  for (auto _ : state) {
+    obs::ScopedPerfCounters scope;
+    benchmark::DoNotOptimize(scope.Stop());
+  }
+}
+BENCHMARK(BM_PerfCounterScope);
+
+void BM_ResourceSampleOnce(benchmark::State& state) {
+  // Full /proc read + parse + registry publish — the per-period cost of
+  // the background sampler.
+  for (auto _ : state) {
+    obs::PublishResourceUsage(obs::SampleResourceUsage());
+  }
+}
+BENCHMARK(BM_ResourceSampleOnce);
 
 }  // namespace
 }  // namespace spammass

@@ -76,12 +76,12 @@ Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
   pipeline::ManifestInputs manifest;
   manifest.source = &loaded.value();
   manifest.config = &config;
-  manifest.stages.push_back({"load", loaded.value().load_seconds});
-  manifest.stages.push_back({"gamma_estimation", gamma_seconds});
+  manifest.stages.push_back({"load", loaded.value().load_seconds, {}});
+  manifest.stages.push_back({"gamma_estimation", gamma_seconds, {}});
   for (const pipeline::StageTiming& stage : context.stage_timings()) {
     manifest.stages.push_back(stage);
   }
-  manifest.stages.push_back({"filter_and_sample", sample_seconds});
+  manifest.stages.push_back({"filter_and_sample", sample_seconds, {}});
   manifest.base_pagerank_solves = context.base_pagerank_solves();
   manifest.total_solves = context.total_solves();
   manifest.solve_stats = context.solve_stats();

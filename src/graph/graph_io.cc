@@ -872,6 +872,9 @@ util::Result<WebGraph> ReadBinaryMmap(const std::string& path) {
       m.num_nodes, m.out_offsets, m.targets, m.in_offsets, m.sources,
       m.inv_out_degree, m.dangling, m.file);
   if (m.has_names) g.set_host_names(std::move(m.names));
+  // Load-time residency baseline; snapshot points (CLI stats, manifest
+  // build) republish so exports see the post-compute state.
+  PublishMappedResidency(g);
   return g;
 }
 

@@ -116,6 +116,9 @@ ShardPlan ShardPlan::Build(const WebGraph& graph, uint32_t num_shards,
       const NodeId src = sources[e];
       if (src < range.begin || src >= range.end) ghosts.push_back(src);
     }
+    // Before dedup this is one entry per cross-shard edge — the sweep's
+    // ghost-gather count.
+    const uint64_t ghost_in_edges = ghosts.size();
     std::sort(ghosts.begin(), ghosts.end());
     ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
 
@@ -134,6 +137,7 @@ ShardPlan ShardPlan::Build(const WebGraph& graph, uint32_t num_shards,
     ShardStats& stats = plan.stats_[s];
     stats.in_edges = row_end - row_begin;
     stats.ghosts = ghosts.size();
+    stats.ghost_in_edges = ghost_in_edges;
     stats.working_set_bytes = range.size() * (3 * 8 + 8 + 8) +
                               ghosts.size() * 8 + stats.in_edges * 4;
 

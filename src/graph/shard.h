@@ -42,6 +42,10 @@ struct ShardStats {
   uint64_t in_edges = 0;
   /// Distinct foreign nodes this shard reads (its ghost table size).
   uint64_t ghosts = 0;
+  /// In-edge entries whose source is foreign — every one is a gather
+  /// through a ghost slot during a sweep (>= ghosts: a popular foreign
+  /// node is gathered once per referencing edge, not once per table slot).
+  uint64_t ghost_in_edges = 0;
   /// Varint-encoded bytes of all exchange lists consumed by this shard —
   /// the per-sweep boundary traffic a multi-process run would receive.
   uint64_t boundary_bytes = 0;

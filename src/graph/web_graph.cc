@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/graph_validate.h"
+#include "obs/metrics.h"
 #include "util/debug.h"
 #include "util/logging.h"
 #include "util/mmap_file.h"
@@ -139,6 +140,34 @@ uint64_t WebGraph::mapped_bytes() const {
 
 uint64_t WebGraph::resident_bytes() const {
   return mapping_ == nullptr ? 0 : mapping_->ResidentBytes();
+}
+
+std::vector<WebGraph::SectionResidency> WebGraph::MappedSectionResidency()
+    const {
+  std::vector<SectionResidency> sections;
+  if (mapping_ == nullptr) return sections;
+  const uint8_t* base = mapping_->data();
+  const auto probe = [&](const char* name, const void* data,
+                         uint64_t length) {
+    if (length == 0 || data == nullptr) {
+      sections.push_back({name, 0, 0});
+      return;
+    }
+    // Every view points into the mapping, so pointer arithmetic against
+    // the base recovers the section's file offset.
+    const uint64_t offset = static_cast<uint64_t>(
+        reinterpret_cast<const uint8_t*>(data) - base);
+    sections.push_back(
+        {name, length, mapping_->ResidentBytesInRange(offset, length)});
+  };
+  probe("out_offsets", out_offsets_v_.data(), out_offsets_v_.size_bytes());
+  probe("targets", targets_v_.data(), targets_v_.size_bytes());
+  probe("in_offsets", in_offsets_v_.data(), in_offsets_v_.size_bytes());
+  probe("sources", sources_v_.data(), sources_v_.size_bytes());
+  probe("inv_out_degree", inv_out_degree_v_.data(),
+        inv_out_degree_v_.size_bytes());
+  probe("dangling", dangling_v_.data(), dangling_v_.size_bytes());
+  return sections;
 }
 
 void WebGraph::BuildTranspose(util::ThreadPool* pool) {
@@ -310,6 +339,21 @@ std::string_view WebGraph::HostName(NodeId x) const {
   fallback = "node";
   fallback += std::to_string(x);
   return fallback;
+}
+
+void PublishMappedResidency(const WebGraph& graph) {
+  if (!graph.is_mapped()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("graph.mmap_mapped_bytes")
+      ->Set(static_cast<double>(graph.mapped_bytes()));
+  registry.GetGauge("graph.mmap_resident_bytes")
+      ->Set(static_cast<double>(graph.resident_bytes()));
+  // Cold path (one probe per load/snapshot), so the dynamic gauge names
+  // are looked up rather than cached.
+  for (const WebGraph::SectionResidency& s : graph.MappedSectionResidency()) {
+    registry.GetGauge(std::string("graph.mmap_resident_bytes.") + s.name)
+        ->Set(static_cast<double>(s.resident_bytes));
+  }
 }
 
 }  // namespace spammass::graph

@@ -174,6 +174,22 @@ class WebGraph {
   /// 0 for heap graphs. Advisory — see util::MmapFile::ResidentBytes.
   uint64_t resident_bytes() const;
 
+  /// Mapped vs. resident bytes of one array section of a mapped graph.
+  struct SectionResidency {
+    /// Section name as in the v2.2 format ("targets", "in_offsets", ...).
+    const char* name;
+    uint64_t mapped_bytes;
+    uint64_t resident_bytes;
+  };
+
+  /// Per-section residency of the six mapped arrays, in file order.
+  /// Empty for heap graphs. Advisory like resident_bytes(): the kernel may
+  /// evict or fault pages between the probe and any use of the numbers.
+  /// Sections sharing a page at their boundary each count that page's
+  /// resident overlap (ResidentBytesInRange), so the per-section bytes sum
+  /// to at most one page more than a whole-mapping probe per boundary.
+  std::vector<SectionResidency> MappedSectionResidency() const;
+
   /// Optional delta+varint compressed form of the in-neighbor adjacency
   /// (csr_codec.h), used by the bandwidth-optimized PageRank sweeps when
   /// SolverOptions::compressed_gather is on. Absent unless built or adopted.
@@ -248,6 +264,14 @@ class WebGraph {
   void BuildTranspose(util::ThreadPool* pool = nullptr);
   void BuildDerivedArrays(util::ThreadPool* pool = nullptr);
 };
+
+/// Publishes the mapped graph's residency into the global MetricsRegistry:
+/// gauges graph.mmap_mapped_bytes / graph.mmap_resident_bytes for the whole
+/// mapping plus graph.mmap_resident_bytes.<section> per array section.
+/// No-op for heap graphs. Called by the mmap load path and by telemetry
+/// snapshots (CLI stats, manifest building) so exported metrics carry
+/// residency at the moment of the snapshot, not just at load.
+void PublishMappedResidency(const WebGraph& graph);
 
 }  // namespace spammass::graph
 

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "util/json_writer.h"
 #include "util/logging.h"
@@ -146,6 +148,98 @@ std::string MetricsRegistry::SnapshotJson() const {
 
   json.EndObject();
   return json.TakeString();
+}
+
+namespace {
+
+/// Dotted registry name -> Prometheus metric name: [a-zA-Z0-9_:] pass
+/// through, everything else (notably '.') becomes '_'. A leading digit
+/// gets a '_' prefix — cannot happen with this repo's naming convention,
+/// but the mangler must never emit an invalid name.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+/// %.17g round-trips every double; matches util::JsonWriter's precision
+/// so the prom and JSON snapshots agree digit-for-digit.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendHeader(std::string* out, const std::string& prom_name,
+                  const std::string& registry_name, const char* type) {
+  out->append("# HELP ").append(prom_name).append(" spammass metric ");
+  out->append(registry_name).push_back('\n');
+  out->append("# TYPE ").append(prom_name).push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotPrometheus() const {
+  util::MutexLock lock(&mu_);
+  std::string out;
+
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name) + "_total";
+    AppendHeader(&out, prom, name, "counter");
+    out.append(prom).push_back(' ');
+    AppendUint(&out, counter->Value());
+    out.push_back('\n');
+  }
+
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(&out, prom, name, "gauge");
+    out.append(prom).push_back(' ');
+    AppendDouble(&out, gauge->Value());
+    out.push_back('\n');
+  }
+
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(&out, prom, name, "histogram");
+    const std::vector<uint64_t> counts = histogram->BucketCounts();
+    const std::vector<double>& boundaries = histogram->boundaries();
+    // Bucket i of this registry is [b_{i-1}, b_i), so the cumulative count
+    // through boundary b_i is the sum of buckets 0..i — observations
+    // strictly below b_i (see the header note on the le="..." semantics).
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+      cumulative += counts[i];
+      out.append(prom).append("_bucket{le=\"");
+      AppendDouble(&out, boundaries[i]);
+      out.append("\"} ");
+      AppendUint(&out, cumulative);
+      out.push_back('\n');
+    }
+    cumulative += counts[boundaries.size()];
+    out.append(prom).append("_bucket{le=\"+Inf\"} ");
+    AppendUint(&out, cumulative);
+    out.push_back('\n');
+    out.append(prom).append("_count ");
+    AppendUint(&out, cumulative);
+    out.push_back('\n');
+  }
+
+  return out;
 }
 
 }  // namespace spammass::obs

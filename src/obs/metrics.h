@@ -138,6 +138,23 @@ class MetricsRegistry {
   /// count that performed the same logical updates.
   std::string SnapshotJson() const SPAMMASS_EXCLUDES(mu_);
 
+  /// The same point-in-time snapshot in the Prometheus text exposition
+  /// format (version 0.0.4) — the payload a /metrics endpoint serves and
+  /// what `spammass_cli --metrics-format=prom` writes. Per metric: one
+  /// `# HELP` line carrying the registry's dotted name, one `# TYPE`
+  /// line, then the samples. Names are mangled for Prometheus ('.' and
+  /// every other illegal character become '_'); counters get the
+  /// canonical `_total` suffix; histograms emit cumulative
+  /// `_bucket{le="..."}` series, the `+Inf` bucket, and `_count` — but no
+  /// `_sum`, because Histogram records exact integer counts only (see the
+  /// header comment). Bucket edge semantics: this registry's buckets are
+  /// half-open [b_i, b_{i+1}), so a `le="b"` line counts observations
+  /// strictly below b, off by the boundary-equal observations from
+  /// Prometheus' ≤ convention — advisory, and documented in
+  /// docs/observability.md. Names are emitted sorted, values are exact
+  /// merged integers, so the snapshot is as diff-stable as SnapshotJson.
+  std::string SnapshotPrometheus() const SPAMMASS_EXCLUDES(mu_);
+
  private:
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
 

@@ -1,0 +1,167 @@
+#include "obs/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace spammass::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+// Event order inside the thread's group; start_[]/HwCounts follow it.
+enum EventIndex { kCycles = 0, kInstructions, kLlcMisses, kBranchMisses };
+
+constexpr uint32_t kNumEvents = 4;
+
+/// One thread's always-running event group. Opened lazily on first use,
+/// closed by the thread_local destructor at thread exit. leader < 0 means
+/// the probe failed and this thread cannot count.
+struct PerfGroup {
+  int leader = -1;
+  int fds[kNumEvents] = {-1, -1, -1, -1};
+  /// Position of event i in the PERF_FORMAT_GROUP read buffer, or -1 when
+  /// its open failed (VM without that PMU event).
+  int slot[kNumEvents] = {-1, -1, -1, -1};
+  uint32_t group_size = 0;
+
+  ~PerfGroup() {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+};
+
+int OpenEvent(uint64_t config, int group_fd, bool disabled) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = disabled ? 1 : 0;
+  // User-space-only counting works at perf_event_paranoid 1 and 2; the
+  // common container setting 3+ (or ENOSYS under seccomp) fails the open
+  // and the whole wrapper degrades to a no-op.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                            /*cpu=*/-1, group_fd, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Opens the calling thread's group. Leader (cycles) + instructions are
+/// required; cache/branch misses are best-effort siblings.
+void OpenGroup(PerfGroup* group) {
+  static constexpr uint64_t kConfigs[kNumEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  const int leader = OpenEvent(kConfigs[kCycles], -1, /*disabled=*/true);
+  if (leader < 0) return;
+  group->fds[kCycles] = leader;
+  group->slot[kCycles] = 0;
+  group->group_size = 1;
+  for (uint32_t i = kInstructions; i < kNumEvents; ++i) {
+    const int fd = OpenEvent(kConfigs[i], leader, /*disabled=*/false);
+    if (fd < 0) {
+      if (i == kInstructions) {
+        // Cycles without instructions is useless; treat as unsupported.
+        ::close(leader);
+        group->fds[kCycles] = -1;
+        group->slot[kCycles] = -1;
+        group->group_size = 0;
+        return;
+      }
+      continue;
+    }
+    group->fds[i] = fd;
+    group->slot[i] = static_cast<int>(group->group_size++);
+  }
+  if (::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    for (int& fd : group->fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    group->group_size = 0;
+    return;
+  }
+  group->leader = leader;
+}
+
+PerfGroup* ThisThreadPerfGroup() {
+  thread_local PerfGroup group;
+  thread_local bool opened = false;
+  if (!opened) {
+    opened = true;
+    OpenGroup(&group);
+  }
+  return group.leader >= 0 ? &group : nullptr;
+}
+
+/// Reads the group's current values into values[kNumEvents] (absent
+/// events read 0). One syscall (PERF_FORMAT_GROUP).
+bool ReadGroup(const PerfGroup& group, uint64_t values[kNumEvents]) {
+  // Read layout without IDs: { u64 nr; u64 values[nr]; }.
+  uint64_t buf[1 + kNumEvents] = {0};
+  const size_t want = sizeof(uint64_t) * (1 + group.group_size);
+  const ssize_t got = ::read(group.leader, buf, want);
+  if (got < 0 || static_cast<size_t>(got) < want ||
+      buf[0] != group.group_size) {
+    return false;
+  }
+  for (uint32_t i = 0; i < kNumEvents; ++i) {
+    values[i] = group.slot[i] >= 0 ? buf[1 + group.slot[i]] : 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PerfCountersSupported() { return ThisThreadPerfGroup() != nullptr; }
+
+ScopedPerfCounters::ScopedPerfCounters() {
+  PerfGroup* group = ThisThreadPerfGroup();
+  if (group == nullptr) return;
+  active_ = ReadGroup(*group, start_);
+}
+
+HwCounts ScopedPerfCounters::Stop() {
+  if (stopped_) return counts_;
+  stopped_ = true;
+  if (!active_) return counts_;
+  PerfGroup* group = ThisThreadPerfGroup();
+  uint64_t now[kNumEvents];
+  if (group == nullptr || !ReadGroup(*group, now)) return counts_;
+  counts_.valid = true;
+  counts_.cycles = now[kCycles] - start_[kCycles];
+  counts_.instructions = now[kInstructions] - start_[kInstructions];
+  if (group->slot[kLlcMisses] >= 0 && group->slot[kBranchMisses] >= 0) {
+    counts_.has_cache = true;
+    counts_.llc_misses = now[kLlcMisses] - start_[kLlcMisses];
+    counts_.branch_misses = now[kBranchMisses] - start_[kBranchMisses];
+  }
+  return counts_;
+}
+
+#else  // !defined(__linux__)
+
+bool PerfCountersSupported() { return false; }
+
+ScopedPerfCounters::ScopedPerfCounters() = default;
+
+HwCounts ScopedPerfCounters::Stop() {
+  stopped_ = true;
+  return counts_;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace spammass::obs

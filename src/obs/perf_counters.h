@@ -1,0 +1,73 @@
+// Scoped hardware performance counters via perf_event_open.
+//
+// ScopedPerfCounters brackets a code region with cycle / instruction /
+// LLC-miss / branch-miss counts for the calling thread. The counters are
+// opened once per thread as one perf event group (leader: cycles) that
+// keeps running for the thread's lifetime; a scope records the group's
+// values at construction and subtracts them at Stop(), so scopes nest
+// freely (an inner scope never resets the outer one's baseline) and the
+// per-scope cost is two group-read syscalls, not four event opens.
+//
+// Graceful degradation is the contract: when perf_event_open is
+// unavailable — non-Linux builds, containers without CAP_PERFMON,
+// kernel.perf_event_paranoid >= 3, missing PMU in a VM — every scope
+// returns HwCounts{valid: false} and nothing is published. Callers
+// (ScopedStageTimer, the run manifest) omit hardware fields entirely in
+// that case: absent, never zero/garbage. Events are opened with
+// exclude_kernel + exclude_hv so paranoid levels 1 and 2 still work.
+//
+// Cache/branch siblings are opened best-effort: hosts whose PMU lacks an
+// LLC-miss event (common in VMs) still count cycles + instructions, with
+// HwCounts::has_cache false.
+//
+// perf_event_open usage is confined to this unit by the
+// `resource-isolation` lint rule (tools/spammass_lint.py).
+
+#ifndef SPAMMASS_OBS_PERF_COUNTERS_H_
+#define SPAMMASS_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace spammass::obs {
+
+/// Hardware counts for one scope. `valid` covers cycles + instructions;
+/// `has_cache` additionally covers llc_misses + branch_misses.
+struct HwCounts {
+  bool valid = false;
+  bool has_cache = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+};
+
+/// True when this thread can count hardware events (probes and opens the
+/// thread's event group on first call; cheap afterwards).
+bool PerfCountersSupported();
+
+/// RAII counting scope for the calling thread. Construct where counting
+/// should start; Stop() (or destruction) ends it. Must be stopped on the
+/// thread that constructed it — the counters are thread-scoped.
+class ScopedPerfCounters {
+ public:
+  ScopedPerfCounters();
+  ~ScopedPerfCounters() { Stop(); }
+
+  ScopedPerfCounters(const ScopedPerfCounters&) = delete;
+  ScopedPerfCounters& operator=(const ScopedPerfCounters&) = delete;
+
+  /// Ends the scope and returns its counts; idempotent (later calls
+  /// return the counts captured by the first). valid == false when the
+  /// host cannot count or a read failed.
+  HwCounts Stop();
+
+ private:
+  bool stopped_ = false;
+  bool active_ = false;
+  uint64_t start_[4] = {0, 0, 0, 0};
+  HwCounts counts_;
+};
+
+}  // namespace spammass::obs
+
+#endif  // SPAMMASS_OBS_PERF_COUNTERS_H_

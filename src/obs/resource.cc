@@ -1,0 +1,269 @@
+#include "obs/resource.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace spammass::obs {
+
+namespace {
+
+/// Reads a whole (small) /proc file into `out`. stdio instead of mmap or
+/// stat-then-read because /proc files report size 0; reads until EOF.
+/// False when the file cannot be opened (non-Linux, hidepid mounts).
+bool ReadSmallFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok && !out->empty();
+}
+
+/// Parses the decimal run starting at text[pos], skipping leading spaces
+/// and tabs. Returns false when no digit is found; advances *pos past the
+/// parsed run on success.
+bool ParseUint(std::string_view text, size_t* pos, uint64_t* value) {
+  size_t i = *pos;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+  uint64_t v = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(text[i] - '0');
+    ++i;
+  }
+  *pos = i;
+  *value = v;
+  return true;
+}
+
+/// Finds "\n<key>" (or `key` at the start) and parses the first integer
+/// after it — the shape of every "Key:  <n> [unit]" line in
+/// /proc/self/status and /proc/self/io.
+bool ParseKeyedValue(std::string_view text, std::string_view key,
+                     uint64_t* value) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t hit = text.find(key, pos);
+    if (hit == std::string_view::npos) return false;
+    if (hit == 0 || text[hit - 1] == '\n') {
+      size_t at = hit + key.size();
+      return ParseUint(text, &at, value);
+    }
+    pos = hit + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseProcStatm(std::string_view text, uint64_t page_bytes,
+                    uint64_t* vm_bytes, uint64_t* rss_bytes) {
+  size_t pos = 0;
+  uint64_t size_pages = 0, resident_pages = 0;
+  if (!ParseUint(text, &pos, &size_pages)) return false;
+  if (!ParseUint(text, &pos, &resident_pages)) return false;
+  *vm_bytes = size_pages * page_bytes;
+  *rss_bytes = resident_pages * page_bytes;
+  return true;
+}
+
+bool ParseProcStatus(std::string_view text, uint64_t* rss_peak_bytes) {
+  uint64_t kb = 0;
+  if (!ParseKeyedValue(text, "VmHWM:", &kb)) return false;
+  *rss_peak_bytes = kb * 1024;
+  return true;
+}
+
+bool ParseProcStat(std::string_view text, uint64_t* minor_faults,
+                   uint64_t* major_faults) {
+  // Field 2 (comm) is an arbitrary thread name in parentheses — it may
+  // itself contain spaces and parentheses, so parse from the LAST ')'.
+  // After it: state(3) ppid(4) pgrp(5) session(6) tty(7) tpgid(8) flags(9)
+  // minflt(10) cminflt(11) majflt(12).
+  const size_t close = text.rfind(')');
+  if (close == std::string_view::npos) return false;
+  size_t pos = close + 1;
+  // Skip the single-character state field and the 6 integer fields
+  // (ppid..flags) before minflt.
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  while (pos < text.size() && text[pos] != ' ' && text[pos] != '\t') ++pos;
+  uint64_t skip = 0;
+  for (int field = 0; field < 6; ++field) {
+    // tty_nr and tpgid may legitimately be -1; skip an optional sign.
+    size_t probe = pos;
+    while (probe < text.size() &&
+           (text[probe] == ' ' || text[probe] == '\t')) {
+      ++probe;
+    }
+    if (probe < text.size() && text[probe] == '-') pos = probe + 1;
+    if (!ParseUint(text, &pos, &skip)) return false;
+  }
+  uint64_t minflt = 0, cminflt = 0, majflt = 0;
+  if (!ParseUint(text, &pos, &minflt)) return false;
+  if (!ParseUint(text, &pos, &cminflt)) return false;
+  if (!ParseUint(text, &pos, &majflt)) return false;
+  *minor_faults = minflt;
+  *major_faults = majflt;
+  return true;
+}
+
+bool ParseProcIo(std::string_view text, uint64_t* read_bytes,
+                 uint64_t* write_bytes) {
+  return ParseKeyedValue(text, "read_bytes:", read_bytes) &&
+         ParseKeyedValue(text, "write_bytes:", write_bytes);
+}
+
+ResourceUsage SampleResourceUsage() {
+  ResourceUsage usage;
+  const uint64_t page_bytes =
+      static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  std::string text;
+  if (ReadSmallFile("/proc/self/statm", &text) &&
+      ParseProcStatm(text, page_bytes, &usage.vm_bytes, &usage.rss_bytes)) {
+    usage.has_memory = true;
+    // Peak RSS rides on the memory group: /proc/self/status is present
+    // wherever statm is, and a missing VmHWM line just leaves the peak at
+    // the current RSS.
+    usage.rss_peak_bytes = usage.rss_bytes;
+    if (ReadSmallFile("/proc/self/status", &text)) {
+      ParseProcStatus(text, &usage.rss_peak_bytes);
+    }
+  }
+  if (ReadSmallFile("/proc/self/stat", &text) &&
+      ParseProcStat(text, &usage.minor_faults, &usage.major_faults)) {
+    usage.has_faults = true;
+  }
+  // /proc/self/io needs CAP_SYS_PTRACE-free same-user access and is
+  // sometimes compiled out (CONFIG_TASK_IO_ACCOUNTING); degrade quietly.
+  if (ReadSmallFile("/proc/self/io", &text) &&
+      ParseProcIo(text, &usage.io_read_bytes, &usage.io_write_bytes)) {
+    usage.has_io = true;
+  }
+  return usage;
+}
+
+namespace {
+
+/// Previous published cumulative kernel values, so registry counters
+/// advance by exact positive deltas (monotonic even though a fresh
+/// ResourceUsage is re-read from scratch every sample).
+struct PublishState {
+  util::Mutex mu;
+  ResourceUsage prev SPAMMASS_GUARDED_BY(mu);
+};
+
+PublishState& GlobalPublishState() {
+  static PublishState* state = new PublishState();
+  return *state;
+}
+
+uint64_t PositiveDelta(uint64_t current, uint64_t previous) {
+  return current > previous ? current - previous : 0;
+}
+
+}  // namespace
+
+void PublishResourceUsage(const ResourceUsage& usage) {
+  if (!usage.has_memory && !usage.has_faults && !usage.has_io) return;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Cached like every hot-path metric; registration locks once.
+  static Counter* samples = registry.GetCounter("process.resource_samples");
+  PublishState& state = GlobalPublishState();
+  util::MutexLock lock(&state.mu);
+  if (usage.has_memory) {
+    static Gauge* rss = registry.GetGauge("process.rss_bytes");
+    static Gauge* vm = registry.GetGauge("process.vm_bytes");
+    static Gauge* peak = registry.GetGauge("process.rss_peak_bytes");
+    rss->Set(static_cast<double>(usage.rss_bytes));
+    vm->Set(static_cast<double>(usage.vm_bytes));
+    peak->Set(static_cast<double>(usage.rss_peak_bytes));
+  }
+  if (usage.has_faults) {
+    static Counter* minor = registry.GetCounter("process.minor_faults");
+    static Counter* major = registry.GetCounter("process.major_faults");
+    minor->Add(PositiveDelta(usage.minor_faults,
+                             state.prev.has_faults ? state.prev.minor_faults
+                                                   : 0));
+    major->Add(PositiveDelta(usage.major_faults,
+                             state.prev.has_faults ? state.prev.major_faults
+                                                   : 0));
+    state.prev.minor_faults = usage.minor_faults;
+    state.prev.major_faults = usage.major_faults;
+    state.prev.has_faults = true;
+  }
+  if (usage.has_io) {
+    static Counter* rd = registry.GetCounter("process.io_read_bytes");
+    static Counter* wr = registry.GetCounter("process.io_write_bytes");
+    rd->Add(PositiveDelta(usage.io_read_bytes,
+                          state.prev.has_io ? state.prev.io_read_bytes : 0));
+    wr->Add(PositiveDelta(usage.io_write_bytes,
+                          state.prev.has_io ? state.prev.io_write_bytes : 0));
+    state.prev.io_read_bytes = usage.io_read_bytes;
+    state.prev.io_write_bytes = usage.io_write_bytes;
+    state.prev.has_io = true;
+  }
+  samples->Increment();
+}
+
+ResourceSampler::ResourceSampler() : ResourceSampler(Options()) {}
+
+ResourceSampler::ResourceSampler(Options options)
+    : options_(std::move(options)) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start() {
+  CHECK_GE(options_.period_ms, 1) << "sampler period must be >= 1 ms";
+  util::MutexLock lock(&mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  const uint64_t generation = ++generation_;
+  thread_ = std::thread([this, generation] { Loop(generation); });
+}
+
+void ResourceSampler::Stop() {
+  std::thread joinable;
+  {
+    util::MutexLock lock(&mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    cv_.NotifyAll();
+    joinable = std::move(thread_);
+    running_ = false;
+  }
+  // Join outside the lock: the loop reacquires mu_ between samples.
+  joinable.join();
+}
+
+void ResourceSampler::SampleOnce() {
+  PublishResourceUsage(SampleResourceUsage());
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResourceSampler::Loop(uint64_t generation) {
+  // generation_ != generation means a newer Start superseded this thread
+  // after a concurrent Stop already moved its handle out for joining.
+  while (true) {
+    SampleOnce();
+    util::MutexLock lock(&mu_);
+    if (stop_requested_ || generation_ != generation) return;
+    cv_.WaitFor(&mu_, options_.period_ms);
+    if (stop_requested_ || generation_ != generation) return;
+    // A spurious wakeup just samples early — harmless for gauges and
+    // delta-tracked counters.
+  }
+}
+
+}  // namespace spammass::obs

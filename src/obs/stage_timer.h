@@ -5,6 +5,14 @@
 // (`telemetry-timing` rule) bans raw util::WallTimer under src/pipeline/
 // and tools/ in favor of this helper, so stage timings and traces can
 // never drift apart.
+//
+// On hosts where perf_event_open works (obs/perf_counters.h) every stage
+// additionally records hardware counts — cycles, instructions, LLC and
+// branch misses — into StageRecord::hw and attaches cycle/instruction
+// args to the trace span; elsewhere hw.valid stays false and manifests
+// omit the fields entirely. Note the counters are thread-scoped: a stage
+// that fans work out to a thread pool counts only the calling thread's
+// share (the coordinating loop), not the workers'.
 
 #ifndef SPAMMASS_OBS_STAGE_TIMER_H_
 #define SPAMMASS_OBS_STAGE_TIMER_H_
@@ -13,16 +21,19 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace spammass::obs {
 
-/// Wall time of one named stage. pipeline::StageTiming aliases this so
-/// manifest code and telemetry share one record type.
+/// Wall time (plus hardware counts where available) of one named stage.
+/// pipeline::StageTiming aliases this so manifest code and telemetry
+/// share one record type.
 struct StageRecord {
   std::string name;
   double seconds = 0;
+  HwCounts hw;
 };
 
 /// RAII stage timer. `name` must be a string literal (it is also the
@@ -43,7 +54,15 @@ class ScopedStageTimer {
   /// StageRecord; the trace span still closes at destruction.
   void Stop() {
     stopped_ = true;
-    if (sink_ != nullptr) sink_->push_back({name_, timer_.Seconds()});
+    const HwCounts hw = perf_.Stop();
+    if (hw.valid) {
+      // Two args only: the "stage" span already carries its name arg and
+      // call sites attach one more (detector/kind); kMaxSpanArgs is 4.
+      // Full counts (incl. miss rates) land in the StageRecord/manifest.
+      span_.Arg("cycles", hw.cycles);
+      span_.Arg("instructions", hw.instructions);
+    }
+    if (sink_ != nullptr) sink_->push_back({name_, timer_.Seconds(), hw});
   }
 
   /// Seconds elapsed so far.
@@ -57,6 +76,7 @@ class ScopedStageTimer {
   std::vector<StageRecord>* sink_;
   util::WallTimer timer_;
   ScopedSpan span_;
+  ScopedPerfCounters perf_;
   bool stopped_ = false;
 };
 

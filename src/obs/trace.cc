@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "util/file_util.h"
 #include "util/json_writer.h"
+#include "util/logging.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -63,6 +64,35 @@ struct TraceRegistry {
 TraceRegistry& Registry() {
   static TraceRegistry* registry = new TraceRegistry();
   return *registry;
+}
+
+/// How many drops the obs.trace.dropped_events counter already reflects.
+/// The ring drop total is recomputed from scratch on every serialize (and
+/// resets to 0 when StartTracing clears the rings), so the counter
+/// advances by positive deltas against this high-water mark to stay
+/// monotonic across multiple exports of one tracing session.
+struct DroppedPublishState {
+  util::Mutex mu;
+  uint64_t published SPAMMASS_GUARDED_BY(mu) = 0;
+};
+
+DroppedPublishState& DroppedState() {
+  static DroppedPublishState* state = new DroppedPublishState();
+  return *state;
+}
+
+/// Publishes `dropped` (a fresh full recount) into the counter. Callers
+/// must NOT hold Registry().mu — metric registration takes its own lock
+/// and lock-order discipline keeps the two independent.
+void PublishDroppedEvents(uint64_t dropped) {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("obs.trace.dropped_events");
+  DroppedPublishState& state = DroppedState();
+  util::MutexLock lock(&state.mu);
+  if (dropped > state.published) {
+    counter->Add(dropped - state.published);
+    state.published = dropped;
+  }
 }
 
 ThreadRing* ThisThreadRing() {
@@ -196,6 +226,14 @@ void StartTracing() {
     }
     registry.start_ns = TraceNowNs();
   }
+  {
+    // Rings were just cleared, so the recounted drop total restarts at
+    // zero; re-arm the delta baseline to match. The counter itself keeps
+    // its lifetime total (counters never go backwards).
+    DroppedPublishState& state = DroppedState();
+    util::MutexLock lock(&state.mu);
+    state.published = 0;
+  }
   internal::g_tracing_enabled.store(true, std::memory_order_release);
 }
 
@@ -260,41 +298,59 @@ uint64_t DroppedEventCount() {
 
 std::string SerializeChromeTrace() {
   TraceRegistry& registry = Registry();
-  util::MutexLock lock(&registry.mu);
+  // Tallied during the ring walk (NOT via DroppedEventCount(), which
+  // would re-take registry.mu and self-deadlock) and published after the
+  // lock scope so metric registration never nests inside the trace lock.
+  uint64_t dropped = 0;
   util::JsonWriter json;
-  json.BeginObject();
-  json.Key("displayTimeUnit").String("ms");
-  json.Key("traceEvents").BeginArray();
-  for (ThreadRing* ring : registry.rings) {
-    util::MutexLock ring_lock(&ring->mu);
-    // Thread-name metadata event so Perfetto labels the track.
+  {
+    util::MutexLock lock(&registry.mu);
     json.BeginObject();
-    json.Key("name").String("thread_name");
-    json.Key("ph").String("M");
-    json.Key("pid").Uint(1);
-    json.Key("tid").Uint(ring->tid);
-    json.Key("args").BeginObject();
-    json.Key("name").String(ring->thread_name);
-    json.EndObject();
-    json.EndObject();
-    // Events, oldest first (the ring overwrites in recording order, so
-    // the oldest surviving event sits at total_recorded % capacity once
-    // the ring has wrapped).
-    const uint64_t count = ring->events.size();
-    const uint64_t first =
-        ring->total_recorded > count ? ring->total_recorded % count : 0;
-    for (uint64_t i = 0; i < count; ++i) {
-      WriteEventJson(json, *ring, ring->events[(first + i) % count],
-                     registry.start_ns);
+    json.Key("displayTimeUnit").String("ms");
+    json.Key("traceEvents").BeginArray();
+    for (ThreadRing* ring : registry.rings) {
+      util::MutexLock ring_lock(&ring->mu);
+      if (ring->total_recorded > ring->events.size()) {
+        dropped += ring->total_recorded - ring->events.size();
+      }
+      // Thread-name metadata event so Perfetto labels the track.
+      json.BeginObject();
+      json.Key("name").String("thread_name");
+      json.Key("ph").String("M");
+      json.Key("pid").Uint(1);
+      json.Key("tid").Uint(ring->tid);
+      json.Key("args").BeginObject();
+      json.Key("name").String(ring->thread_name);
+      json.EndObject();
+      json.EndObject();
+      // Events, oldest first (the ring overwrites in recording order, so
+      // the oldest surviving event sits at total_recorded % capacity once
+      // the ring has wrapped).
+      const uint64_t count = ring->events.size();
+      const uint64_t first =
+          ring->total_recorded > count ? ring->total_recorded % count : 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        WriteEventJson(json, *ring, ring->events[(first + i) % count],
+                       registry.start_ns);
+      }
     }
+    json.EndArray();
+    json.EndObject();
   }
-  json.EndArray();
-  json.EndObject();
+  PublishDroppedEvents(dropped);
   return json.TakeString();
 }
 
 util::Status WriteTraceFile(const std::string& path) {
-  return util::WriteTextFile(path, SerializeChromeTrace());
+  const std::string serialized = SerializeChromeTrace();
+  const uint64_t dropped = DroppedEventCount();
+  if (dropped > 0) {
+    LOG_WARNING() << "trace export '" << path << "' is incomplete: "
+                  << dropped << " event(s) dropped by full thread rings "
+                  << "(kRingCapacity = " << kRingCapacity
+                  << " events per thread); see obs.trace.dropped_events";
+  }
+  return util::WriteTextFile(path, serialized);
 }
 
 }  // namespace spammass::obs

@@ -9,6 +9,7 @@
 #include "util/checksum.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace spammass::pagerank {
 
@@ -30,6 +31,28 @@ obs::Counter* ExchangeRowsCounter() {
   static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
       "pagerank.shard_exchange_rows");
   return counter;
+}
+
+obs::Counter* BoundaryBytesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "pagerank.shard_boundary_bytes");
+  return counter;
+}
+
+obs::Counter* GhostGathersCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "pagerank.shard_ghost_gathers");
+  return counter;
+}
+
+obs::Histogram* ShardSweepSecondsHistogram() {
+  // Log-scale seconds: shards of a cache-blocked sweep land in the
+  // microsecond-to-second range across graph sizes.
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "pagerank.shard_sweep_seconds",
+          {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  return histogram;
 }
 
 /// Bounded structural fingerprint for ShardRuntime::Matches: the first and
@@ -126,6 +149,10 @@ ShardRuntime::ShardRuntime(const WebGraph& graph, uint32_t num_shards)
   obs::MetricsRegistry::Global()
       .GetGauge("pagerank.shard_max_working_set_bytes")
       ->Set(static_cast<double>(plan_.max_working_set_bytes()));
+  for (const graph::ShardStats& stats : plan_.stats()) {
+    boundary_bytes_per_sweep_ += stats.boundary_bytes;
+    ghost_gathers_per_sweep_ += stats.ghost_in_edges;
+  }
 }
 
 bool ShardRuntime::Matches(const WebGraph& graph, uint32_t num_shards) const {
@@ -179,11 +206,18 @@ void ShardRuntime::SweepMulti(const WebGraph& graph, uint32_t k,
   partials->assign(chunks * k, 0.0);
   const ShardSweepRangeFn sweep = PickShardSweepRange(k);
   const NodeId* sources = plan_.sources_local().data();
+  // Per-chunk wall time; each worker writes only its own chunk's slot, so
+  // no synchronization is needed. Aggregated per shard below (shard
+  // boundaries are chunk-aligned, so a chunk belongs to exactly one
+  // shard).
+  std::vector<double> chunk_seconds(chunks, 0.0);
   kernel::ForEachChunk(pool, n, [&](uint64_t c, uint64_t begin,
                                     uint64_t end) {
+    util::WallTimer chunk_timer;
     sweep(graph, sources, k, v, damping, dangling, p, scaled, next,
           next_scaled, partials->data() + c * k, static_cast<NodeId>(begin),
           static_cast<NodeId>(end));
+    chunk_seconds[c] = chunk_timer.Seconds();
   });
   for (uint32_t j = 0; j < k; ++j) diffs[j] = 0.0;
   for (uint64_t c = 0; c < chunks; ++c) {
@@ -191,8 +225,27 @@ void ShardRuntime::SweepMulti(const WebGraph& graph, uint32_t k,
     for (uint32_t j = 0; j < k; ++j) diffs[j] += slot[j];
   }
 
+  // One histogram observation per non-empty shard per sweep: the summed
+  // wall time of the shard's chunks (their compute footprint, regardless
+  // of which worker ran each chunk).
+  obs::Histogram* sweep_seconds = ShardSweepSecondsHistogram();
+  const uint64_t chunk_size = kernel::ChunkSize(n);
+  for (const graph::ShardRange& range : plan_.ranges()) {
+    if (range.size() == 0) continue;
+    const uint64_t c_begin = range.begin / chunk_size;
+    const uint64_t c_end =
+        (static_cast<uint64_t>(range.end) + chunk_size - 1) / chunk_size;
+    double shard_seconds = 0.0;
+    for (uint64_t c = c_begin; c < c_end && c < chunks; ++c) {
+      shard_seconds += chunk_seconds[c];
+    }
+    sweep_seconds->Observe(shard_seconds);
+  }
+
   ShardSweepsCounter()->Increment();
   ExchangeRowsCounter()->Add(exchange_rows);
+  BoundaryBytesCounter()->Add(boundary_bytes_per_sweep_);
+  GhostGathersCounter()->Add(ghost_gathers_per_sweep_);
 }
 
 }  // namespace spammass::pagerank

@@ -79,6 +79,11 @@ class ShardRuntime {
   uint64_t num_edges_ = 0;
   uint64_t fingerprint_ = 0;
   graph::ShardPlan plan_;
+  // Per-sweep telemetry constants, summed once from the plan at
+  // construction (the plan is immutable, so every sweep exchanges the
+  // same boundary bytes and gathers the same ghost rows).
+  uint64_t boundary_bytes_per_sweep_ = 0;
+  uint64_t ghost_gathers_per_sweep_ = 0;
 };
 
 }  // namespace spammass::pagerank

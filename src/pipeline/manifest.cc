@@ -1,6 +1,8 @@
 #include "pipeline/manifest.h"
 
+#include "graph/web_graph.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "pagerank/solver.h"
 #include "util/file_util.h"
 #include "util/json_writer.h"
@@ -19,7 +21,7 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
 
   JsonWriter json;
   json.BeginObject();
-  json.KV("schema_version", 2);
+  json.KV("schema_version", 3);
   json.KV("tool", "spammass_pipeline");
 
   json.Key("graph").BeginObject();
@@ -75,6 +77,16 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
     json.BeginObject();
     json.KV("name", stage.name);
     json.KV("seconds", stage.seconds);
+    // Schema v3: per-stage hardware counts, present only when the host
+    // could count (obs/perf_counters.h) — absent fields, never zeros.
+    if (stage.hw.valid) {
+      json.KV("cycles", stage.hw.cycles);
+      json.KV("instructions", stage.hw.instructions);
+      if (stage.hw.has_cache) {
+        json.KV("llc_misses", stage.hw.llc_misses);
+        json.KV("branch_misses", stage.hw.branch_misses);
+      }
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -128,10 +140,50 @@ std::string BuildManifestJson(const ManifestInputs& inputs) {
 
   json.KV("total_seconds", inputs.total_seconds);
 
-  // Schema v2: a point-in-time snapshot of the process-global metrics
-  // registry. For a single-run process the pagerank.solves counter equals
-  // solver_runs.total_solves — the acceptance check the CLI integration
-  // test exercises.
+  // Schema v3: exit-time resource usage. Sampled fresh here and published
+  // into the registry BEFORE the metrics snapshot below, so the embedded
+  // "metrics" object carries the same final values. Groups degrade
+  // independently (see obs/resource.h) — a group whose /proc source was
+  // unreadable is absent from the object, not zeroed.
+  const obs::ResourceUsage usage = obs::SampleResourceUsage();
+  obs::PublishResourceUsage(usage);
+  graph::PublishMappedResidency(source.web.graph);
+  json.Key("resources").BeginObject();
+  if (usage.has_memory) {
+    json.KV("rss_bytes", usage.rss_bytes);
+    json.KV("vm_bytes", usage.vm_bytes);
+    json.KV("rss_peak_bytes", usage.rss_peak_bytes);
+  }
+  if (usage.has_faults) {
+    json.KV("minor_faults", usage.minor_faults);
+    json.KV("major_faults", usage.major_faults);
+  }
+  if (usage.has_io) {
+    json.KV("io_read_bytes", usage.io_read_bytes);
+    json.KV("io_write_bytes", usage.io_write_bytes);
+  }
+  if (source.web.graph.is_mapped()) {
+    json.Key("mmap").BeginObject();
+    json.KV("mapped_bytes", source.web.graph.mapped_bytes());
+    json.KV("resident_bytes", source.web.graph.resident_bytes());
+    json.Key("sections").BeginArray();
+    for (const graph::WebGraph::SectionResidency& s :
+         source.web.graph.MappedSectionResidency()) {
+      json.BeginObject();
+      json.KV("name", s.name);
+      json.KV("mapped_bytes", s.mapped_bytes);
+      json.KV("resident_bytes", s.resident_bytes);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+
+  // A point-in-time snapshot of the process-global metrics registry
+  // (schema v2). For a single-run process the pagerank.solves counter
+  // equals solver_runs.total_solves — the acceptance check the CLI
+  // integration test exercises.
   json.Key("metrics").RawValue(
       obs::MetricsRegistry::Global().SnapshotJson());
 

@@ -39,9 +39,16 @@ struct ManifestInputs {
   double total_seconds = 0;
 };
 
-/// Serializes one run manifest (schema_version 2). The returned string is
+/// Serializes one run manifest (schema_version 3). The returned string is
 /// a complete JSON object, including a point-in-time snapshot of the
-/// global metrics registry under "metrics".
+/// global metrics registry under "metrics" and of the process' resource
+/// usage under "resources" (schema v3; RSS/fault/IO groups appear only
+/// when their /proc source was readable, and stage entries carry hardware
+/// counts only on hosts where perf_event_open works — absent, never
+/// zero). Mapped graphs additionally get "resources"."mmap" with per-
+/// section resident bytes. Both the residency gauges and the resource
+/// counters are (re)published into the global registry immediately before
+/// the "metrics" snapshot is taken, so the two views agree.
 std::string BuildManifestJson(const ManifestInputs& inputs);
 
 /// Writes a manifest (or any JSON string) to a file with a trailing

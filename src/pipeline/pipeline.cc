@@ -59,7 +59,7 @@ Result<PipelineRun> RunDetectors(
   const bool reordered = config.reorder != graph::ReorderKind::kNone;
   graph::Reordering reordering;
   LoadedGraph permuted;
-  StageTiming reorder_timing{"reorder", 0};
+  StageTiming reorder_timing{"reorder", 0, {}};
   if (reordered) {
     obs::ScopedStageTimer timer("reorder", nullptr);
     timer.span().Arg("kind", graph::ReorderKindToString(config.reorder));
@@ -109,7 +109,9 @@ Result<PipelineRun> RunDetectors(
     run.detectors.push_back(std::move(output.value()));
   }
 
-  run.stages.push_back({"load", loaded.load_seconds});
+  // The load stage predates this function (the source was loaded by the
+  // caller), so it carries wall time only — no hardware counts.
+  run.stages.push_back({"load", loaded.load_seconds, {}});
   if (reordered) run.stages.push_back(reorder_timing);
   for (const StageTiming& stage : context.stage_timings()) {
     run.stages.push_back(stage);

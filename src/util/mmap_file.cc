@@ -78,21 +78,39 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 }
 
 uint64_t MmapFile::ResidentBytes() const {
-  if (data_ == nullptr || size_ == 0) return 0;
+  return ResidentBytesInRange(0, size_);
+}
+
+uint64_t MmapFile::ResidentBytesInRange(uint64_t offset,
+                                        uint64_t length) const {
+  if (data_ == nullptr || size_ == 0 || offset >= size_) return 0;
+  if (length > size_ - offset) length = size_ - offset;
+  if (length == 0) return 0;
   const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
-  const uint64_t num_pages = (size_ + page - 1) / page;
+  const uint64_t first_page = offset / page;
+  const uint64_t last_page = (offset + length - 1) / page;
+  const uint64_t num_pages = last_page - first_page + 1;
   std::vector<unsigned char> vec(num_pages);
-  if (::mincore(const_cast<uint8_t*>(data_), size_, vec.data()) != 0) {
+  // The mapping always covers whole pages (mmap rounds the file size up),
+  // so querying through the end of the last touched page stays in bounds
+  // even when the range ends mid-page or the file ends mid-page.
+  if (::mincore(const_cast<uint8_t*>(data_) + first_page * page,
+                num_pages * page, vec.data()) != 0) {
     return 0;
   }
-  uint64_t resident_pages = 0;
-  for (unsigned char flags : vec) {
-    resident_pages += flags & 1u;
+  uint64_t bytes = 0;
+  const uint64_t range_end = offset + length;
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    if ((vec[p] & 1u) == 0) continue;
+    // Each resident page contributes its overlap with [offset, range_end),
+    // not the full page, so byte totals stay exact at both edges.
+    const uint64_t page_begin = (first_page + p) * page;
+    const uint64_t begin = page_begin > offset ? page_begin : offset;
+    const uint64_t end =
+        page_begin + page < range_end ? page_begin + page : range_end;
+    bytes += end - begin;
   }
-  // The last page may extend past EOF; count bytes, not pages, so the
-  // report can never exceed the mapped size.
-  uint64_t bytes = resident_pages * page;
-  return bytes > size_ ? size_ : bytes;
+  return bytes;
 }
 
 }  // namespace spammass::util

@@ -54,6 +54,17 @@ class MmapFile {
   /// graph.mmap_resident_bytes gauge.
   uint64_t ResidentBytes() const;
 
+  /// Resident bytes within [offset, offset + length) of the mapping, the
+  /// per-section variant of ResidentBytes(): the queried range is widened
+  /// to page boundaries for the mincore call and each resident page
+  /// contributes only its overlap with the requested byte range, so
+  /// summing disjoint section ranges never double-counts and never
+  /// exceeds ResidentBytes() by more than the shared boundary pages.
+  /// Ranges past EOF are clamped; returns 0 on an empty mapping, a
+  /// fully-clamped range, or a failed kernel query. Advisory, like
+  /// ResidentBytes().
+  uint64_t ResidentBytesInRange(uint64_t offset, uint64_t length) const;
+
  private:
   const uint8_t* data_ = nullptr;
   uint64_t size_ = 0;

@@ -21,7 +21,9 @@
 #ifndef SPAMMASS_UTIL_MUTEX_H_
 #define SPAMMASS_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -81,6 +83,20 @@ class CondVar {
     // The wait returns with the lock reacquired; release() hands ownership
     // back to the caller instead of unlocking at scope exit.
     lock.release();
+  }
+
+  /// Like Wait(), but gives up after `timeout_ms` milliseconds. Returns
+  /// true when notified, false on timeout; the mutex is reacquired either
+  /// way. Spurious wakeups are possible — always wait in a predicate loop
+  /// (a periodic waiter, like the obs resource sampler, treats the
+  /// timeout itself as the predicate).
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) SPAMMASS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms)) ==
+        std::cv_status::no_timeout;
+    lock.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

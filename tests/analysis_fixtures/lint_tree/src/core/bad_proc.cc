@@ -1,0 +1,17 @@
+// Fixture: kernel introspection outside the sanctioned observability
+// units. The two marked lines must trip resource-isolation; this comment's
+// mention of /proc/self and mincore() must NOT (comments are stripped
+// before the rule runs, but string literals are kept).
+#include <string>
+
+namespace fixture {
+
+std::string StatmPath() {
+  return "/proc/self/statm";  // violation: /proc path in a string literal
+}
+
+long ProbeCounters() {
+  return perf_event_open(nullptr, 0, -1, -1, 0);  // violation: raw syscall
+}
+
+}  // namespace fixture

@@ -48,7 +48,7 @@ class SpammassLintFixtureTest(unittest.TestCase):
 
     def test_exit_code_and_count(self):
         self.assertEqual(self.code, 1, self.stdout + self.stderr)
-        self.assertIn("11 violation(s)", self.stderr)
+        self.assertIn("13 violation(s)", self.stderr)
 
     def test_exact_violation_set(self):
         self.assertEqual(violation_keys(self.stdout), [
@@ -56,6 +56,8 @@ class SpammassLintFixtureTest(unittest.TestCase):
             ("src/core/bad_intrinsics.cc", 10, "simd-isolation"),
             ("src/core/bad_intrinsics.cc", 13, "simd-isolation"),
             ("src/core/bad_intrinsics.cc", 16, "simd-isolation"),
+            ("src/core/bad_proc.cc", 10, "resource-isolation"),
+            ("src/core/bad_proc.cc", 14, "resource-isolation"),
             ("src/graph/bad_iteration.cc", 13, "unordered-iteration"),
             ("src/graph/bad_iteration.cc", 21, "unordered-iteration"),
             ("src/pipeline/bad_clock.cc", 10, "wall-clock"),
@@ -70,14 +72,17 @@ class SpammassLintFixtureTest(unittest.TestCase):
         self.assertIn("vector intrinsics outside src/pagerank/simd*",
                       lines[0])
         self.assertIn("runtime-dispatched shim", lines[1])
-        self.assertIn("'host_index'", lines[4])
-        self.assertIn("bucket order", lines[4])
-        self.assertIn("'index'", lines[5])
-        self.assertIn("wall-clock source in src/", lines[6])
-        self.assertIn("steady_clock outside the timing layers", lines[7])
-        self.assertIn("std::random_device", lines[8])
-        self.assertIn("srand()", lines[9])
-        self.assertIn("rand()", lines[10])
+        self.assertIn("kernel introspection (/proc/self)", lines[4])
+        self.assertIn("absent-not-zero", lines[4])
+        self.assertIn("kernel introspection (perf_event_open)", lines[5])
+        self.assertIn("'host_index'", lines[6])
+        self.assertIn("bucket order", lines[6])
+        self.assertIn("'index'", lines[7])
+        self.assertIn("wall-clock source in src/", lines[8])
+        self.assertIn("steady_clock outside the timing layers", lines[9])
+        self.assertIn("std::random_device", lines[10])
+        self.assertIn("srand()", lines[11])
+        self.assertIn("rand()", lines[12])
 
     def test_simd_fallback_post_pass(self):
         # A tree whose vector backend TU exists but whose dispatch shim

@@ -135,10 +135,11 @@ TEST_F(CliTest, RunSubcommandWritesManifestForTextAndBinary) {
                    std::istreambuf_iterator<char>());
   EXPECT_EQ(json.front(), '{');
   for (const char* needle :
-       {"\"schema_version\":2", "\"tool\":\"spammass_cli run\"", "\"runs\":[",
+       {"\"schema_version\":3", "\"tool\":\"spammass_cli run\"", "\"runs\":[",
         "\"format\":\"text\"", "\"format\":\"binary\"",
         "\"base_pagerank_solves\":1", "\"spam_mass\"", "\"trustrank\"",
-        "\"stages\"", "\"iterations\"", "\"convergence\"", "\"metrics\""}) {
+        "\"stages\"", "\"iterations\"", "\"convergence\"", "\"resources\"",
+        "\"metrics\""}) {
     EXPECT_NE(json.find(needle), std::string::npos)
         << "manifest missing " << needle << "\n" << json;
   }
@@ -189,8 +190,8 @@ TEST_F(CliTest, ObsOutputsMatchManifestAndAreParseable) {
   // count — the counters increment at exactly the workspace RecordSolve
   // sites, so any drift is a bug.
   const testutil::JsonValue& run = manifest["runs"][0];
-  EXPECT_EQ(manifest["schema_version"].number, 2);
-  EXPECT_EQ(run["schema_version"].number, 2);
+  EXPECT_EQ(manifest["schema_version"].number, 3);
+  EXPECT_EQ(run["schema_version"].number, 3);
   const double total_solves = run["solver_runs"]["total_solves"].number;
   EXPECT_GT(total_solves, 0);
   EXPECT_EQ(metrics["counters"]["pagerank.solves"].number, total_solves);
@@ -209,6 +210,87 @@ TEST_F(CliTest, ObsOutputsMatchManifestAndAreParseable) {
               solve["iterations"].number)
         << solve["name"].string;
   }
+}
+
+TEST_F(CliTest, MetricsFormatPromRoundTrip) {
+  ASSERT_STRNE(SPAMMASS_CLI_PATH, "");
+  const std::string d = Dir();
+
+  // --out-paged writes the v2.2 container that --mmap requires.
+  ASSERT_EQ(Run("generate --scale 0.03 --seed 55 --out-paged " + d +
+                "/prom.smwg --out-core " + d + "/prom.core"),
+            0);
+  // The acceptance path: a mapped sharded run exporting Prometheus text.
+  ASSERT_EQ(Run("run --graph " + d + "/prom.smwg --mmap --method jacobi "
+                "--threads 2 --shards 2 "
+                "--detectors spam_mass --core " + d + "/prom.core "
+                "--manifest " + d + "/prom_manifest.json "
+                "--metrics-format prom --metrics-out " + d +
+                "/metrics.prom"),
+            0);
+
+  const std::string prom = ReadFile("metrics.prom");
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(prom.back(), '\n');
+  // Counters are typed and suffixed; the solver path must have counted.
+  for (const char* needle :
+       {"# TYPE pagerank_solves_total counter", "pagerank_solves_total ",
+        "# TYPE graph_mmap_mapped_bytes gauge",
+        "graph_mmap_resident_bytes ",
+        "graph_mmap_resident_bytes_targets ",
+        "pagerank_shard_boundary_bytes_total ",
+        "pagerank_shard_ghost_gathers_total ",
+        "pagerank_shard_sweep_seconds_bucket{le=\"+Inf\"} ",
+        "process_resource_samples_total "}) {
+    EXPECT_NE(prom.find(needle), std::string::npos)
+        << "prom output missing " << needle << "\n" << prom;
+  }
+#if defined(__linux__)
+  // Resource groups are present (not zero, not faked) on Linux.
+  for (const char* needle :
+       {"# TYPE process_rss_bytes gauge", "process_rss_bytes ",
+        "# TYPE process_major_faults_total counter"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos)
+        << "prom output missing " << needle << "\n" << prom;
+  }
+#endif
+
+  // Cross-check one value against the JSON manifest: the prom counter
+  // line for pagerank.solves must equal the manifest's total_solves.
+  testutil::JsonValue manifest;
+  std::string error;
+  ASSERT_TRUE(testutil::JsonParser::Parse(ReadFile("prom_manifest.json"),
+                                          &manifest, &error)) << error;
+  const double total_solves =
+      manifest["runs"][0]["solver_runs"]["total_solves"].number;
+  const size_t at = prom.find("\npagerank_solves_total ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(std::stod(prom.substr(at + 23)), total_solves);
+  // Mapped-vs-resident shows up in the manifest's resources block too.
+  EXPECT_NE(ReadFile("prom_manifest.json").find("\"mmap\":{\"mapped_bytes\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, MetricsFormatRejectsUnknown) {
+  const std::string d = Dir();
+  EXPECT_NE(Run("stats --edges " + d + "/web.edges --metrics-format xml"),
+            0);
+  EXPECT_NE(ReadFile("stderr.txt").find("metrics-format"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutUnwritablePathFailsWithPath) {
+  // A parent "directory" that is actually a regular file defeats the
+  // parent-creation step for any user (including root, unlike chmod 000).
+  const std::string d = Dir();
+  ASSERT_EQ(Run("generate --scale 0.02 --seed 5 --out-edges " + d +
+                "/uw.edges --out-core " + d + "/uw.core"),
+            0);
+  { std::ofstream blocker(d + "/blocker"); blocker << "x"; }
+  EXPECT_NE(Run("stats --edges " + d + "/uw.edges --metrics-format prom "
+                "--metrics-out " + d + "/blocker/metrics.prom"),
+            0);
+  EXPECT_NE(ReadFile("stderr.txt").find("blocker"), std::string::npos);
 }
 
 TEST_F(CliTest, RunRejectsUnknownDetector) {

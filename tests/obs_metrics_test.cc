@@ -133,6 +133,59 @@ TEST(ObsMetricsTest, SnapshotJsonIsWellFormedAndExact) {
   EXPECT_EQ(hist["counts"][2].number, 2);
 }
 
+TEST(ObsMetricsTest, SnapshotPrometheusFormatsAndMangles) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.counter")->Add(7);
+  registry.GetGauge("b.gauge")->Set(2.5);
+  Histogram* histogram = registry.GetHistogram("c.histogram", {5, 50});
+  histogram->Observe(1);
+  histogram->Observe(25);
+  histogram->Observe(75);
+  histogram->Observe(75);
+  registry.GetCounter("0leading-digit")->Increment();
+
+  const std::string text = registry.SnapshotPrometheus();
+  // Dots and dashes mangle to underscores; counters get _total; a
+  // leading digit gets a protective underscore prefix.
+  // TYPE names the sample family, so a counter's header carries _total.
+  EXPECT_NE(text.find("# TYPE a_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_counter_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("_0leading_digit_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("b_gauge 2.5\n"), std::string::npos);
+  // Histogram buckets are cumulative with a final +Inf == _count.
+  EXPECT_NE(text.find("# TYPE c_histogram histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("c_histogram_bucket{le=\"5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("c_histogram_bucket{le=\"50\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("c_histogram_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("c_histogram_count 4\n"), std::string::npos);
+  // No _sum line: the shard-striped histogram does not track one.
+  EXPECT_EQ(text.find("c_histogram_sum"), std::string::npos);
+  // Exposition text must end in a newline (format 0.0.4 requirement).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ObsMetricsTest, SnapshotPrometheusEveryHelpHasASample) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Increment();
+  registry.GetGauge("y")->Set(1);
+  const std::string text = registry.SnapshotPrometheus();
+  // Diff-stability contract: two snapshots of the same state are equal.
+  EXPECT_EQ(text, registry.SnapshotPrometheus());
+  // Each metric emits exactly one HELP and one TYPE header.
+  size_t help_lines = 0, pos = 0;
+  while ((pos = text.find("# HELP ", pos)) != std::string::npos) {
+    ++help_lines;
+    pos += 7;
+  }
+  EXPECT_EQ(help_lines, 2u);
+}
+
 TEST(ObsMetricsTest, MetricPointersAreStable) {
   MetricsRegistry registry;
   Counter* first = registry.GetCounter("stable.counter");

@@ -1,0 +1,193 @@
+// Resource-telemetry correctness: the /proc parsers against fixture text
+// (including the hostile comm-name cases), monotonicity of the published
+// counters under out-of-order publishes, and sampler lifecycle under
+// concurrent Start/Stop/SampleOnce — the latter are the TSan targets (the
+// CI tsan job runs -R '...|Obs').
+
+#include "obs/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace spammass::obs {
+namespace {
+
+TEST(ObsResourceTest, ParseStatmFixture) {
+  uint64_t vm = 0, rss = 0;
+  ASSERT_TRUE(ParseProcStatm("12345 678 90 1 0 234 0\n", 4096, &vm, &rss));
+  EXPECT_EQ(vm, 12345u * 4096);
+  EXPECT_EQ(rss, 678u * 4096);
+}
+
+TEST(ObsResourceTest, ParseStatmRejectsMalformed) {
+  uint64_t vm = 0, rss = 0;
+  EXPECT_FALSE(ParseProcStatm("", 4096, &vm, &rss));
+  EXPECT_FALSE(ParseProcStatm("12345\n", 4096, &vm, &rss));
+  EXPECT_FALSE(ParseProcStatm("garbage text", 4096, &vm, &rss));
+}
+
+TEST(ObsResourceTest, ParseStatusFixture) {
+  const char kStatus[] =
+      "Name:\tspammass_cli\n"
+      "Umask:\t0022\n"
+      "VmPeak:\t  123456 kB\n"
+      "VmHWM:\t   98765 kB\n"
+      "VmRSS:\t   54321 kB\n";
+  uint64_t peak = 0;
+  ASSERT_TRUE(ParseProcStatus(kStatus, &peak));
+  EXPECT_EQ(peak, 98765u * 1024);
+}
+
+TEST(ObsResourceTest, ParseStatusRequiresLineStart) {
+  // "XVmHWM:" must not match; a missing line fails cleanly.
+  uint64_t peak = 0;
+  EXPECT_FALSE(ParseProcStatus("XVmHWM:\t1 kB\n", &peak));
+  EXPECT_FALSE(ParseProcStatus("VmPeak:\t1 kB\n", &peak));
+}
+
+TEST(ObsResourceTest, ParseStatFixture) {
+  // pid (comm) state ppid pgrp session tty_nr tpgid flags minflt cminflt
+  // majflt ... — tty_nr/tpgid are -1 here, as for daemons.
+  const char kStat[] =
+      "1234 (spammass_cli) S 1 1234 1234 -1 -1 4194304 "
+      "5678 0 42 0 10 2 0 0 20 0 1 0 100 1000000 250\n";
+  uint64_t minor = 0, major = 0;
+  ASSERT_TRUE(ParseProcStat(kStat, &minor, &major));
+  EXPECT_EQ(minor, 5678u);
+  EXPECT_EQ(major, 42u);
+}
+
+TEST(ObsResourceTest, ParseStatSurvivesHostileCommNames) {
+  // comm is attacker-ish input: a thread may be named anything, including
+  // strings with spaces, parentheses, and digits. Parsing anchors on the
+  // LAST ')' so the fields after it are unambiguous.
+  const char kStat[] =
+      "99 (a (weird) name) R 1 99 99 -1 -1 0 "
+      "111 0 9 0 1 1 0 0 20 0 1 0 5 1000 10\n";
+  uint64_t minor = 0, major = 0;
+  ASSERT_TRUE(ParseProcStat(kStat, &minor, &major));
+  EXPECT_EQ(minor, 111u);
+  EXPECT_EQ(major, 9u);
+}
+
+TEST(ObsResourceTest, ParseStatRejectsMalformed) {
+  uint64_t minor = 0, major = 0;
+  EXPECT_FALSE(ParseProcStat("", &minor, &major));
+  EXPECT_FALSE(ParseProcStat("no parens here", &minor, &major));
+  EXPECT_FALSE(ParseProcStat("1 (x) S 1 2", &minor, &major));
+}
+
+TEST(ObsResourceTest, ParseIoFixture) {
+  const char kIo[] =
+      "rchar: 999999\n"
+      "wchar: 888888\n"
+      "syscr: 100\n"
+      "syscw: 50\n"
+      "read_bytes: 4096000\n"
+      "write_bytes: 8192\n"
+      "cancelled_write_bytes: 0\n";
+  uint64_t rd = 0, wr = 0;
+  ASSERT_TRUE(ParseProcIo(kIo, &rd, &wr));
+  // read_bytes, not rchar: block-device traffic only.
+  EXPECT_EQ(rd, 4096000u);
+  EXPECT_EQ(wr, 8192u);
+}
+
+TEST(ObsResourceTest, ParseIoRejectsPartial) {
+  uint64_t rd = 0, wr = 0;
+  EXPECT_FALSE(ParseProcIo("read_bytes: 1\n", &rd, &wr));
+  EXPECT_FALSE(ParseProcIo("", &rd, &wr));
+}
+
+#if defined(__linux__)
+TEST(ObsResourceTest, SampleReadsLiveProcess) {
+  const ResourceUsage usage = SampleResourceUsage();
+  // Memory and fault groups exist on every Linux /proc; io may be
+  // compiled out, so only the first two are asserted.
+  ASSERT_TRUE(usage.has_memory);
+  EXPECT_GT(usage.rss_bytes, 0u);
+  EXPECT_GE(usage.vm_bytes, usage.rss_bytes);
+  EXPECT_GE(usage.rss_peak_bytes, usage.rss_bytes);
+  ASSERT_TRUE(usage.has_faults);
+  EXPECT_GT(usage.minor_faults, 0u);
+}
+#endif  // defined(__linux__)
+
+TEST(ObsResourceTest, PublishedCountersAreMonotonic) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* major = registry.GetCounter("process.major_faults");
+
+  ResourceUsage usage;
+  usage.has_faults = true;
+  usage.minor_faults = 1000;
+  usage.major_faults = 50;
+  PublishResourceUsage(usage);
+  const uint64_t after_first = major->Value();
+
+  // A later snapshot reporting a SMALLER cumulative value (cannot happen
+  // from a real kernel, but the publisher must not regress the registry
+  // counter regardless) advances the counter by zero, not by wrap-around.
+  usage.major_faults = 10;
+  PublishResourceUsage(usage);
+  EXPECT_EQ(major->Value(), after_first);
+
+  usage.major_faults = 60;
+  PublishResourceUsage(usage);
+  EXPECT_EQ(major->Value(), after_first + 50);
+}
+
+TEST(ObsResourceTest, SamplerStartStopIsIdempotent) {
+  ResourceSampler sampler(ResourceSampler::Options{5});
+  sampler.Start();
+  sampler.Start();  // no-op: already running
+  sampler.Stop();
+  sampler.Stop();  // no-op: already stopped
+  EXPECT_GE(sampler.samples(), 1u);  // the loop samples once immediately
+  sampler.Start();  // restartable after a stop
+  sampler.Stop();
+  EXPECT_GE(sampler.samples(), 2u);
+}
+
+TEST(ObsResourceTest, SamplerConcurrentLifecycle) {
+  // Hammer Start/Stop/SampleOnce from several threads; TSan verifies the
+  // locking, the test verifies nothing deadlocks or crashes and samples
+  // were actually taken.
+  ResourceSampler sampler(ResourceSampler::Options{1});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sampler, t] {
+      for (int i = 0; i < 25; ++i) {
+        if (t % 2 == 0) {
+          sampler.Start();
+          sampler.Stop();
+        } else {
+          sampler.SampleOnce();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GE(sampler.samples(), 50u);  // the two SampleOnce threads alone
+}
+
+TEST(ObsResourceTest, SamplerPublishesIntoGlobalRegistry) {
+  Counter* samples =
+      MetricsRegistry::Global().GetCounter("process.resource_samples");
+  const uint64_t before = samples->Value();
+  ResourceSampler sampler;
+  sampler.SampleOnce();
+#if defined(__linux__)
+  EXPECT_GT(samples->Value(), before);
+#else
+  // Off Linux every /proc group is absent and nothing publishes.
+  EXPECT_EQ(samples->Value(), before);
+#endif
+}
+
+}  // namespace
+}  // namespace spammass::obs

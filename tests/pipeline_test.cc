@@ -267,7 +267,7 @@ TEST(RunDetectorsTest, ProducesManifestAndOutputs) {
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
   for (const char* needle :
-       {"\"schema_version\":2", "\"base_pagerank_solves\":1",
+       {"\"schema_version\":3", "\"base_pagerank_solves\":1",
         "\"spam_mass\"", "\"trustrank\"", "\"stages\"", "\"solver\"",
         "\"convergence\"", "\"metrics\"", "\"pagerank.solves\""}) {
     EXPECT_NE(json.find(needle), std::string::npos)

@@ -29,6 +29,7 @@
 #include "graph/reorder.h"
 #include "graph/site_aggregation.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/stage_timer.h"
 #include "obs/trace.h"
 #include "pagerank/solver.h"
@@ -80,10 +81,13 @@ bool ParseOrHelp(util::FlagParser* flags, const char* command, int argc,
 }
 
 // ---- Telemetry lifecycle. Every subcommand defines --trace-out /
-// ---- --metrics-out and owns one ObsSession: tracing starts right after
-// ---- flag parsing (so graph loads are covered), and the session writes
-// ---- the requested files on exit — explicitly via Finish() on success
-// ---- paths (errors reported), best-effort from the destructor otherwise.
+// ---- --metrics-out / --metrics-format / --resource-sample-ms and owns
+// ---- one ObsSession: tracing and the background resource sampler start
+// ---- right after flag parsing (so graph loads are covered), and the
+// ---- session writes the requested files on exit — explicitly via
+// ---- Finish() on success paths (errors reported), best-effort from the
+// ---- destructor otherwise. Construction can fail (bad --metrics-format);
+// ---- callers check status() before doing real work.
 
 class ObsSession {
  public:
@@ -92,18 +96,37 @@ class ObsSession {
                   "write a Chrome trace-event JSON of this invocation "
                   "(open in Perfetto / chrome://tracing)");
     flags->Define("metrics-out", "",
-                  "write a JSON metrics snapshot of this invocation");
+                  "write a metrics snapshot of this invocation");
+    flags->Define("metrics-format", "json",
+                  "metrics snapshot format: json | prom (Prometheus text "
+                  "exposition)");
+    flags->Define("resource-sample-ms", "100",
+                  "background RSS/fault/IO sampling period in ms "
+                  "(0 disables the sampler thread; a final sample is "
+                  "still taken at exit)");
   }
 
   explicit ObsSession(const util::FlagParser& flags)
       : trace_path_(flags.GetString("trace-out")),
-        metrics_path_(flags.GetString("metrics-out")) {
+        metrics_path_(flags.GetString("metrics-out")),
+        metrics_format_(flags.GetString("metrics-format")),
+        sampler_(obs::ResourceSampler::Options{
+            std::max<int64_t>(flags.GetInt("resource-sample-ms"), 1)}) {
+    if (metrics_format_ != "json" && metrics_format_ != "prom") {
+      status_ = util::Status::InvalidArgument(
+          "unknown --metrics-format '" + metrics_format_ +
+          "' (want json | prom)");
+      return;
+    }
     if (!trace_path_.empty()) {
       obs::SetCurrentThreadName("main");
       obs::StartTracing();
     }
     // Metrics record unconditionally (shard adds are near-free); the flag
-    // only controls whether a snapshot file is written.
+    // only controls whether a snapshot file is written. Resource sampling
+    // also runs unconditionally so RSS/fault curves exist in every
+    // snapshot; --resource-sample-ms 0 keeps just the exit-time sample.
+    if (flags.GetInt("resource-sample-ms") > 0) sampler_.Start();
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -111,25 +134,40 @@ class ObsSession {
 
   ~ObsSession() { Finish(); }
 
-  /// Stops tracing and writes the requested files. Idempotent; returns
-  /// the first write error.
+  /// Construction outcome; not OK when a telemetry flag was invalid.
+  const util::Status& status() const { return status_; }
+
+  /// Stops the sampler and tracing and writes the requested files.
+  /// Idempotent; returns the first write error. Both writers create
+  /// missing parent directories and name the failing path in errors
+  /// (util::WriteTextFile), for the .prom output exactly as for JSON.
   util::Status Finish() {
     if (finished_) return util::Status::OK();
     finished_ = true;
-    util::Status result;
+    // One guaranteed exit-time sample, after Stop so it cannot interleave
+    // with a background publish: even a run shorter than one period
+    // reports real RSS/fault numbers.
+    sampler_.Stop();
+    sampler_.SampleOnce();
+    util::Status result = status_;
     if (!trace_path_.empty()) {
       obs::StopTracing();
-      result = obs::WriteTraceFile(trace_path_);
-      if (result.ok()) {
+      util::Status status = obs::WriteTraceFile(trace_path_);
+      if (status.ok()) {
         std::fprintf(stderr, "trace -> %s\n", trace_path_.c_str());
+      } else if (result.ok()) {
+        result = status;
       }
     }
     if (!metrics_path_.empty()) {
-      util::Status status = util::WriteTextFile(
-          metrics_path_,
-          obs::MetricsRegistry::Global().SnapshotJson() + "\n");
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      const std::string snapshot = metrics_format_ == "prom"
+                                       ? registry.SnapshotPrometheus()
+                                       : registry.SnapshotJson() + "\n";
+      util::Status status = util::WriteTextFile(metrics_path_, snapshot);
       if (status.ok()) {
-        std::fprintf(stderr, "metrics -> %s\n", metrics_path_.c_str());
+        std::fprintf(stderr, "metrics (%s) -> %s\n", metrics_format_.c_str(),
+                     metrics_path_.c_str());
       } else if (result.ok()) {
         result = status;
       }
@@ -140,6 +178,9 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string metrics_format_;
+  obs::ResourceSampler sampler_;
+  util::Status status_;
   bool finished_ = false;
 };
 
@@ -262,6 +303,7 @@ int CmdGenerate(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "generate", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   obs::ScopedStageTimer timer("generate", nullptr);
   auto web = synth::GenerateWeb(synth::Yahoo2004Scenario(
@@ -309,6 +351,7 @@ int CmdStats(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "stats", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::GraphSource source = SourceFromFlags(flags);
   auto loaded = source.Load();
@@ -330,10 +373,19 @@ int CmdStats(int argc, const char* const* argv) {
   const graph::WebGraph& g = loaded.value().graph();
   if (g.is_mapped()) {
     // Zero-copy load: how much of the mapping the page cache has actually
-    // faulted in so far (the out-of-core story in one number).
+    // faulted in so far (the out-of-core story in one number), then the
+    // same split per array section. Republished as gauges so a
+    // --metrics-out snapshot carries the numbers too.
+    graph::PublishMappedResidency(g);
     table.AddRow({"mapped bytes", util::FormatWithCommas(g.mapped_bytes())});
     table.AddRow(
         {"resident bytes", util::FormatWithCommas(g.resident_bytes())});
+    for (const graph::WebGraph::SectionResidency& s :
+         g.MappedSectionResidency()) {
+      table.AddRow({std::string("resident ") + s.name,
+                    util::FormatWithCommas(s.resident_bytes) + " / " +
+                        util::FormatWithCommas(s.mapped_bytes)});
+    }
   }
   std::printf("%s", table.ToString().c_str());
   util::Status obs_status = obs.Finish();
@@ -352,6 +404,7 @@ int CmdConvert(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "convert", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::GraphSource source = SourceFromFlags(flags);
   auto loaded = source.Load();
@@ -391,6 +444,7 @@ int CmdPageRank(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "pagerank", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::GraphSource source = SourceFromFlags(flags);
   auto loaded = source.Load();
@@ -468,6 +522,7 @@ int CmdMass(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "mass", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::LoadedGraph loaded;
   auto estimates = EstimateFromFlags(flags, &loaded);
@@ -506,6 +561,7 @@ int CmdDetect(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "detect", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::LoadedGraph loaded;
   auto estimates = EstimateFromFlags(flags, &loaded);
@@ -579,6 +635,7 @@ int CmdSites(int argc, const char* const* argv) {
   int code = 0;
   if (!ParseOrHelp(&flags, "sites", argc, argv, &code)) return code;
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   pipeline::GraphSource source =
       pipeline::GraphSource::FromFile(flags.GetString("edges"));
@@ -641,6 +698,7 @@ int CmdRun(int argc, const char* const* argv) {
     return 0;
   }
   ObsSession obs(flags);
+  if (!obs.status().ok()) return Fail(obs.status());
 
   auto config = ConfigFromFlags(flags, /*has_mass_flags=*/true);
   if (!config.ok()) return Fail(config.status());
@@ -665,7 +723,7 @@ int CmdRun(int argc, const char* const* argv) {
   // One manifest wrapping every per-graph run.
   util::JsonWriter manifest;
   manifest.BeginObject();
-  manifest.KV("schema_version", 2);
+  manifest.KV("schema_version", 3);
   manifest.KV("tool", "spammass_cli run");
   manifest.Key("runs").BeginArray();
 

@@ -53,6 +53,16 @@ Rules (each printed as file:line: [rule] message):
                   the portable ScalarSweepRange fallback — deleting the
                   scalar path while keeping the intrinsics is the one
                   refactor this rule exists to stop.
+  resource-isolation
+                  Kernel introspection (/proc/self paths, perf_event_open,
+                  mincore) is confined to src/obs/ and src/util/mmap_file.cc
+                  so every probe degrades gracefully in exactly one place:
+                  a host without the facility reports absent metrics, never
+                  zeros, and no solver or pipeline code grows a platform
+                  #ifdef. Consumers read the published registry metrics
+                  (process.*, graph.mmap_*) instead of re-probing. Matched
+                  against comment-stripped lines WITH string literals kept,
+                  since "/proc/self/..." lives inside a string.
   unordered-iteration
                   Determinism: iterating a std::unordered_{map,set,...} in
                   src/graph/, src/pagerank/, or src/pipeline/ is banned —
@@ -121,6 +131,12 @@ INTRINSICS_RE = re.compile(
     r"\bfloat(?:32|64)x\d+(?:x\d+)?_t\b")
 # The only files allowed to spell intrinsics.
 SIMD_ALLOWED_PREFIX = "src/pagerank/simd"
+# Kernel-introspection probes: /proc paths (string literals), the
+# perf_event_open syscall wrapper, and the mincore residency query. The
+# sanctioned homes keep the graceful-degradation logic in one place.
+RESOURCE_ISOLATION_RE = re.compile(
+    r"/proc/self|\bperf_event_open\b|\bmincore\s*\(")
+RESOURCE_ALLOWED_PREFIXES = ("src/obs/", "src/util/mmap_file.cc")
 # Determinism-critical directories: anything iterating a hash container
 # here can leak bucket order into ordered output (CSR arrays, manifests).
 UNORDERED_DIRS = ("src/graph/", "src/pagerank/", "src/pipeline/")
@@ -164,9 +180,12 @@ def expected_guard(relpath):
     return "SPAMMASS_" + token.upper() + "_"
 
 
-def strip_comments_and_strings(line, in_block_comment):
+def strip_comments_and_strings(line, in_block_comment, keep_strings=False):
     """Removes // and /* */ comments and string/char literal contents so the
-    content rules don't fire on prose. Returns (code, still_in_block)."""
+    content rules don't fire on prose. Returns (code, still_in_block).
+    With keep_strings=True the literal contents survive (only comments are
+    removed) — the resource-isolation rule matches "/proc/self/..." paths,
+    which live inside strings."""
     out = []
     i = 0
     n = len(line)
@@ -183,10 +202,14 @@ def strip_comments_and_strings(line, in_block_comment):
             continue
         if in_string:
             if ch == "\\":
+                if keep_strings:
+                    out.append(line[i:i + 2])
                 i += 2
                 continue
             if ch == in_string:
                 in_string = None
+            if keep_strings:
+                out.append(ch)
             i += 1
             continue
         if ch == "/" and nxt == "/":
@@ -224,12 +247,18 @@ class Linter:
 
         is_header = relpath.endswith(".h")
         code_lines = []
+        literal_lines = []  # comments stripped, string contents kept
         in_block = False
+        in_block_lit = False
         for line in raw_lines:
             code, in_block = strip_comments_and_strings(line, in_block)
             code_lines.append(code)
+            lit, in_block_lit = strip_comments_and_strings(
+                line, in_block_lit, keep_strings=True)
+            literal_lines.append(lit)
 
         self.check_content_rules(relpath, code_lines, is_header)
+        self.check_resource_isolation(relpath, literal_lines)
         if relpath.startswith(UNORDERED_DIRS):
             self.check_unordered_iteration(relpath, code_lines)
         # Includes are parsed from the raw lines: the comment/string
@@ -311,6 +340,27 @@ class Linter:
                         relpath, i, "using-namespace",
                         f"`using namespace {ns}` in a header leaks into "
                         "every includer; move it into a .cc or drop it")
+
+    def check_resource_isolation(self, relpath, literal_lines):
+        """Confines kernel introspection to the observability units. Matched
+        against comment-stripped lines with string literals kept: the /proc
+        paths are strings, and prose mentions in comments must not fire."""
+        if not relpath.startswith("src/"):
+            return
+        if relpath.startswith(RESOURCE_ALLOWED_PREFIXES):
+            return
+        if is_exempt(relpath, "resource-isolation"):
+            return
+        for i, code in enumerate(literal_lines, start=1):
+            m = RESOURCE_ISOLATION_RE.search(code)
+            if m:
+                self.report(
+                    relpath, i, "resource-isolation",
+                    f"kernel introspection ({m.group(0).strip()}) outside "
+                    "src/obs/ and src/util/mmap_file.cc; sample through "
+                    "obs/resource.h, obs/perf_counters.h or the MmapFile "
+                    "residency probes so availability fallbacks stay in "
+                    "one place and metrics stay absent-not-zero")
 
     def check_unordered_iteration(self, relpath, code_lines):
         """Flags iteration over unordered containers in determinism-critical
